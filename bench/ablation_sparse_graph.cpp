@@ -1,0 +1,66 @@
+// Ablation: where the opportunistic-onion-path model breaks down.
+//
+// The paper's model (Eq. 4) assumes every hop has a positive aggregate
+// rate — true on the dense Table II graphs, false on sparse contact
+// graphs. This bench sweeps graph density and reports the analysis-vs-
+// simulation delivery gap, locating the regime boundary the paper's
+// Infocom'05 discussion (Sec. V-E) hints at.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/delivery.hpp"
+#include "common/bench_common.hpp"
+#include "routing/onion_routing.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace odtn;
+  util::Args args(argc, argv);
+  auto base = bench::base_config(args);
+  base.ttl = 900.0;
+  bench::print_header("Ablation", "Model accuracy vs contact-graph density",
+                      "n=100, K=3, g=5, L=1, T=900; x = edge probability",
+                      base);
+
+  util::Table table({"edge_prob", "analysis", "simulation", "abs_gap"});
+  for (double p : {0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    util::Rng rng(base.seed);
+    util::RunningStats sim, ana;
+    for (std::size_t run = 0; run < base.runs; ++run) {
+      auto graph = graph::sparse_contact_graph(base.nodes, p, rng,
+                                               base.min_ict, base.max_ict);
+      sim::PoissonContactModel contacts(graph, rng);
+      groups::GroupDirectory dir(base.nodes, base.group_size, &rng);
+      groups::KeyManager keys(dir, rng.next());
+      onion::OnionCodec codec;
+      routing::OnionContext ctx{&dir, &keys, &codec,
+                                routing::CryptoMode::kNone};
+      routing::SingleCopyOnionRouting protocol(ctx);
+
+      NodeId src = static_cast<NodeId>(rng.below(base.nodes));
+      NodeId dst = static_cast<NodeId>(rng.below(base.nodes - 1));
+      if (dst >= src) ++dst;
+      auto groups = dir.select_relay_groups(src, dst, base.num_relays, rng);
+
+      routing::MessageSpec spec;
+      spec.src = src;
+      spec.dst = dst;
+      spec.ttl = base.ttl;
+      spec.num_relays = base.num_relays;
+      sim.add(protocol.route(contacts, spec, rng, &groups).delivered);
+      auto rates = analysis::opportunistic_onion_rates(graph, src, dst, dir,
+                                                       groups);
+      ana.add(analysis::delivery_rate(rates, base.ttl));
+    }
+    table.new_row();
+    table.cell(p, 1);
+    table.cell(ana.mean());
+    table.cell(sim.mean());
+    table.cell(std::abs(ana.mean() - sim.mean()));
+  }
+  table.print(std::cout);
+  std::cout << "# On sparse graphs the group-averaged hop rate (Eq. 4) "
+               "overstates what the realized\n# holder can reach; the gap "
+               "shrinks as the graph approaches the paper's dense regime.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: "training the traces" (Sec. V-D of the paper).
+//
+// The delivery model needs contact rates; on a real trace they must be
+// estimated. Estimating over wall-clock time dilutes rates with the long
+// off-business-hour gaps; estimating over *active* time (silent gaps
+// capped) matches the regime in which messages actually travel. This
+// bench quantifies the difference on the Cambridge-like trace — the
+// correction is what makes Fig. 14's analysis track its simulation.
+#include <cmath>
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "trace/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace odtn;
+  util::Args args(argc, argv);
+  auto base = bench::base_config(args);
+  base.group_size = 1;
+  base.num_relays = 3;
+  bench::print_header("Ablation", "Trace rate training: wall-clock vs active time",
+                      "Cambridge-like trace, K=3, g=1, L=1; x = deadline (s)",
+                      base);
+
+  auto trace = trace::make_cambridge_like(base.seed);
+  util::Table table({"deadline_sec", "sim", "ana_wallclock", "ana_active",
+                     "gap_wallclock", "gap_active"});
+  for (double deadline : {300.0, 600.0, 900.0, 1200.0, 1800.0, 2700.0,
+                          3600.0}) {
+    auto wall_cfg = base;
+    wall_cfg.ttl = deadline;
+    wall_cfg.trace_training_gap = 0.0;  // disable the correction
+    auto wall = core::run_trace_experiment(wall_cfg, trace);
+
+    auto active_cfg = base;
+    active_cfg.ttl = deadline;
+    active_cfg.trace_training_gap = 1800.0;
+    auto active = core::run_trace_experiment(active_cfg, trace);
+
+    table.new_row();
+    table.cell(static_cast<std::int64_t>(deadline));
+    table.cell(active.sim_delivered.mean());
+    table.cell(wall.ana_delivery.mean());
+    table.cell(active.ana_delivery.mean());
+    table.cell(std::abs(wall.ana_delivery.mean() -
+                        wall.sim_delivered.mean()));
+    table.cell(std::abs(active.ana_delivery.mean() -
+                        active.sim_delivered.mean()));
+  }
+  table.print(std::cout);
+  std::cout << "# Wall-clock training spreads 8 business hours of contacts "
+               "over 24h, underestimating\n# every rate ~3x; active-time "
+               "training recovers the paper's model-vs-trace agreement.\n";
+  return 0;
+}

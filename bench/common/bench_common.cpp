@@ -1,0 +1,34 @@
+#include "common/bench_common.hpp"
+
+#include <iostream>
+
+namespace odtn::bench {
+
+core::ExperimentConfig base_config(const util::Args& args) {
+  core::ExperimentConfig cfg;
+  cfg.runs = static_cast<std::size_t>(args.get_int("runs", 200));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  return cfg;
+}
+
+void print_header(const std::string& figure_id, const std::string& title,
+                  const std::string& fixed_params,
+                  const core::ExperimentConfig& config) {
+  std::cout << "# " << figure_id << ": " << title << "\n"
+            << "# fixed: " << fixed_params << "\n"
+            << "# runs/point: " << config.runs << ", seed: " << config.seed
+            << "\n";
+}
+
+const std::vector<double>& deadline_sweep() {
+  static const std::vector<double> sweep = {60,  120, 240,  360, 600,
+                                            900, 1200, 1500, 1800};
+  return sweep;
+}
+
+const std::vector<double>& compromise_sweep() {
+  static const std::vector<double> sweep = {0.10, 0.20, 0.30, 0.40, 0.50};
+  return sweep;
+}
+
+}  // namespace odtn::bench

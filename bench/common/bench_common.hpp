@@ -1,0 +1,33 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench binary regenerates one figure of the paper: it prints one row
+// per x-value with analysis and simulation columns side by side — the same
+// series the figure plots. Common flags:
+//   --runs=N   simulation runs per point (default 200)
+//   --seed=S   experiment seed (default 1)
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace odtn::bench {
+
+/// Builds the Table II default configuration, with --runs / --seed applied.
+core::ExperimentConfig base_config(const util::Args& args);
+
+/// Prints the figure banner: id, title, and the fixed parameters.
+void print_header(const std::string& figure_id, const std::string& title,
+                  const std::string& fixed_params,
+                  const core::ExperimentConfig& config);
+
+/// The deadline sweep (minutes) used by the delivery-rate figures.
+const std::vector<double>& deadline_sweep();
+
+/// The compromised-fraction sweep (10%..50%) of the security figures.
+const std::vector<double>& compromise_sweep();
+
+}  // namespace odtn::bench

@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark) for the crypto substrate: the
+// per-forward cost a deployment would actually pay.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aead.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+#include "groups/group_directory.hpp"
+#include "groups/key_manager.hpp"
+#include "onion/onion.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace odtn;
+
+void BM_Sha256(benchmark::State& state) {
+  util::Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  util::Bytes key(32, 1);
+  util::Bytes data(1024, 0xcd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_ChaCha20(benchmark::State& state) {
+  util::Bytes key(32, 1), nonce(12, 2);
+  util::Bytes data(static_cast<std::size_t>(state.range(0)), 0xef);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::chacha20_xor(key, nonce, 0, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_AeadSealOpen(benchmark::State& state) {
+  util::Bytes key(32, 1), nonce(12, 2), aad;
+  util::Bytes data(1024, 0x42);
+  for (auto _ : state) {
+    auto sealed = crypto::aead_seal(key, nonce, aad, data);
+    benchmark::DoNotOptimize(crypto::aead_open(key, nonce, aad, sealed));
+  }
+}
+BENCHMARK(BM_AeadSealOpen);
+
+void BM_X25519(benchmark::State& state) {
+  util::Rng rng(1);
+  auto a = crypto::generate_keypair(rng);
+  auto b = crypto::generate_keypair(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::shared_secret(a.private_key, b.public_key));
+  }
+}
+BENCHMARK(BM_X25519);
+
+void BM_Drbg(benchmark::State& state) {
+  crypto::Drbg drbg(std::uint64_t{7});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drbg.generate(64));
+  }
+}
+BENCHMARK(BM_Drbg);
+
+void BM_OnionBuild(benchmark::State& state) {
+  groups::GroupDirectory dir(100, 5);
+  groups::KeyManager keys(dir, 1);
+  onion::OnionCodec codec;
+  crypto::Drbg drbg(std::uint64_t{9});
+  util::Bytes payload(200, 0x11);
+  std::vector<GroupId> route;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    route.push_back(static_cast<GroupId>(i + 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.build(payload, 99, route, keys, drbg));
+  }
+}
+BENCHMARK(BM_OnionBuild)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_OnionPeel(benchmark::State& state) {
+  groups::GroupDirectory dir(100, 5);
+  groups::KeyManager keys(dir, 1);
+  onion::OnionCodec codec;
+  crypto::Drbg drbg(std::uint64_t{9});
+  util::Bytes payload(200, 0x11);
+  std::vector<GroupId> route = {1, 2, 3};
+  util::Bytes wire = codec.build(payload, 99, route, keys, drbg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.peel(wire, keys.group_key(1), drbg));
+  }
+}
+BENCHMARK(BM_OnionPeel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) for the simulation engine and the
+// end-to-end protocol step: how many experiment runs per second the figure
+// benches can afford.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "routing/baselines.hpp"
+#include "routing/onion_routing.hpp"
+#include "sim/contact_model.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace odtn;
+
+void BM_RandomGraphGeneration(benchmark::State& state) {
+  util::Rng rng(1);
+  auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::random_contact_graph(n, rng));
+  }
+}
+BENCHMARK(BM_RandomGraphGeneration)->Arg(100)->Arg(500);
+
+void BM_PoissonFirstContact(benchmark::State& state) {
+  util::Rng rng(2);
+  auto g = graph::random_contact_graph(100, rng);
+  sim::PoissonContactModel model(g, rng);
+  std::vector<NodeId> targets;
+  for (NodeId v = 1; v <= 5; ++v) targets.push_back(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.first_contact(0, targets, 0.0, 1e9));
+  }
+}
+BENCHMARK(BM_PoissonFirstContact);
+
+void BM_TraceFirstContact(benchmark::State& state) {
+  auto trace = trace::make_infocom_like(1);
+  sim::TraceContactModel model(trace);
+  std::vector<NodeId> targets = {5, 6, 7, 8, 9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.first_contact(0, targets, 40000.0, 3e5));
+  }
+}
+BENCHMARK(BM_TraceFirstContact);
+
+void BM_SingleCopyRoute(benchmark::State& state) {
+  util::Rng rng(3);
+  auto g = graph::random_contact_graph(100, rng);
+  groups::GroupDirectory dir(100, 5);
+  groups::KeyManager keys(dir, 3);
+  onion::OnionCodec codec;
+  sim::PoissonContactModel contacts(g, rng);
+  routing::OnionContext ctx{&dir, &keys, &codec, routing::CryptoMode::kNone};
+  routing::SingleCopyOnionRouting protocol(ctx);
+  routing::MessageSpec spec;
+  spec.src = 0;
+  spec.dst = 99;
+  spec.ttl = 1e6;
+  spec.num_relays = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.route(contacts, spec, rng));
+  }
+}
+BENCHMARK(BM_SingleCopyRoute);
+
+void BM_SingleCopyRouteRealCrypto(benchmark::State& state) {
+  util::Rng rng(4);
+  auto g = graph::random_contact_graph(100, rng);
+  groups::GroupDirectory dir(100, 5);
+  groups::KeyManager keys(dir, 4);
+  onion::OnionCodec codec;
+  sim::PoissonContactModel contacts(g, rng);
+  routing::OnionContext ctx{&dir, &keys, &codec, routing::CryptoMode::kReal};
+  routing::SingleCopyOnionRouting protocol(ctx);
+  routing::MessageSpec spec;
+  spec.src = 0;
+  spec.dst = 99;
+  spec.ttl = 1e6;
+  spec.num_relays = 3;
+  spec.payload = util::to_bytes("benchmark payload");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.route(contacts, spec, rng));
+  }
+}
+BENCHMARK(BM_SingleCopyRouteRealCrypto);
+
+void BM_MultiCopyRoute(benchmark::State& state) {
+  util::Rng rng(5);
+  auto g = graph::random_contact_graph(100, rng);
+  groups::GroupDirectory dir(100, 5);
+  groups::KeyManager keys(dir, 5);
+  onion::OnionCodec codec;
+  sim::PoissonContactModel contacts(g, rng);
+  routing::OnionContext ctx{&dir, &keys, &codec, routing::CryptoMode::kNone};
+  routing::MultiCopyOnionRouting protocol(ctx);
+  routing::MessageSpec spec;
+  spec.src = 0;
+  spec.dst = 99;
+  spec.ttl = 1e6;
+  spec.num_relays = 3;
+  spec.copies = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.route(contacts, spec, rng));
+  }
+}
+BENCHMARK(BM_MultiCopyRoute)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_EpidemicRoute(benchmark::State& state) {
+  util::Rng rng(6);
+  auto g = graph::random_contact_graph(100, rng);
+  sim::PoissonContactModel contacts(g, rng);
+  routing::EpidemicRouting protocol;
+  routing::MessageSpec spec;
+  spec.src = 0;
+  spec.dst = 99;
+  spec.ttl = 1e6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.route(contacts, spec));
+  }
+}
+BENCHMARK(BM_EpidemicRoute);
+
+void BM_ExperimentRun(benchmark::State& state) {
+  core::ExperimentConfig cfg;
+  cfg.runs = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_random_graph_experiment(cfg));
+  }
+}
+BENCHMARK(BM_ExperimentRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Battlefield scenario (the paper's motivating application, Sec. I):
+// a commander must send orders without disclosing that they are an
+// endpoint — compromised relays would otherwise reveal the command post.
+//
+// This example quantifies what the adversary learns at increasing levels
+// of infiltration, comparing onion routing against a non-anonymous
+// baseline, on a community-structured contact graph (two squads that meet
+// each other rarely).
+#include <iomanip>
+#include <iostream>
+
+#include "adversary/adversary.hpp"
+#include "analysis/anonymity.hpp"
+#include "core/anonymous_dtn.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace odtn;
+
+  const std::size_t n = 60;
+  const std::size_t group_size = 5;
+  util::Rng graph_rng(7);
+  // Two squads; cross-squad contacts are 8x slower.
+  auto graph = graph::community_contact_graph(n, 2, 8.0, graph_rng, 10.0,
+                                              240.0);
+  auto net = core::AnonymousDtn::over_graph(std::move(graph), group_size, 7);
+
+  const NodeId commander = 0;     // squad A
+  const NodeId field_unit = 59;   // squad B
+
+  std::cout << "Battlefield DTN: " << n << " radios in two squads.\n"
+            << "Commander (node " << commander << ") sends orders to a "
+            << "field unit (node " << field_unit << ") across squads.\n\n";
+
+  core::SendOptions options;
+  options.num_relays = 3;
+  options.ttl = 4000.0;
+
+  // Deliver a batch of orders and record the realized paths.
+  const int orders = 150;
+  std::vector<routing::DeliveryResult> delivered;
+  int expired = 0;
+  for (int i = 0; i < orders; ++i) {
+    auto r = net.send(commander, field_unit,
+                      util::to_bytes("order #" + std::to_string(i)), options);
+    if (r.delivered) {
+      delivered.push_back(std::move(r));
+    } else {
+      ++expired;
+    }
+  }
+  std::cout << delivered.size() << "/" << orders
+            << " orders delivered within " << options.ttl
+            << " minutes (" << expired << " expired).\n\n";
+
+  // Infiltration study: what does an adversary who compromised a fraction
+  // of the radios learn about the commander's routes?
+  util::Table table({"infiltration", "traceable_rate", "path_anonymity",
+                     "model_anonymity"});
+  for (double fraction : {0.05, 0.10, 0.20, 0.30, 0.50}) {
+    util::RunningStats traceable, anonymity;
+    util::Rng adv_rng(1000 + static_cast<std::uint64_t>(fraction * 100));
+    for (const auto& r : delivered) {
+      auto compromise =
+          adversary::CompromiseModel::from_fraction(n, fraction, adv_rng);
+      traceable.add(adversary::measured_traceable_rate(
+          commander, r.relay_path, compromise));
+      anonymity.add(adversary::measured_path_anonymity(
+          commander, r.relays_per_hop, compromise, n, group_size));
+    }
+    table.new_row();
+    table.cell(fraction, 2);
+    table.cell(traceable.mean());
+    table.cell(anonymity.mean());
+    table.cell(analysis::path_anonymity_model(options.num_relays + 1,
+                                              fraction, n, group_size));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEven at 30% infiltration the adversary traces only a "
+               "small fraction of each route,\nand the realized anonymity "
+               "matches the paper's Eq. 19 model (last column).\n\n";
+
+  // Cost of anonymity: compare against non-anonymous spray-and-wait.
+  util::RunningStats onion_tx, onion_delay, sw_tx, sw_delay;
+  for (const auto& r : delivered) {
+    onion_tx.add(static_cast<double>(r.transmissions));
+    onion_delay.add(r.delay);
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto r = net.send_spray_and_wait(commander, field_unit, 3, options.ttl);
+    if (r.delivered) {
+      sw_tx.add(static_cast<double>(r.transmissions));
+      sw_delay.add(r.delay);
+    }
+  }
+  std::cout << std::fixed << std::setprecision(1)
+            << "Price of anonymity (vs non-anonymous spray-and-wait L=3):\n"
+            << "  onion routing:   " << onion_tx.mean() << " tx, "
+            << onion_delay.mean() << " min mean delay\n"
+            << "  spray-and-wait:  " << sw_tx.mean() << " tx, "
+            << sw_delay.mean() << " min mean delay\n";
+  return 0;
+}

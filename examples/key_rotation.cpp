@@ -1,0 +1,77 @@
+// Key-rotation study: bounding what a captured group key is worth.
+//
+// The paper's adversary keeps a compromised node's group key forever. This
+// example shows the operational counter-measure the library ships
+// (groups::GroupKeySchedule): epoch-ratcheted group keys with healing.
+// A message stream is sent over many epochs; the adversary captures one
+// group's key at a known epoch; we measure which fraction of the stream's
+// onions had a layer exposed, with and without healing.
+#include <iostream>
+
+#include "groups/group_directory.hpp"
+#include "groups/rekeying.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace odtn;
+
+  const std::size_t n = 100, g = 5;
+  groups::GroupDirectory dir(n, g);
+  groups::GroupKeySchedule schedule(dir, 42);
+
+  const groups::Epoch total_epochs = 48;  // e.g. one epoch per hour, 2 days
+  const groups::Epoch capture_epoch = 12;
+  const GroupId captured_group = 7;
+
+  std::cout << "Adversary captures group " << captured_group
+            << "'s key at epoch " << capture_epoch << " of " << total_epochs
+            << ".\n\n";
+
+  // A uniform message stream: each epoch, 10 messages, each using K=3
+  // random relay groups. A message's layer for the captured group is
+  // exposed iff the group key of its epoch is derivable from the captured
+  // key (epoch >= capture, and before any heal).
+  util::Rng rng(7);
+  util::Table table({"healing_policy", "exposed_onions", "exposure_epochs"});
+  for (groups::Epoch heal_after : {groups::Epoch{0}, groups::Epoch{24},
+                                   groups::Epoch{16}, groups::Epoch{13}}) {
+    groups::Epoch heal_epoch = heal_after;  // 0 = never heals
+    auto window =
+        groups::GroupKeySchedule::exposure_window(capture_epoch, heal_epoch);
+
+    std::size_t exposed = 0, total = 0;
+    util::Rng stream_rng(99);
+    for (groups::Epoch e = 0; e < total_epochs; ++e) {
+      for (int m = 0; m < 10; ++m) {
+        ++total;
+        // Does this message route through the captured group?
+        auto relays = stream_rng.sample_without_replacement(
+            dir.group_count(), 3);
+        bool uses_group = false;
+        for (auto r : relays) {
+          uses_group |= (static_cast<GroupId>(r) == captured_group);
+        }
+        if (!uses_group) continue;
+        if (e >= window.first && e <= window.second) ++exposed;
+      }
+    }
+    table.new_row();
+    table.cell(heal_epoch == 0
+                   ? std::string("never heal (paper's adversary)")
+                   : "heal at epoch " + std::to_string(heal_epoch));
+    table.cell(static_cast<double>(exposed) / static_cast<double>(total), 4);
+    table.cell(heal_epoch == 0
+                   ? std::string("[" + std::to_string(window.first) + ", inf)")
+                   : "[" + std::to_string(window.first) + ", " +
+                         std::to_string(window.second) + "]");
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nForward security makes pre-capture epochs safe for free (the "
+         "ratchet is one-way);\nhealing bounds the post-capture window. "
+         "With prompt healing the same compromise\nexposes an order of "
+         "magnitude fewer onions than the paper's static-key adversary.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Parameter study: the performance/anonymity trade-off surface.
+//
+// Sweeps the protocol knobs (K onion relays, group size g, copies L) with
+// the analytical models and a confirming simulation column, producing the
+// kind of table an operator would use to pick a deployment configuration.
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace odtn;
+  (void)argc;
+  (void)argv;
+
+  core::ExperimentConfig base;
+  base.runs = 150;
+  base.seed = 3;
+  base.ttl = 600.0;            // tight deadline: differences show clearly
+  base.compromise_fraction = 0.2;
+
+  std::cout << "Configuration study: n=100 nodes, deadline 600 min, 20% of "
+               "nodes compromised.\n"
+            << "delivery = simulated; anonymity/traceable = model; cost = "
+               "upper bound.\n\n";
+
+  util::Table table({"K", "g", "L", "delivery", "anonymity", "traceable",
+                     "cost_bound"});
+  for (std::size_t k : {2u, 3u, 5u}) {
+    for (std::size_t g : {1u, 5u, 10u}) {
+      for (std::size_t l : {1u, 3u}) {
+        auto cfg = base;
+        cfg.num_relays = k;
+        cfg.group_size = g;
+        cfg.copies = l;
+        auto r = core::run_random_graph_experiment(cfg);
+        table.new_row();
+        table.cell(static_cast<std::int64_t>(k));
+        table.cell(static_cast<std::int64_t>(g));
+        table.cell(static_cast<std::int64_t>(l));
+        table.cell(r.sim_delivered.mean(), 2);
+        table.cell(r.ana_anonymity, 3);
+        table.cell(r.ana_traceable_exact, 3);
+        table.cell(r.ana_cost_bound, 0);
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading the table:\n"
+      << "  * K buys traceability resistance but costs delivery (longer "
+         "paths).\n"
+      << "  * g buys delivery AND anonymity (anycast + larger hiding set) "
+         "for free -- \n"
+      << "    its only cost is a larger key-sharing group (Sec. V-B of the "
+         "paper).\n"
+      << "  * L buys delivery but costs anonymity and transmissions "
+         "(Figs. 10-12).\n";
+  return 0;
+}

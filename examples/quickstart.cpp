@@ -1,0 +1,49 @@
+// Quickstart: send one anonymous message across a random DTN.
+//
+// Demonstrates the minimal AnonymousDtn workflow: build a network, send a
+// payload through K onion groups with real layered encryption, inspect the
+// delivery result.
+#include <iostream>
+
+#include "core/anonymous_dtn.hpp"
+
+int main() {
+  using namespace odtn;
+
+  // A 100-node DTN with Table II contact dynamics (inter-contact times
+  // uniform in [10, 360] minutes) and onion groups of 5 nodes.
+  auto net = core::AnonymousDtn::over_random_graph(/*nodes=*/100,
+                                                   /*group_size=*/5,
+                                                   /*seed=*/42);
+
+  core::SendOptions options;
+  options.num_relays = 3;   // K: onion groups the message travels through
+  options.ttl = 1800.0;     // T: deadline in minutes
+  options.copies = 1;       // L: single-copy forwarding (Algorithm 1)
+
+  NodeId source = 0, destination = 99;
+  auto result = net.send(source, destination,
+                         util::to_bytes("rendezvous at checkpoint 7"),
+                         options);
+
+  if (!result.delivered) {
+    std::cout << "message expired before reaching node " << destination
+              << " (deadline " << options.ttl << " min)\n";
+    return 0;
+  }
+
+  std::cout << "delivered in " << result.delay << " minutes\n"
+            << "transmissions: " << result.transmissions << " (= K+1)\n"
+            << "onion payload decrypted correctly: "
+            << (result.crypto_verified ? "yes" : "NO") << "\n"
+            << "relay path (hidden from every relay, visible to us as the "
+               "omniscient simulator):\n  "
+            << source;
+  for (NodeId r : result.relay_path) std::cout << " -> " << r;
+  std::cout << " -> " << destination << "\n"
+            << "relay groups: ";
+  for (GroupId g : result.relay_groups) std::cout << "R" << g << " ";
+  std::cout << "\n\nEach relay only learned the next onion group; the "
+               "endpoints never appeared together on any wire.\n";
+  return 0;
+}

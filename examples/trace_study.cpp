@@ -1,0 +1,118 @@
+// Trace study: anonymous routing over a real-world-like contact trace.
+//
+// Replays the synthetic Cambridge-like trace (the stand-in for CRAWDAD
+// cambridge/haggle Experiment 2, DESIGN.md §4), compares onion routing
+// against the non-anonymous baselines, and shows how the analytical model
+// is trained from the trace (rate estimation) to predict delivery.
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/delivery.hpp"
+#include "core/anonymous_dtn.hpp"
+#include "trace/synthetic.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace odtn;
+
+  auto trace = trace::make_cambridge_like(21);
+  std::cout << "Cambridge-like trace: " << trace.node_count() << " nodes, "
+            << trace.event_count() << " contact events over "
+            << trace.end_time() / 86400.0 << " days (business hours only).\n\n";
+
+  auto net = core::AnonymousDtn::over_trace(trace, /*group_size=*/1,
+                                            /*seed=*/21);
+
+  // Start each message during business hours on one of the first days.
+  util::Rng rng(5);
+  auto pick_start = [&](NodeId /*src*/) {
+    double day = static_cast<double>(rng.below(3));
+    return day * 86400.0 + rng.uniform(9.5 * 3600.0, 15.0 * 3600.0);
+  };
+
+  // Compare protocols over the same message workload.
+  const int messages = 120;
+  const double ttl = 2 * 3600.0;  // two business hours
+
+  util::RunningStats onion_ok, onion_delay, onion_tx;
+  util::RunningStats epi_ok, epi_delay, epi_tx;
+  util::RunningStats sw_ok, sw_delay, sw_tx;
+  for (int i = 0; i < messages; ++i) {
+    NodeId src = static_cast<NodeId>(rng.below(12));
+    NodeId dst = static_cast<NodeId>(rng.below(11));
+    if (dst >= src) ++dst;
+    double start = pick_start(src);
+
+    core::SendOptions opt;
+    opt.num_relays = 3;
+    opt.ttl = ttl;
+    opt.start = start;
+    auto onion = net.send(src, dst, util::to_bytes("msg"), opt);
+    onion_ok.add(onion.delivered);
+    if (onion.delivered) {
+      onion_delay.add(onion.delay / 60.0);
+      onion_tx.add(static_cast<double>(onion.transmissions));
+    }
+
+    auto epidemic = net.send_epidemic(src, dst, ttl, start);
+    epi_ok.add(epidemic.delivered);
+    if (epidemic.delivered) {
+      epi_delay.add(epidemic.delay / 60.0);
+      epi_tx.add(static_cast<double>(epidemic.transmissions));
+    }
+
+    auto spray = net.send_spray_and_wait(src, dst, 3, ttl, start);
+    sw_ok.add(spray.delivered);
+    if (spray.delivered) {
+      sw_delay.add(spray.delay / 60.0);
+      sw_tx.add(static_cast<double>(spray.transmissions));
+    }
+  }
+
+  util::Table table({"protocol", "delivery", "mean_delay_min", "mean_tx",
+                     "anonymity"});
+  table.new_row();
+  table.cell(std::string("onion (K=3)"));
+  table.cell(onion_ok.mean(), 2);
+  table.cell(onion_delay.mean(), 1);
+  table.cell(onion_tx.mean(), 1);
+  table.cell(std::string("sender+receiver hidden"));
+  table.new_row();
+  table.cell(std::string("epidemic"));
+  table.cell(epi_ok.mean(), 2);
+  table.cell(epi_delay.mean(), 1);
+  table.cell(epi_tx.mean(), 1);
+  table.cell(std::string("none"));
+  table.new_row();
+  table.cell(std::string("spray&wait L=3"));
+  table.cell(sw_ok.mean(), 2);
+  table.cell(sw_delay.mean(), 1);
+  table.cell(sw_tx.mean(), 1);
+  table.cell(std::string("none"));
+  table.print(std::cout);
+
+  // Model training demo: predict onion delivery from trace-estimated rates.
+  std::cout << "\nModel trained on the trace (rate estimation):\n";
+  const auto& rates = net.contact_rates();
+  util::Rng grng(9);
+  util::RunningStats predicted;
+  for (int i = 0; i < 200; ++i) {
+    NodeId src = static_cast<NodeId>(grng.below(12));
+    NodeId dst = static_cast<NodeId>(grng.below(11));
+    if (dst >= src) ++dst;
+    auto groups = net.directory().select_relay_groups(src, dst, 3, grng);
+    auto hop_rates = analysis::opportunistic_onion_rates(
+        rates, src, dst, net.directory(), groups);
+    predicted.add(analysis::delivery_rate(hop_rates, ttl));
+  }
+  std::cout << std::fixed << std::setprecision(2)
+            << "  predicted delivery within " << ttl / 3600.0
+            << "h: " << predicted.mean() << " (simulated: " << onion_ok.mean()
+            << ")\n"
+            << "\nNote: the model treats all time as business time, so it "
+               "is optimistic for\nmessages that straddle the night gap — "
+               "exactly the effect the paper reports\non the Infocom'05 "
+               "trace (Fig. 17).\n";
+  return 0;
+}

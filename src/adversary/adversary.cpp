@@ -1,0 +1,95 @@
+#include "adversary/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/anonymity.hpp"
+#include "util/run_length.hpp"
+
+namespace odtn::adversary {
+
+CompromiseModel::CompromiseModel(std::size_t n, std::size_t count,
+                                 util::Rng& rng)
+    : compromised_(n, false), count_(count) {
+  if (count > n) {
+    throw std::invalid_argument("CompromiseModel: count > n");
+  }
+  for (auto i : rng.sample_without_replacement(n, count)) {
+    compromised_[i] = true;
+  }
+}
+
+CompromiseModel CompromiseModel::from_fraction(std::size_t n, double fraction,
+                                               util::Rng& rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("CompromiseModel: fraction out of [0,1]");
+  }
+  auto count =
+      static_cast<std::size_t>(std::lround(fraction * static_cast<double>(n)));
+  return CompromiseModel(n, count, rng);
+}
+
+CompromiseModel CompromiseModel::targeted(const graph::ContactGraph& graph,
+                                          std::size_t count) {
+  std::size_t n = graph.node_count();
+  if (count > n) {
+    throw std::invalid_argument("CompromiseModel::targeted: count > n");
+  }
+  std::vector<std::pair<double, NodeId>> by_rate;
+  by_rate.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    double total = 0.0;
+    for (NodeId u = 0; u < n; ++u) total += graph.rate(v, u);
+    by_rate.emplace_back(total, v);
+  }
+  std::sort(by_rate.begin(), by_rate.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<bool> compromised(n, false);
+  for (std::size_t i = 0; i < count; ++i) {
+    compromised[by_rate[i].second] = true;
+  }
+  return CompromiseModel(std::move(compromised), count);
+}
+
+std::vector<bool> path_bits(NodeId src, const std::vector<NodeId>& relay_path,
+                            const CompromiseModel& adversary) {
+  std::vector<bool> bits;
+  bits.reserve(relay_path.size() + 1);
+  bits.push_back(adversary.is_compromised(src));
+  for (NodeId r : relay_path) bits.push_back(adversary.is_compromised(r));
+  return bits;
+}
+
+double measured_traceable_rate(NodeId src,
+                               const std::vector<NodeId>& relay_path,
+                               const CompromiseModel& adversary) {
+  return util::traceable_rate(path_bits(src, relay_path, adversary));
+}
+
+std::size_t compromised_positions(
+    NodeId src, const std::vector<std::vector<NodeId>>& relays_per_hop,
+    const CompromiseModel& adversary) {
+  std::size_t c_o = adversary.is_compromised(src) ? 1 : 0;
+  for (const auto& hop_relays : relays_per_hop) {
+    for (NodeId r : hop_relays) {
+      if (adversary.is_compromised(r)) {
+        ++c_o;
+        break;
+      }
+    }
+  }
+  return c_o;
+}
+
+double measured_path_anonymity(
+    NodeId src, const std::vector<std::vector<NodeId>>& relays_per_hop,
+    const CompromiseModel& adversary, std::size_t n, std::size_t g) {
+  std::size_t eta = relays_per_hop.size() + 1;  // K relays + source position
+  std::size_t c_o = compromised_positions(src, relays_per_hop, adversary);
+  return analysis::path_anonymity(eta, static_cast<double>(c_o), n, g);
+}
+
+}  // namespace odtn::adversary

@@ -1,0 +1,73 @@
+// Adversary model and security-metric measurement (Secs. II-C, IV-D/E/F).
+//
+// The adversary compromises a random subset of nodes. A compromised node
+// that relays a message discloses the link to its next hop; the metrics
+// measured on *simulated* paths here are what the analytical models in
+// src/analysis predict in expectation.
+#pragma once
+
+#include <vector>
+
+#include "graph/contact_graph.hpp"
+#include "routing/types.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace odtn::adversary {
+
+/// A random set of compromised nodes.
+class CompromiseModel {
+ public:
+  /// Compromises exactly `count` of `n` nodes, uniformly at random.
+  CompromiseModel(std::size_t n, std::size_t count, util::Rng& rng);
+
+  /// Compromises round(fraction * n) nodes.
+  static CompromiseModel from_fraction(std::size_t n, double fraction,
+                                       util::Rng& rng);
+
+  /// A *targeted* adversary: compromises the `count` nodes with the
+  /// highest total contact rate (the best-connected nodes relay most
+  /// often, so this is the strongest placement against onion-group
+  /// routing). Extends the paper's uniform-compromise threat model; see
+  /// bench/ablation_targeted_adversary. Ties broken by node id.
+  static CompromiseModel targeted(const graph::ContactGraph& graph,
+                                  std::size_t count);
+
+  std::size_t node_count() const { return compromised_.size(); }
+  std::size_t compromised_count() const { return count_; }
+  bool is_compromised(NodeId v) const { return compromised_.at(v); }
+
+ private:
+  CompromiseModel(std::vector<bool> compromised, std::size_t count)
+      : compromised_(std::move(compromised)), count_(count) {}
+
+  std::vector<bool> compromised_;
+  std::size_t count_;
+};
+
+/// The eta-bit binary representation of a delivered path (Sec. IV-D): bit
+/// i is 1 iff the sender of hop i is compromised. Senders are
+/// [src, r_1, ..., r_K].
+std::vector<bool> path_bits(NodeId src, const std::vector<NodeId>& relay_path,
+                            const CompromiseModel& adversary);
+
+/// Measured traceable rate of a delivered path (Eq. 1 applied to the
+/// realized bit string).
+double measured_traceable_rate(NodeId src,
+                               const std::vector<NodeId>& relay_path,
+                               const CompromiseModel& adversary);
+
+/// Number of exposed sender positions c_o on a (multi-copy) path bundle:
+/// position 0 is the source; position k >= 1 is exposed if any node that
+/// relayed any copy at hop k is compromised (Sec. IV-F).
+std::size_t compromised_positions(
+    NodeId src, const std::vector<std::vector<NodeId>>& relays_per_hop,
+    const CompromiseModel& adversary);
+
+/// Measured path anonymity: Eq. 19 evaluated at the *observed* c_o of this
+/// path bundle (n and g from the deployment).
+double measured_path_anonymity(
+    NodeId src, const std::vector<std::vector<NodeId>>& relays_per_hop,
+    const CompromiseModel& adversary, std::size_t n, std::size_t g);
+
+}  // namespace odtn::adversary

@@ -1,0 +1,97 @@
+#include "analysis/anonymity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace odtn::analysis {
+
+namespace {
+
+void check_args(std::size_t eta, double c_o, std::size_t n, std::size_t g) {
+  if (eta == 0) throw std::invalid_argument("path_anonymity: eta == 0");
+  if (n < 3) throw std::invalid_argument("path_anonymity: n too small");
+  if (g == 0 || g > n) throw std::invalid_argument("path_anonymity: bad g");
+  if (c_o < 0.0 || c_o > static_cast<double>(eta)) {
+    throw std::invalid_argument("path_anonymity: c_o out of [0, eta]");
+  }
+}
+
+void check_p(double p) {
+  if (!(p >= 0.0) || !(p <= 1.0)) {
+    throw std::invalid_argument("anonymity: p must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+double expected_compromised_on_path(std::size_t eta, double p) {
+  check_p(p);
+  // Closed form of the binomial expectation of Eq. 15.
+  return static_cast<double>(eta) * p;
+}
+
+double expected_compromised_on_path(std::size_t eta, double p,
+                                    std::size_t copies) {
+  check_p(p);
+  if (copies == 0) {
+    throw std::invalid_argument("anonymity: copies must be >= 1");
+  }
+  // Eq. 20: a position is exposed if any of the L senders there is
+  // compromised.
+  double exposed = 1.0 - std::pow(1.0 - p, static_cast<double>(copies));
+  return static_cast<double>(eta) * exposed;
+}
+
+double path_anonymity(std::size_t eta, double c_o, std::size_t n,
+                      std::size_t g) {
+  check_args(eta, c_o, n, g);
+  double ln_n = std::log(static_cast<double>(n));
+  double ln_g = std::log(static_cast<double>(g));
+  double denom = static_cast<double>(eta) * (ln_n - 1.0);
+  double numer = (static_cast<double>(eta) - c_o) * (ln_n - 1.0) + c_o * ln_g;
+  return std::clamp(numer / denom, 0.0, 1.0);
+}
+
+double path_anonymity_exact(std::size_t eta, double c_o, std::size_t n,
+                            std::size_t g) {
+  check_args(eta, c_o, n, g);
+  if (static_cast<double>(n) - static_cast<double>(eta) + c_o < 0.0) {
+    throw std::invalid_argument("path_anonymity_exact: eta > n");
+  }
+  double nd = static_cast<double>(n);
+  double ln_g = std::log(static_cast<double>(g));
+  // ln(n!/(n-eta+c_o)!) via lgamma.
+  double h = std::lgamma(nd + 1.0) - std::lgamma(nd - eta + c_o + 1.0) +
+             c_o * ln_g;
+  double h_max = std::lgamma(nd + 1.0) - std::lgamma(nd - eta + 1.0);
+  return std::clamp(h / h_max, 0.0, 1.0);
+}
+
+double path_anonymity_model(std::size_t eta, double p, std::size_t n,
+                            std::size_t g, std::size_t copies) {
+  double c_o = expected_compromised_on_path(eta, p, copies);
+  return path_anonymity(eta, c_o, n, g);
+}
+
+double path_anonymity_model_distinct(
+    std::size_t eta, double p, std::size_t n, std::size_t g,
+    const std::vector<double>& mean_distinct_per_hop) {
+  check_p(p);
+  if (mean_distinct_per_hop.size() + 1 != eta) {
+    throw std::invalid_argument(
+        "path_anonymity_model_distinct: need eta-1 per-hop counts");
+  }
+  // Source position: exactly one sender.
+  double c_o = p;
+  for (double d : mean_distinct_per_hop) {
+    if (d < 0.0) {
+      throw std::invalid_argument(
+          "path_anonymity_model_distinct: negative relay count");
+    }
+    c_o += 1.0 - std::pow(1.0 - p, d);
+  }
+  return path_anonymity(eta, c_o, n, g);
+}
+
+}  // namespace odtn::analysis

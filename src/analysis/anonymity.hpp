@@ -1,0 +1,60 @@
+// Path-anonymity model (Secs. IV-E and IV-F).
+//
+// Anonymity is the entropy of the set of routing paths consistent with
+// what a compromised-node adversary observes, normalized by the maximal
+// entropy (no node compromised). A compromised sender position confines
+// the next router to its onion group (guess probability 1/g instead of
+// 1/(n-k)); with c_o compromised positions out of eta,
+//
+//   D = [ (eta - c_o)(ln n - 1) + c_o ln g ] / [ eta (ln n - 1) ]   (Eq. 19)
+//
+// after Stirling's approximation (valid for n >> K, as in real networks).
+// The exact factorial form (Eqs. 14 and 17) is also provided.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace odtn::analysis {
+
+/// Expected number of compromised sender positions on a single path
+/// (Eq. 15): E[Y] with Y ~ Binomial(eta, p); equals eta * p.
+double expected_compromised_on_path(std::size_t eta, double p);
+
+/// Multi-copy variant (Eq. 20): position k is compromised if any of the L
+/// copies' senders at that position is; E[Y'] = eta * (1 - (1-p)^L).
+double expected_compromised_on_path(std::size_t eta, double p,
+                                    std::size_t copies);
+
+/// Path anonymity degree D (Eq. 19), Stirling-approximated, clamped to
+/// [0, 1]. `c_o` may be fractional (an expectation) or an observed count.
+double path_anonymity(std::size_t eta, double c_o, std::size_t n,
+                      std::size_t g);
+
+/// Exact entropy-ratio form via log-gamma (Eqs. 14 and 17):
+///   D = [ln(n!/(n-eta+c_o)!) + c_o ln g] / ln(n!/(n-eta)!).
+/// `c_o` must be integral-valued for the factorial to be meaningful, but
+/// fractional values interpolate smoothly through lgamma.
+double path_anonymity_exact(std::size_t eta, double c_o, std::size_t n,
+                            std::size_t g);
+
+/// Single-copy anonymity at compromise fraction p = c/n (Eq. 19 with
+/// Eq. 15 plugged in).
+double path_anonymity_model(std::size_t eta, double p, std::size_t n,
+                            std::size_t g, std::size_t copies = 1);
+
+/// Refined multi-copy model. Eq. 20 assumes every one of the L copies
+/// exposes an *independent* relay in each group; in simulations copies
+/// expire or never spawn, so the realized number of distinct relays per
+/// hop d_k is often well below L — which is exactly why the paper's
+/// Figs. 12/19 show simulated anonymity above the Eq. 20 line. This
+/// variant takes the (measured or estimated) mean distinct relay count
+/// per relay hop (size eta-1; the source position always has exactly one
+/// sender) and evaluates
+///   c_o' = 1 - (1-p)  [source]  +  sum_k (1 - (1-p)^{d_k})
+/// in Eq. 19. With d_k = L for all k it reduces to Eq. 20.
+double path_anonymity_model_distinct(
+    std::size_t eta, double p, std::size_t n, std::size_t g,
+    const std::vector<double>& mean_distinct_per_hop);
+
+}  // namespace odtn::analysis

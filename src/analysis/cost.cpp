@@ -1,0 +1,23 @@
+#include "analysis/cost.hpp"
+
+#include <stdexcept>
+
+namespace odtn::analysis {
+
+std::size_t single_copy_cost(std::size_t num_relays) { return num_relays + 1; }
+
+std::size_t multi_copy_cost_bound(std::size_t num_relays, std::size_t copies) {
+  if (copies == 0) {
+    throw std::invalid_argument("multi_copy_cost_bound: copies must be >= 1");
+  }
+  return (num_relays + 2) * copies;
+}
+
+std::size_t non_anonymous_cost(std::size_t copies) {
+  if (copies == 0) {
+    throw std::invalid_argument("non_anonymous_cost: copies must be >= 1");
+  }
+  return 2 * copies;
+}
+
+}  // namespace odtn::analysis

@@ -1,0 +1,21 @@
+// Message forwarding cost model (Sec. IV-C).
+#pragma once
+
+#include <cstddef>
+
+namespace odtn::analysis {
+
+/// Single-copy onion routing transmits exactly once per hop: K + 1.
+std::size_t single_copy_cost(std::size_t num_relays);
+
+/// Multi-copy upper bound: the source pays 1 + 2(L-1) to place L copies
+/// into R_1 (spray-and-wait augmentation), and each copy pays at most K
+/// further hops: 1 + 2(L-1) + KL <= (K+2)L.
+std::size_t multi_copy_cost_bound(std::size_t num_relays, std::size_t copies);
+
+/// Non-anonymous reference point: any DTN routing needs no more than 2L
+/// transmissions when delay is ignored (spray L-1 copies, each copy is
+/// handed to the destination directly).
+std::size_t non_anonymous_cost(std::size_t copies);
+
+}  // namespace odtn::analysis

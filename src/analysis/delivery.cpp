@@ -1,0 +1,65 @@
+#include "analysis/delivery.hpp"
+
+#include <stdexcept>
+
+#include "analysis/hypoexp.hpp"
+
+namespace odtn::analysis {
+
+std::vector<double> opportunistic_onion_rates(
+    const graph::ContactGraph& graph, NodeId src, NodeId dst,
+    const groups::GroupDirectory& directory,
+    const std::vector<GroupId>& relay_groups) {
+  if (relay_groups.empty()) {
+    throw std::invalid_argument("opportunistic_onion_rates: no relay groups");
+  }
+  std::vector<double> rates;
+  rates.reserve(relay_groups.size() + 1);
+
+  // First hop: src into any member of R_1.
+  rates.push_back(graph.rate_to_set(src, directory.members(relay_groups[0])));
+
+  // Middle hops: average over the possible holders in R_{k-1}, anycast sum
+  // into R_k.
+  for (std::size_t k = 1; k < relay_groups.size(); ++k) {
+    rates.push_back(graph.mean_set_to_set_rate(
+        directory.members(relay_groups[k - 1]),
+        directory.members(relay_groups[k])));
+  }
+
+  // Last hop: average over the possible holders in R_K, single target dst.
+  rates.push_back(
+      graph.mean_set_to_set_rate(directory.members(relay_groups.back()), {dst}));
+
+  return rates;
+}
+
+double delivery_rate(const std::vector<double>& hop_rates, double deadline) {
+  return delivery_rate(hop_rates, deadline, 1);
+}
+
+double delivery_rate(const std::vector<double>& hop_rates, double deadline,
+                     std::size_t copies) {
+  if (copies == 0) {
+    throw std::invalid_argument("delivery_rate: copies must be >= 1");
+  }
+  std::vector<double> scaled;
+  scaled.reserve(hop_rates.size());
+  for (double r : hop_rates) {
+    // A hop with zero aggregate rate never completes: on trace-trained
+    // graphs a relay group can be unreachable from the previous one.
+    if (!(r > 0.0)) return 0.0;
+    scaled.push_back(r * static_cast<double>(copies));
+  }
+  return hypoexp_cdf(scaled, deadline);
+}
+
+double expected_delay(const std::vector<double>& hop_rates,
+                      std::size_t copies) {
+  if (copies == 0) {
+    throw std::invalid_argument("expected_delay: copies must be >= 1");
+  }
+  return hypoexp_mean(hop_rates) / static_cast<double>(copies);
+}
+
+}  // namespace odtn::analysis

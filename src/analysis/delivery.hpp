@@ -1,0 +1,40 @@
+// Delivery-rate model: the opportunistic onion path (Sec. IV-A / IV-B).
+//
+// The anycast property of group onion routing enters through the per-hop
+// rates of Eq. 4: the holder may forward to *any* member of the next
+// group, so each hop's rate aggregates contact rates into the whole group.
+#pragma once
+
+#include <vector>
+
+#include "graph/contact_graph.hpp"
+#include "groups/group_directory.hpp"
+#include "util/ids.hpp"
+
+namespace odtn::analysis {
+
+/// The per-hop rates lambda_1..lambda_{K+1} of Eq. 4 for a message from
+/// `src` to `dst` via the relay groups R_1..R_K:
+///   lambda_1     = sum_j rate(src, r_{1,j})              (anycast into R_1)
+///   lambda_k     = avg_i sum_j rate(r_{k-1,i}, r_{k,j})  (2 <= k <= K)
+///   lambda_{K+1} = avg_j rate(r_{K,j}, dst)              (last hop to dst)
+std::vector<double> opportunistic_onion_rates(
+    const graph::ContactGraph& graph, NodeId src, NodeId dst,
+    const groups::GroupDirectory& directory,
+    const std::vector<GroupId>& relay_groups);
+
+/// Single-copy delivery rate within deadline T (Eq. 6): hypoexponential
+/// CDF over the per-hop rates.
+double delivery_rate(const std::vector<double>& hop_rates, double deadline);
+
+/// L-copy delivery rate (Eq. 7): each hop's rate is multiplied by L,
+/// reflecting that L replicas race through every group-to-group hop
+/// (expected per-hop delay divides by L).
+double delivery_rate(const std::vector<double>& hop_rates, double deadline,
+                     std::size_t copies);
+
+/// Expected delivery delay (unbounded deadline) for L copies.
+double expected_delay(const std::vector<double>& hop_rates,
+                      std::size_t copies = 1);
+
+}  // namespace odtn::analysis

@@ -1,0 +1,53 @@
+#include "analysis/goodness_of_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace odtn::analysis {
+
+double ks_statistic(std::vector<double> samples,
+                    const std::function<double(double)>& model_cdf) {
+  if (samples.empty()) {
+    throw std::invalid_argument("ks_statistic: empty sample");
+  }
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    double f = model_cdf(samples[i]);
+    if (f < 0.0 || f > 1.0) {
+      throw std::invalid_argument("ks_statistic: model_cdf out of [0,1]");
+    }
+    double lo = static_cast<double>(i) / n;
+    double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(f - lo), std::abs(f - hi)});
+  }
+  return d;
+}
+
+double ks_critical_value(std::size_t n, double alpha) {
+  if (n == 0) throw std::invalid_argument("ks_critical_value: n == 0");
+  double c;
+  if (alpha == 0.10) {
+    c = 1.224;
+  } else if (alpha == 0.05) {
+    c = 1.358;
+  } else if (alpha == 0.01) {
+    c = 1.628;
+  } else {
+    throw std::invalid_argument(
+        "ks_critical_value: supported alphas are 0.10, 0.05, 0.01");
+  }
+  return c / std::sqrt(static_cast<double>(n));
+}
+
+bool ks_test_passes(std::vector<double> samples,
+                    const std::function<double(double)>& model_cdf,
+                    double alpha) {
+  std::size_t n = samples.size();
+  return ks_statistic(std::move(samples), model_cdf) <
+         ks_critical_value(n, alpha);
+}
+
+}  // namespace odtn::analysis

@@ -1,0 +1,32 @@
+// Goodness-of-fit testing for the delay models.
+//
+// The figures only compare delivery-rate *means*; a stronger validation is
+// distributional: do simulated end-to-end delays actually follow the
+// hypoexponential law of the opportunistic onion path? The one-sample
+// Kolmogorov-Smirnov test answers that (used in tests/analysis and the
+// examples). For g = 1 the model is exact, so KS must accept; for g > 1
+// the inter-group averaging of Eq. 4 makes it an approximation, and the KS
+// distance quantifies by how much.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace odtn::analysis {
+
+/// One-sample Kolmogorov-Smirnov statistic: sup_x |F_empirical - F_model|.
+/// `samples` need not be sorted. `model_cdf` must be a proper CDF.
+double ks_statistic(std::vector<double> samples,
+                    const std::function<double(double)>& model_cdf);
+
+/// Asymptotic critical value of the one-sample KS test at significance
+/// `alpha` (supported: 0.10, 0.05, 0.01) for sample size n: c(alpha)/sqrt(n).
+double ks_critical_value(std::size_t n, double alpha);
+
+/// Convenience: true iff the sample is consistent with the model at the
+/// given significance level (fail to reject).
+bool ks_test_passes(std::vector<double> samples,
+                    const std::function<double(double)>& model_cdf,
+                    double alpha = 0.05);
+
+}  // namespace odtn::analysis

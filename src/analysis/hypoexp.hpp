@@ -1,0 +1,39 @@
+// Hypoexponential distribution: sum of independent exponential stages.
+//
+// The opportunistic onion path model (Sec. IV-A) treats the end-to-end
+// delay as the sum of eta = K+1 exponential hop delays with rates
+// lambda_1..lambda_eta; its CDF gives the delivery rate (Eq. 6):
+//
+//   P(T) = sum_k A_k * (1 - e^{-lambda_k T}),
+//   A_k  = prod_{j != k} lambda_j / (lambda_j - lambda_k)      (Eq. 5)
+//
+// The partial-fraction coefficients A_k blow up when two rates are close,
+// so the CDF is evaluated by *uniformization* of the absorbing birth chain
+// instead: exact for any rate multiset (equal rates included), with only
+// non-negative terms, hence no cancellation. Eq. 5's closed form is still
+// exposed (hypoexp_coefficients) for well-separated rates.
+#pragma once
+
+#include <vector>
+
+namespace odtn::analysis {
+
+/// CDF of the hypoexponential distribution at `t` for the given stage
+/// rates. All rates must be positive; `t < 0` yields 0. A single stage
+/// degenerates to the exponential CDF.
+double hypoexp_cdf(const std::vector<double>& rates, double t);
+
+/// Mean of the distribution: sum of 1/rate.
+double hypoexp_mean(const std::vector<double>& rates);
+
+/// Quantile function (inverse CDF) by bisection: the smallest t with
+/// CDF(t) >= q. q must be in [0, 1); accurate to ~1e-9 relative.
+/// Answers "what deadline delivers q of the messages?" — the planning
+/// question dual to Eq. 6.
+double hypoexp_quantile(const std::vector<double>& rates, double q);
+
+/// The coefficients A_k of Eq. 5, which exist only for pairwise-distinct
+/// rates (throws std::invalid_argument on duplicates). They sum to 1.
+std::vector<double> hypoexp_coefficients(const std::vector<double>& rates);
+
+}  // namespace odtn::analysis

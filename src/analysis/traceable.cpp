@@ -1,0 +1,57 @@
+#include "analysis/traceable.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace odtn::analysis {
+
+namespace {
+
+void check_p(double p) {
+  if (!(p >= 0.0) || !(p <= 1.0)) {
+    throw std::invalid_argument("traceable rate: p must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+double geometric_run_second_moment(std::size_t eta, double p) {
+  check_p(p);
+  double sum = 0.0;
+  double pk = 1.0;
+  for (std::size_t k = 1; k <= eta; ++k) {
+    pk *= p;
+    sum += static_cast<double>(k) * static_cast<double>(k) * pk * (1.0 - p);
+  }
+  return sum;
+}
+
+double traceable_rate_paper(std::size_t eta, double p) {
+  check_p(p);
+  if (eta == 0) return 0.0;
+  // C_seg ~= eta / 2 segments, each contributing E[X^2] (Eq. 12).
+  double segments = static_cast<double>(eta) / 2.0;
+  double e_x2 = geometric_run_second_moment(eta, p);
+  double rate = segments * e_x2 / (static_cast<double>(eta) * eta);
+  return std::min(rate, 1.0);
+}
+
+double traceable_rate_exact(std::size_t eta, double p) {
+  check_p(p);
+  if (eta == 0) return 0.0;
+  if (p == 1.0) return 1.0;
+  double expect = 0.0;
+  for (std::size_t i = 1; i <= eta; ++i) {
+    double left = (i > 1) ? (1.0 - p) : 1.0;
+    double pk = 1.0;
+    for (std::size_t k = 1; i + k - 1 <= eta; ++k) {
+      pk *= p;
+      double right = (i + k - 1 < eta) ? (1.0 - p) : 1.0;
+      expect += static_cast<double>(k) * static_cast<double>(k) * left * pk *
+                right;
+    }
+  }
+  return expect / (static_cast<double>(eta) * eta);
+}
+
+}  // namespace odtn::analysis

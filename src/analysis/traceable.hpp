@@ -1,0 +1,36 @@
+// Traceable-rate model (Sec. IV-D).
+//
+// A path of eta hops is represented as an eta-bit string; bit i is 1 iff
+// the sender of hop i is compromised (probability p = c/n each). The
+// traceable rate is E[ sum_i run_i^2 ] / eta^2 over maximal runs of 1s
+// (Eq. 1). Two evaluations are provided:
+//
+//  * traceable_rate_paper  — the paper's approximation (Eqs. 8-12): the
+//    number of compromised segments is approximated by eta/2 and each
+//    segment's squared length by the geometric series
+//    sum_k k^2 p^k (1-p). Accurate in the small-p regime the paper
+//    assumes.
+//  * traceable_rate_exact  — the exact expectation, by enumerating every
+//    (start, length) a maximal run can take:
+//    P(maximal run of length k starts at i) =
+//        [i > 1](1-p) * p^k * [i+k-1 < eta](1-p).
+//    This is what the simulation converges to (verified by Monte Carlo
+//    property tests).
+#pragma once
+
+#include <cstddef>
+
+namespace odtn::analysis {
+
+/// The paper's closed-form approximation, Eqs. 8-12. `eta` is the hop
+/// count (K+1); `p` = c/n is the per-node compromise probability.
+double traceable_rate_paper(std::size_t eta, double p);
+
+/// Exact expectation of Eq. 1 for i.i.d. Bernoulli(p) sender compromise.
+double traceable_rate_exact(std::size_t eta, double p);
+
+/// The truncated geometric second moment sum_{k=1}^{eta} k^2 p^k (1-p)
+/// used by the paper approximation (exposed for tests).
+double geometric_run_second_moment(std::size_t eta, double p);
+
+}  // namespace odtn::analysis

@@ -1,0 +1,179 @@
+#include "bundle/bundle.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+namespace odtn::bundle {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4f44544eu;  // "ODTN"
+constexpr std::uint8_t kVersion = 1;
+
+void put_f64(util::Bytes& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  util::put_u64le(out, bits);
+}
+
+double get_f64(const util::Bytes& in, std::size_t offset) {
+  std::uint64_t bits = util::get_u64le(in, offset);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Fragments of the same bundle share (source, creation_time, sequence).
+bool same_bundle(const Bundle& a, const Bundle& b) {
+  return a.source == b.source && a.creation_time == b.creation_time &&
+         a.sequence == b.sequence && a.destination == b.destination &&
+         a.total_length == b.total_length;
+}
+
+}  // namespace
+
+bool Bundle::age() {
+  if (hops_remaining == 0) return false;
+  --hops_remaining;
+  return true;
+}
+
+util::Bytes encode(const Bundle& bundle) {
+  util::Bytes out;
+  out.reserve(50 + bundle.payload.size());
+  util::put_u32le(out, kMagic);
+  out.push_back(kVersion);
+  out.push_back(bundle.is_fragment ? 1 : 0);
+  util::put_u32le(out, bundle.source);
+  util::put_u32le(out, bundle.destination);
+  put_f64(out, bundle.creation_time);
+  util::put_u32le(out, bundle.sequence);
+  put_f64(out, bundle.lifetime);
+  util::put_u32le(out, bundle.hops_remaining);
+  util::put_u32le(out, bundle.fragment_offset);
+  util::put_u32le(out, bundle.total_length);
+  util::put_u32le(out, static_cast<std::uint32_t>(bundle.payload.size()));
+  util::append(out, bundle.payload);
+  return out;
+}
+
+std::optional<Bundle> decode(const util::Bytes& wire) {
+  constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 4 + 4 + 8 + 4 + 8 + 4 + 4 +
+                                      4 + 4;
+  if (wire.size() < kHeaderSize) return std::nullopt;
+  std::size_t at = 0;
+  if (util::get_u32le(wire, at) != kMagic) return std::nullopt;
+  at += 4;
+  if (wire[at++] != kVersion) return std::nullopt;
+  std::uint8_t frag_flag = wire[at++];
+  if (frag_flag > 1) return std::nullopt;
+
+  Bundle b;
+  b.is_fragment = frag_flag == 1;
+  b.source = util::get_u32le(wire, at);
+  at += 4;
+  b.destination = util::get_u32le(wire, at);
+  at += 4;
+  b.creation_time = get_f64(wire, at);
+  at += 8;
+  b.sequence = util::get_u32le(wire, at);
+  at += 4;
+  b.lifetime = get_f64(wire, at);
+  at += 8;
+  b.hops_remaining = util::get_u32le(wire, at);
+  at += 4;
+  b.fragment_offset = util::get_u32le(wire, at);
+  at += 4;
+  b.total_length = util::get_u32le(wire, at);
+  at += 4;
+  std::uint32_t payload_len = util::get_u32le(wire, at);
+  at += 4;
+  if (wire.size() != at + payload_len) return std::nullopt;
+  b.payload.assign(wire.begin() + static_cast<long>(at), wire.end());
+
+  if (b.is_fragment) {
+    if (b.fragment_offset > b.total_length ||
+        b.payload.size() > b.total_length - b.fragment_offset) {
+      return std::nullopt;
+    }
+  } else if (b.fragment_offset != 0) {
+    return std::nullopt;
+  }
+  if (!(b.lifetime >= 0.0) || !(b.creation_time == b.creation_time)) {
+    return std::nullopt;  // negative lifetime or NaN creation time
+  }
+  return b;
+}
+
+std::vector<Bundle> fragment(const Bundle& bundle, std::size_t mtu) {
+  if (mtu == 0) throw std::invalid_argument("fragment: mtu must be > 0");
+  if (bundle.is_fragment) {
+    throw std::invalid_argument("fragment: input is already a fragment");
+  }
+  std::vector<Bundle> out;
+  if (bundle.payload.size() <= mtu) {
+    out.push_back(bundle);
+    return out;
+  }
+  std::size_t total = bundle.payload.size();
+  for (std::size_t offset = 0; offset < total; offset += mtu) {
+    Bundle f = bundle;
+    f.is_fragment = true;
+    f.fragment_offset = static_cast<std::uint32_t>(offset);
+    f.total_length = static_cast<std::uint32_t>(total);
+    std::size_t take = std::min(mtu, total - offset);
+    f.payload.assign(bundle.payload.begin() + static_cast<long>(offset),
+                     bundle.payload.begin() + static_cast<long>(offset + take));
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::optional<Bundle> reassemble(const std::vector<Bundle>& fragments) {
+  if (fragments.empty()) return std::nullopt;
+
+  // A lone unfragmented bundle "reassembles" to itself.
+  if (fragments.size() == 1 && !fragments[0].is_fragment) {
+    return fragments[0];
+  }
+
+  const Bundle& head = fragments.front();
+  for (const auto& f : fragments) {
+    if (!f.is_fragment || !same_bundle(f, head)) return std::nullopt;
+  }
+
+  std::size_t total = head.total_length;
+  util::Bytes data(total, 0);
+  std::vector<bool> have(total, false);
+  for (const auto& f : fragments) {
+    for (std::size_t i = 0; i < f.payload.size(); ++i) {
+      std::size_t pos = f.fragment_offset + i;
+      if (pos >= total) return std::nullopt;
+      if (have[pos] && data[pos] != f.payload[i]) {
+        return std::nullopt;  // conflicting duplicate content
+      }
+      data[pos] = f.payload[i];
+      have[pos] = true;
+    }
+  }
+  if (!std::all_of(have.begin(), have.end(), [](bool b) { return b; })) {
+    return std::nullopt;  // gaps remain
+  }
+
+  Bundle whole = head;
+  whole.is_fragment = false;
+  whole.fragment_offset = 0;
+  whole.total_length = 0;
+  whole.payload = std::move(data);
+  // The reassembled bundle's hop budget is the most conservative of its
+  // fragments' (each fragment traveled independently).
+  for (const auto& f : fragments) {
+    whole.hops_remaining = std::min(whole.hops_remaining, f.hops_remaining);
+  }
+  return whole;
+}
+
+}  // namespace odtn::bundle

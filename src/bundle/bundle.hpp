@@ -1,0 +1,83 @@
+// Bundle-layer data format (RFC 9171-inspired, compact binary encoding).
+//
+// The paper situates anonymous DTN routing "in the Bundle layer which is
+// located between the transport and application layers" (Sec. I). This
+// module provides that layer: a bundle carries a payload (here: an onion
+// wire packet or application data) plus the primary-block metadata DTN
+// forwarding needs — endpoints, creation time, lifetime, hop limit — and
+// supports fragmentation/reassembly for payloads larger than a contact's
+// transfer budget.
+//
+// Anonymity note: when a bundle carries an onion, the primary block's
+// source/destination fields hold *group endpoints and the next-hop info
+// only* at the discretion of the routing layer; this module does not
+// decide what goes in them, it only encodes/decodes faithfully.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+
+namespace odtn::bundle {
+
+/// Endpoint identifier. kNullEid models the RFC's "dtn:none" (used for
+/// anonymous bundles whose true source is deliberately omitted).
+using Eid = std::uint32_t;
+inline constexpr Eid kNullEid = 0xffffffffu;
+
+struct Bundle {
+  // --- primary block ---
+  Eid source = kNullEid;
+  Eid destination = kNullEid;
+  /// Creation time and sequence number uniquely identify a bundle
+  /// (together with `source`).
+  double creation_time = 0.0;
+  std::uint32_t sequence = 0;
+  /// Seconds (or simulation time units) after creation_time at which the
+  /// bundle expires and must be discarded by any holder.
+  double lifetime = 0.0;
+  /// Remaining forwards permitted; decremented by age().
+  std::uint32_t hops_remaining = 64;
+
+  // --- fragment fields (meaningful iff is_fragment) ---
+  bool is_fragment = false;
+  std::uint32_t fragment_offset = 0;
+  std::uint32_t total_length = 0;  // of the original payload
+
+  // --- payload block ---
+  util::Bytes payload;
+
+  /// Expiry check against an absolute clock.
+  bool expired(double now) const { return now > creation_time + lifetime; }
+
+  /// Records one forwarding hop; returns false (and does not decrement)
+  /// when the hop limit is exhausted.
+  bool age();
+
+  friend bool operator==(const Bundle&, const Bundle&) = default;
+};
+
+/// Serializes a bundle to its wire encoding.
+util::Bytes encode(const Bundle& bundle);
+
+/// Decodes a wire encoding; nullopt on malformed input (bad magic, bad
+/// version, truncation, trailing bytes, fragment fields out of range).
+std::optional<Bundle> decode(const util::Bytes& wire);
+
+/// Splits a bundle's payload into fragments of at most `mtu` payload bytes
+/// each (RFC 9171 §5.8 semantics: all primary fields are copied, fragment
+/// offset/total set). A bundle that already fits is returned unchanged as
+/// a single element. Throws std::invalid_argument for mtu == 0 or an
+/// already-fragmented input.
+std::vector<Bundle> fragment(const Bundle& bundle, std::size_t mtu);
+
+/// Reassembles fragments of one bundle (any order; duplicates tolerated).
+/// Returns nullopt while pieces are missing or if fragments are
+/// inconsistent (mismatched ids/total length, overlapping-but-different
+/// content).
+std::optional<Bundle> reassemble(const std::vector<Bundle>& fragments);
+
+}  // namespace odtn::bundle

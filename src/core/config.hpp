@@ -1,0 +1,45 @@
+// Experiment configuration mirroring Table II of the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/onion_routing.hpp"
+#include "routing/types.hpp"
+
+namespace odtn::core {
+
+/// Default values are the paper's defaults (Table II and Sec. V-A):
+/// n = 100 nodes, inter-contact times uniform in [10, 360] minutes,
+/// g = 5, K = 3, L = 1, T up to 1800 minutes, 10% compromised nodes.
+struct ExperimentConfig {
+  // Network (random contact graph).
+  std::size_t nodes = 100;
+  double min_ict = 10.0;
+  double max_ict = 360.0;
+
+  // Protocol parameters.
+  std::size_t group_size = 5;    // g
+  std::size_t num_relays = 3;    // K
+  std::size_t copies = 1;        // L
+  double ttl = 1800.0;           // T (same unit as the contact model)
+
+  // Adversary.
+  double compromise_fraction = 0.1;  // c / n
+
+  // Trace experiments only: rate training caps network-wide silent gaps at
+  // this many time units when estimating contact rates (the paper's
+  // "training the traces"). 0 disables the correction (wall-clock rates).
+  double trace_training_gap = 1800.0;
+
+  // Harness.
+  std::size_t runs = 100;
+  std::uint64_t seed = 1;
+  /// Worker threads for run_random_graph_experiment. Runs are split into
+  /// one shard per thread, each with a seed derived from (seed, shard), so
+  /// results are deterministic for a fixed (seed, threads) pair.
+  std::size_t threads = 1;
+  routing::CryptoMode crypto = routing::CryptoMode::kNone;
+  routing::SprayMode spray = routing::SprayMode::kSprayAndWait;
+};
+
+}  // namespace odtn::core

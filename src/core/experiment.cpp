@@ -1,0 +1,219 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "adversary/adversary.hpp"
+#include "analysis/anonymity.hpp"
+#include "analysis/cost.hpp"
+#include "analysis/delivery.hpp"
+#include "analysis/traceable.hpp"
+#include "graph/contact_graph.hpp"
+#include "groups/group_directory.hpp"
+#include "groups/key_manager.hpp"
+#include "onion/onion.hpp"
+#include "routing/onion_routing.hpp"
+#include "sim/contact_model.hpp"
+
+namespace odtn::core {
+
+namespace {
+
+struct RunContext {
+  const ExperimentConfig* cfg;
+  ExperimentResult* out;
+  util::Rng* rng;
+};
+
+// Shared per-run body once a contact model, graph-for-analysis, endpoints
+// and start time are fixed.
+void run_once(RunContext& rc, sim::ContactModel& contacts,
+              const graph::ContactGraph& analysis_graph, NodeId src,
+              NodeId dst, Time start) {
+  const ExperimentConfig& cfg = *rc.cfg;
+  util::Rng& rng = *rc.rng;
+  std::size_t n = contacts.node_count();
+
+  groups::GroupDirectory directory(n, cfg.group_size, &rng);
+  groups::KeyManager keys(directory, rng.next());
+  onion::OnionCodec codec;
+
+  routing::OnionContext ctx;
+  ctx.directory = &directory;
+  ctx.keys = &keys;
+  ctx.codec = &codec;
+  ctx.crypto = cfg.crypto;
+
+  routing::MessageSpec spec;
+  spec.src = src;
+  spec.dst = dst;
+  spec.start = start;
+  spec.ttl = cfg.ttl;
+  spec.num_relays = cfg.num_relays;
+  spec.copies = cfg.copies;
+  if (cfg.crypto == routing::CryptoMode::kReal) {
+    spec.payload = util::to_bytes("odtn experiment payload");
+  }
+
+  // Select the relay groups once so simulation and analysis see the same
+  // realization.
+  std::vector<GroupId> relay_groups =
+      directory.select_relay_groups(src, dst, cfg.num_relays, rng);
+
+  routing::DeliveryResult result;
+  if (cfg.copies == 1) {
+    routing::SingleCopyOnionRouting protocol(ctx);
+    result = protocol.route(contacts, spec, rng, &relay_groups);
+  } else {
+    routing::MultiCopyOnionRouting protocol(ctx, cfg.spray);
+    result = protocol.route(contacts, spec, rng, &relay_groups);
+  }
+
+  rc.out->sim_delivered.add(result.delivered ? 1.0 : 0.0);
+  rc.out->sim_transmissions.add(static_cast<double>(result.transmissions));
+  if (result.delivered) {
+    ++rc.out->delivered_runs;
+    rc.out->sim_delay.add(result.delay);
+
+    adversary::CompromiseModel compromise =
+        adversary::CompromiseModel::from_fraction(n, cfg.compromise_fraction,
+                                                  rng);
+    rc.out->sim_traceable.add(
+        adversary::measured_traceable_rate(src, result.relay_path, compromise));
+    rc.out->sim_anonymity.add(adversary::measured_path_anonymity(
+        src, result.relays_per_hop, compromise, n, cfg.group_size));
+  }
+
+  // Analysis on the same realization.
+  auto rates = analysis::opportunistic_onion_rates(analysis_graph, src, dst,
+                                                   directory, relay_groups);
+  rc.out->ana_delivery.add(
+      analysis::delivery_rate(rates, cfg.ttl, cfg.copies));
+}
+
+void finish_analysis(const ExperimentConfig& cfg, std::size_t n,
+                     ExperimentResult& out) {
+  std::size_t eta = cfg.num_relays + 1;
+  double p = cfg.compromise_fraction;
+  out.ana_traceable_paper = analysis::traceable_rate_paper(eta, p);
+  out.ana_traceable_exact = analysis::traceable_rate_exact(eta, p);
+  out.ana_anonymity =
+      analysis::path_anonymity_model(eta, p, n, cfg.group_size, cfg.copies);
+  out.ana_cost_bound =
+      cfg.copies == 1
+          ? static_cast<double>(analysis::single_copy_cost(cfg.num_relays))
+          : static_cast<double>(
+                analysis::multi_copy_cost_bound(cfg.num_relays, cfg.copies));
+  out.ana_cost_non_anonymous =
+      static_cast<double>(analysis::non_anonymous_cost(cfg.copies));
+}
+
+}  // namespace
+
+namespace {
+
+// One shard of random-graph runs with its own RNG stream.
+ExperimentResult run_random_graph_shard(const ExperimentConfig& config,
+                                        std::uint64_t seed,
+                                        std::size_t runs) {
+  ExperimentResult out;
+  util::Rng rng(seed);
+  RunContext rc{&config, &out, &rng};
+
+  for (std::size_t run = 0; run < runs; ++run) {
+    graph::ContactGraph graph = graph::random_contact_graph(
+        config.nodes, rng, config.min_ict, config.max_ict);
+    sim::PoissonContactModel contacts(graph, rng);
+
+    NodeId src = static_cast<NodeId>(rng.below(config.nodes));
+    NodeId dst = static_cast<NodeId>(rng.below(config.nodes - 1));
+    if (dst >= src) ++dst;
+
+    run_once(rc, contacts, graph, src, dst, /*start=*/0.0);
+  }
+  return out;
+}
+
+void merge_results(ExperimentResult& into, const ExperimentResult& from) {
+  into.sim_delivered.merge(from.sim_delivered);
+  into.sim_delay.merge(from.sim_delay);
+  into.sim_transmissions.merge(from.sim_transmissions);
+  into.sim_traceable.merge(from.sim_traceable);
+  into.sim_anonymity.merge(from.sim_anonymity);
+  into.ana_delivery.merge(from.ana_delivery);
+  into.delivered_runs += from.delivered_runs;
+}
+
+}  // namespace
+
+ExperimentResult run_random_graph_experiment(const ExperimentConfig& config) {
+  if (config.runs == 0) {
+    throw std::invalid_argument("experiment: runs must be >= 1");
+  }
+  std::size_t threads = std::max<std::size_t>(1, config.threads);
+  threads = std::min(threads, config.runs);
+
+  ExperimentResult out;
+  if (threads == 1) {
+    out = run_random_graph_shard(config, config.seed, config.runs);
+  } else {
+    std::vector<ExperimentResult> shards(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    std::size_t base = config.runs / threads;
+    std::size_t extra = config.runs % threads;
+    for (std::size_t t = 0; t < threads; ++t) {
+      std::size_t shard_runs = base + (t < extra ? 1 : 0);
+      std::uint64_t shard_seed =
+          config.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1));
+      workers.emplace_back([&, t, shard_runs, shard_seed] {
+        shards[t] = run_random_graph_shard(config, shard_seed, shard_runs);
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (const auto& shard : shards) merge_results(out, shard);
+  }
+  finish_analysis(config, config.nodes, out);
+  return out;
+}
+
+ExperimentResult run_trace_experiment(const ExperimentConfig& config,
+                                      const trace::ContactTrace& trace) {
+  if (config.runs == 0) {
+    throw std::invalid_argument("experiment: runs must be >= 1");
+  }
+  ExperimentResult out;
+  util::Rng rng(config.seed);
+  RunContext rc{&config, &out, &rng};
+
+  sim::TraceContactModel contacts(trace);
+  graph::ContactGraph trained =
+      config.trace_training_gap > 0.0
+          ? trace.estimate_rates_active(config.trace_training_gap)
+          : trace.estimate_rates();
+
+  for (std::size_t run = 0; run < config.runs; ++run) {
+    NodeId src = static_cast<NodeId>(rng.below(trace.node_count()));
+    NodeId dst = static_cast<NodeId>(rng.below(trace.node_count() - 1));
+    if (dst >= src) ++dst;
+
+    // Start at one of the source's contact events ("a source node initiates
+    // a message transmission at any time after it has a contact").
+    const auto& events = trace.contacts_of(src);
+    if (events.empty()) {
+      // Isolated node: count as a failed run.
+      out.sim_delivered.add(0.0);
+      out.sim_transmissions.add(0.0);
+      out.ana_delivery.add(0.0);
+      continue;
+    }
+    Time start = events[rng.below(events.size())].time;
+
+    run_once(rc, contacts, trained, src, dst, start);
+  }
+  finish_analysis(config, trace.node_count(), out);
+  return out;
+}
+
+}  // namespace odtn::core

@@ -1,0 +1,51 @@
+// Experiment runner: repeated protocol runs vs. the analytical models.
+//
+// This is the engine behind every figure-reproduction bench. Each run draws
+// a fresh realization (contact graph or trace start time, endpoints, relay
+// groups, compromise set), simulates the protocol on it, measures the
+// paper's metrics on the realized paths, and evaluates the analytical
+// models on the *same* realization — exactly how the paper compares
+// "Analysis" and "Simulation" curves.
+#pragma once
+
+#include <optional>
+
+#include "core/config.hpp"
+#include "trace/contact_trace.hpp"
+#include "util/stats.hpp"
+
+namespace odtn::core {
+
+struct ExperimentResult {
+  // Simulation side (means over runs).
+  util::RunningStats sim_delivered;      // 1 if delivered within T else 0
+  util::RunningStats sim_delay;          // delivered runs only
+  util::RunningStats sim_transmissions;  // all runs (total network cost)
+  util::RunningStats sim_traceable;      // delivered runs only
+  util::RunningStats sim_anonymity;      // delivered runs only
+
+  // Analysis side (model evaluated per realization, averaged).
+  util::RunningStats ana_delivery;
+  double ana_traceable_paper = 0.0;
+  double ana_traceable_exact = 0.0;
+  double ana_anonymity = 0.0;
+  double ana_cost_bound = 0.0;
+  double ana_cost_non_anonymous = 0.0;
+
+  std::size_t delivered_runs = 0;
+};
+
+/// Runs `config.runs` independent realizations on random contact graphs
+/// (Sec. V-A "Random graphs"). Each run: fresh graph, random (src, dst),
+/// random relay groups, random compromise set.
+ExperimentResult run_random_graph_experiment(const ExperimentConfig& config);
+
+/// Runs against a fixed contact trace (Sec. V-D/V-E). Per run: random
+/// (src, dst), a start time sampled from the source's contact events (the
+/// paper starts transmissions "after the source has a contact", i.e.
+/// during business hours), random relay groups and compromise set. The
+/// analysis side is trained on rates estimated from the trace.
+ExperimentResult run_trace_experiment(const ExperimentConfig& config,
+                                      const trace::ContactTrace& trace);
+
+}  // namespace odtn::core

@@ -1,0 +1,64 @@
+#include "crypto/aead.hpp"
+
+#include <stdexcept>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/poly1305.hpp"
+
+namespace odtn::crypto {
+
+namespace {
+
+util::Bytes poly_key(const util::Bytes& key, const util::Bytes& nonce) {
+  auto block = chacha20_block(key, nonce, 0);
+  return util::Bytes(block.begin(), block.begin() + 32);
+}
+
+util::Bytes mac_input(const util::Bytes& aad, const util::Bytes& ciphertext) {
+  util::Bytes mac_data;
+  mac_data.reserve(aad.size() + ciphertext.size() + 32);
+  util::append(mac_data, aad);
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  util::append(mac_data, ciphertext);
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  util::put_u64le(mac_data, aad.size());
+  util::put_u64le(mac_data, ciphertext.size());
+  return mac_data;
+}
+
+}  // namespace
+
+util::Bytes aead_seal(const util::Bytes& key, const util::Bytes& nonce,
+                      const util::Bytes& aad, const util::Bytes& plaintext) {
+  if (key.size() != kAeadKeySize) {
+    throw std::invalid_argument("aead_seal: key must be 32 bytes");
+  }
+  if (nonce.size() != kAeadNonceSize) {
+    throw std::invalid_argument("aead_seal: nonce must be 12 bytes");
+  }
+  util::Bytes ciphertext = chacha20_xor(key, nonce, 1, plaintext);
+  util::Bytes tag = poly1305_tag(poly_key(key, nonce),
+                                 mac_input(aad, ciphertext));
+  util::append(ciphertext, tag);
+  return ciphertext;
+}
+
+std::optional<util::Bytes> aead_open(const util::Bytes& key,
+                                     const util::Bytes& nonce,
+                                     const util::Bytes& aad,
+                                     const util::Bytes& sealed) {
+  if (key.size() != kAeadKeySize || nonce.size() != kAeadNonceSize) {
+    return std::nullopt;
+  }
+  if (sealed.size() < kAeadTagSize) return std::nullopt;
+  util::Bytes ciphertext(sealed.begin(),
+                         sealed.end() - static_cast<long>(kAeadTagSize));
+  util::Bytes tag(sealed.end() - static_cast<long>(kAeadTagSize),
+                  sealed.end());
+  util::Bytes expect = poly1305_tag(poly_key(key, nonce),
+                                    mac_input(aad, ciphertext));
+  if (!util::ct_equal(tag, expect)) return std::nullopt;
+  return chacha20_xor(key, nonce, 1, ciphertext);
+}
+
+}  // namespace odtn::crypto

@@ -1,0 +1,28 @@
+// AEAD_CHACHA20_POLY1305 (RFC 8439 sec 2.8).
+//
+// The authenticated encryption used for (a) each onion layer under a group
+// key and (b) the per-contact "secure link" of Algorithms 1-2.
+#pragma once
+
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace odtn::crypto {
+
+constexpr std::size_t kAeadKeySize = 32;
+constexpr std::size_t kAeadNonceSize = 12;
+constexpr std::size_t kAeadTagSize = 16;
+
+/// Encrypts and authenticates: returns ciphertext || 16-byte tag.
+util::Bytes aead_seal(const util::Bytes& key, const util::Bytes& nonce,
+                      const util::Bytes& aad, const util::Bytes& plaintext);
+
+/// Verifies and decrypts; returns nullopt if authentication fails (wrong
+/// key, wrong nonce, tampered ciphertext, or truncated input).
+std::optional<util::Bytes> aead_open(const util::Bytes& key,
+                                     const util::Bytes& nonce,
+                                     const util::Bytes& aad,
+                                     const util::Bytes& sealed);
+
+}  // namespace odtn::crypto

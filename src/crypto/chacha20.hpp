@@ -1,0 +1,29 @@
+// ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//
+// Supplies the keystream for onion-layer encryption and for the DRBG.
+// Verified against the RFC 8439 test vectors in tests/crypto.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace odtn::crypto {
+
+constexpr std::size_t kChaChaKeySize = 32;
+constexpr std::size_t kChaChaNonceSize = 12;
+
+/// The ChaCha20 block function: produces one 64-byte keystream block for the
+/// given key/nonce/counter. Exposed for tests and for Poly1305 key setup.
+std::array<std::uint8_t, 64> chacha20_block(const util::Bytes& key,
+                                            const util::Bytes& nonce,
+                                            std::uint32_t counter);
+
+/// XORs `data` with the ChaCha20 keystream starting at `initial_counter`.
+/// Encryption and decryption are the same operation.
+util::Bytes chacha20_xor(const util::Bytes& key, const util::Bytes& nonce,
+                         std::uint32_t initial_counter,
+                         const util::Bytes& data);
+
+}  // namespace odtn::crypto

@@ -1,0 +1,38 @@
+#include "crypto/drbg.hpp"
+
+#include "crypto/chacha20.hpp"
+#include "crypto/sha256.hpp"
+
+namespace odtn::crypto {
+
+Drbg::Drbg(const util::Bytes& seed) { key_ = Sha256::digest(seed); }
+
+Drbg::Drbg(std::uint64_t seed) {
+  util::Bytes s;
+  util::put_u64le(s, seed);
+  util::append(s, util::to_bytes("odtn-drbg-v1"));
+  key_ = Sha256::digest(s);
+}
+
+util::Bytes Drbg::generate(std::size_t n) {
+  util::Bytes out;
+  ratchet(n, out);
+  return out;
+}
+
+void Drbg::ratchet(std::size_t output_len, util::Bytes& out) {
+  // Stream = next_key (32 bytes) || output (output_len bytes).
+  util::Bytes nonce(kChaChaNonceSize, 0);
+  for (int i = 0; i < 8; ++i) {
+    nonce[i] = static_cast<std::uint8_t>(counter_ >> (8 * i));
+  }
+  ++counter_;
+  util::Bytes zeros(32 + output_len, 0);
+  util::Bytes stream = chacha20_xor(key_, nonce, 0, zeros);
+  util::Bytes next_key(stream.begin(), stream.begin() + 32);
+  out.assign(stream.begin() + 32, stream.end());
+  util::secure_zero(key_);
+  key_ = std::move(next_key);
+}
+
+}  // namespace odtn::crypto

@@ -1,0 +1,39 @@
+// Deterministic random byte generator built on ChaCha20.
+//
+// The simulator needs *reproducible* cryptographic material (keys, nonces,
+// padding) per experiment seed; this DRBG provides a CSPRNG-quality stream
+// from a 32-byte seed. It is a simple fast-key-erasure construction: each
+// request generates the output plus a fresh key from the keystream.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace odtn::crypto {
+
+class Drbg {
+ public:
+  /// Seeds from arbitrary input (hashed to 32 bytes).
+  explicit Drbg(const util::Bytes& seed);
+
+  /// Convenience: seeds from a 64-bit integer (simulation seeds).
+  explicit Drbg(std::uint64_t seed);
+
+  /// Produces `n` pseudo-random bytes and ratchets the internal key.
+  util::Bytes generate(std::size_t n);
+
+  /// Produces a 32-byte key.
+  util::Bytes generate_key() { return generate(32); }
+
+  /// Produces a 12-byte nonce.
+  util::Bytes generate_nonce() { return generate(12); }
+
+ private:
+  void ratchet(std::size_t output_len, util::Bytes& out);
+
+  util::Bytes key_;        // 32-byte current key
+  std::uint64_t counter_ = 0;  // nonce counter (never reused per key)
+};
+
+}  // namespace odtn::crypto

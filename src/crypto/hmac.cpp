@@ -1,0 +1,63 @@
+#include "crypto/hmac.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace odtn::crypto {
+
+util::Bytes hmac_sha256(const util::Bytes& key, const util::Bytes& data) {
+  util::Bytes k = key;
+  if (k.size() > Sha256::kBlockSize) k = Sha256::digest(k);
+  k.resize(Sha256::kBlockSize, 0);
+
+  util::Bytes ipad(Sha256::kBlockSize), opad(Sha256::kBlockSize);
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  util::Bytes inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+util::Bytes hkdf_extract(const util::Bytes& salt, const util::Bytes& ikm) {
+  if (salt.empty()) {
+    return hmac_sha256(util::Bytes(Sha256::kDigestSize, 0), ikm);
+  }
+  return hmac_sha256(salt, ikm);
+}
+
+util::Bytes hkdf_expand(const util::Bytes& prk, const util::Bytes& info,
+                        std::size_t length) {
+  if (length > 255 * Sha256::kDigestSize) {
+    throw std::invalid_argument("hkdf_expand: length too large");
+  }
+  util::Bytes okm;
+  okm.reserve(length);
+  util::Bytes t;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    util::Bytes block = t;
+    util::append(block, info);
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    std::size_t take = std::min(t.size(), length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<long>(take));
+  }
+  return okm;
+}
+
+util::Bytes hkdf(const util::Bytes& ikm, const util::Bytes& salt,
+                 const util::Bytes& info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace odtn::crypto

@@ -1,0 +1,27 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1) and HKDF (RFC 5869).
+//
+// HKDF is the key-derivation workhorse of the library: onion-group keys,
+// per-contact session keys, and per-layer nonces are all derived with
+// domain-separated info strings.
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace odtn::crypto {
+
+/// HMAC-SHA256 of `data` under `key` (any key length). 32-byte output.
+util::Bytes hmac_sha256(const util::Bytes& key, const util::Bytes& data);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm). Empty salt behaves per RFC 5869.
+util::Bytes hkdf_extract(const util::Bytes& salt, const util::Bytes& ikm);
+
+/// HKDF-Expand: derives `length` bytes (length <= 255*32) from PRK with the
+/// given context `info`.
+util::Bytes hkdf_expand(const util::Bytes& prk, const util::Bytes& info,
+                        std::size_t length);
+
+/// Extract-then-expand convenience.
+util::Bytes hkdf(const util::Bytes& ikm, const util::Bytes& salt,
+                 const util::Bytes& info, std::size_t length);
+
+}  // namespace odtn::crypto

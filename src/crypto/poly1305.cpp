@@ -1,0 +1,167 @@
+#include "crypto/poly1305.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace odtn::crypto {
+
+namespace {
+
+// 26-bit limb representation (after poly1305-donna-32, public domain).
+struct Poly1305State {
+  std::uint32_t r[5];
+  std::uint32_t h[5] = {0, 0, 0, 0, 0};
+  std::uint32_t pad[4];
+};
+
+inline std::uint32_t load_u32le(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+void poly_init(Poly1305State& st, const std::uint8_t* key) {
+  // Clamp r per RFC 8439 sec 2.5.
+  std::uint32_t t0 = load_u32le(key + 0);
+  std::uint32_t t1 = load_u32le(key + 4);
+  std::uint32_t t2 = load_u32le(key + 8);
+  std::uint32_t t3 = load_u32le(key + 12);
+  st.r[0] = t0 & 0x03ffffff;
+  st.r[1] = ((t0 >> 26) | (t1 << 6)) & 0x03ffff03;
+  st.r[2] = ((t1 >> 20) | (t2 << 12)) & 0x03ffc0ff;
+  st.r[3] = ((t2 >> 14) | (t3 << 18)) & 0x03f03fff;
+  st.r[4] = (t3 >> 8) & 0x000fffff;
+  st.pad[0] = load_u32le(key + 16);
+  st.pad[1] = load_u32le(key + 20);
+  st.pad[2] = load_u32le(key + 24);
+  st.pad[3] = load_u32le(key + 28);
+}
+
+void poly_block(Poly1305State& st, const std::uint8_t* block,
+                std::uint32_t hibit) {
+  const std::uint32_t r0 = st.r[0], r1 = st.r[1], r2 = st.r[2], r3 = st.r[3],
+                      r4 = st.r[4];
+  const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+  std::uint32_t h0 = st.h[0], h1 = st.h[1], h2 = st.h[2], h3 = st.h[3],
+                h4 = st.h[4];
+
+  // h += message block
+  std::uint32_t t0 = load_u32le(block + 0);
+  std::uint32_t t1 = load_u32le(block + 4);
+  std::uint32_t t2 = load_u32le(block + 8);
+  std::uint32_t t3 = load_u32le(block + 12);
+  h0 += t0 & 0x03ffffff;
+  h1 += ((t0 >> 26) | (t1 << 6)) & 0x03ffffff;
+  h2 += ((t1 >> 20) | (t2 << 12)) & 0x03ffffff;
+  h3 += ((t2 >> 14) | (t3 << 18)) & 0x03ffffff;
+  h4 += (t3 >> 8) | hibit;
+
+  // h *= r (mod 2^130 - 5)
+  std::uint64_t d0 = (std::uint64_t)h0 * r0 + (std::uint64_t)h1 * s4 +
+                     (std::uint64_t)h2 * s3 + (std::uint64_t)h3 * s2 +
+                     (std::uint64_t)h4 * s1;
+  std::uint64_t d1 = (std::uint64_t)h0 * r1 + (std::uint64_t)h1 * r0 +
+                     (std::uint64_t)h2 * s4 + (std::uint64_t)h3 * s3 +
+                     (std::uint64_t)h4 * s2;
+  std::uint64_t d2 = (std::uint64_t)h0 * r2 + (std::uint64_t)h1 * r1 +
+                     (std::uint64_t)h2 * r0 + (std::uint64_t)h3 * s4 +
+                     (std::uint64_t)h4 * s3;
+  std::uint64_t d3 = (std::uint64_t)h0 * r3 + (std::uint64_t)h1 * r2 +
+                     (std::uint64_t)h2 * r1 + (std::uint64_t)h3 * r0 +
+                     (std::uint64_t)h4 * s4;
+  std::uint64_t d4 = (std::uint64_t)h0 * r4 + (std::uint64_t)h1 * r3 +
+                     (std::uint64_t)h2 * r2 + (std::uint64_t)h3 * r1 +
+                     (std::uint64_t)h4 * r0;
+
+  // Partial reduction.
+  std::uint32_t c;
+  c = (std::uint32_t)(d0 >> 26); h0 = (std::uint32_t)d0 & 0x03ffffff;
+  d1 += c; c = (std::uint32_t)(d1 >> 26); h1 = (std::uint32_t)d1 & 0x03ffffff;
+  d2 += c; c = (std::uint32_t)(d2 >> 26); h2 = (std::uint32_t)d2 & 0x03ffffff;
+  d3 += c; c = (std::uint32_t)(d3 >> 26); h3 = (std::uint32_t)d3 & 0x03ffffff;
+  d4 += c; c = (std::uint32_t)(d4 >> 26); h4 = (std::uint32_t)d4 & 0x03ffffff;
+  h0 += c * 5; c = h0 >> 26; h0 &= 0x03ffffff;
+  h1 += c;
+
+  st.h[0] = h0; st.h[1] = h1; st.h[2] = h2; st.h[3] = h3; st.h[4] = h4;
+}
+
+util::Bytes poly_finish(Poly1305State& st) {
+  std::uint32_t h0 = st.h[0], h1 = st.h[1], h2 = st.h[2], h3 = st.h[3],
+                h4 = st.h[4];
+
+  // Full carry.
+  std::uint32_t c;
+  c = h1 >> 26; h1 &= 0x03ffffff;
+  h2 += c; c = h2 >> 26; h2 &= 0x03ffffff;
+  h3 += c; c = h3 >> 26; h3 &= 0x03ffffff;
+  h4 += c; c = h4 >> 26; h4 &= 0x03ffffff;
+  h0 += c * 5; c = h0 >> 26; h0 &= 0x03ffffff;
+  h1 += c;
+
+  // Compute h + -p.
+  std::uint32_t g0 = h0 + 5; c = g0 >> 26; g0 &= 0x03ffffff;
+  std::uint32_t g1 = h1 + c; c = g1 >> 26; g1 &= 0x03ffffff;
+  std::uint32_t g2 = h2 + c; c = g2 >> 26; g2 &= 0x03ffffff;
+  std::uint32_t g3 = h3 + c; c = g3 >> 26; g3 &= 0x03ffffff;
+  std::uint32_t g4 = h4 + c - (1u << 26);
+
+  // Select h if h < p, else h - p.
+  std::uint32_t mask = (g4 >> 31) - 1;
+  g0 &= mask; g1 &= mask; g2 &= mask; g3 &= mask; g4 &= mask;
+  mask = ~mask;
+  h0 = (h0 & mask) | g0;
+  h1 = (h1 & mask) | g1;
+  h2 = (h2 & mask) | g2;
+  h3 = (h3 & mask) | g3;
+  h4 = (h4 & mask) | g4;
+
+  // h = h % 2^128
+  h0 = (h0 | (h1 << 26)) & 0xffffffff;
+  h1 = ((h1 >> 6) | (h2 << 20)) & 0xffffffff;
+  h2 = ((h2 >> 12) | (h3 << 14)) & 0xffffffff;
+  h3 = ((h3 >> 18) | (h4 << 8)) & 0xffffffff;
+
+  // tag = (h + pad) % 2^128
+  std::uint64_t f;
+  f = (std::uint64_t)h0 + st.pad[0]; h0 = (std::uint32_t)f;
+  f = (std::uint64_t)h1 + st.pad[1] + (f >> 32); h1 = (std::uint32_t)f;
+  f = (std::uint64_t)h2 + st.pad[2] + (f >> 32); h2 = (std::uint32_t)f;
+  f = (std::uint64_t)h3 + st.pad[3] + (f >> 32); h3 = (std::uint32_t)f;
+
+  util::Bytes tag(kPolyTagSize);
+  std::uint32_t words[4] = {h0, h1, h2, h3};
+  for (int i = 0; i < 4; ++i) {
+    tag[4 * i] = static_cast<std::uint8_t>(words[i]);
+    tag[4 * i + 1] = static_cast<std::uint8_t>(words[i] >> 8);
+    tag[4 * i + 2] = static_cast<std::uint8_t>(words[i] >> 16);
+    tag[4 * i + 3] = static_cast<std::uint8_t>(words[i] >> 24);
+  }
+  return tag;
+}
+
+}  // namespace
+
+util::Bytes poly1305_tag(const util::Bytes& key, const util::Bytes& data) {
+  if (key.size() != kPolyKeySize) {
+    throw std::invalid_argument("poly1305: key must be 32 bytes");
+  }
+  Poly1305State st;
+  poly_init(st, key.data());
+
+  std::size_t offset = 0;
+  while (data.size() - offset >= 16) {
+    poly_block(st, data.data() + offset, 1u << 24);
+    offset += 16;
+  }
+  if (offset < data.size()) {
+    std::uint8_t last[16] = {0};
+    std::size_t rem = data.size() - offset;
+    std::memcpy(last, data.data() + offset, rem);
+    last[rem] = 1;
+    poly_block(st, last, 0);
+  }
+  return poly_finish(st);
+}
+
+}  // namespace odtn::crypto

@@ -1,0 +1,18 @@
+// Poly1305 one-time authenticator (RFC 8439), implemented from scratch.
+//
+// Combined with ChaCha20 into the AEAD used for every onion layer, so a
+// relay that lacks the group key cannot peel (or undetectably tamper with)
+// a layer.
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace odtn::crypto {
+
+constexpr std::size_t kPolyKeySize = 32;
+constexpr std::size_t kPolyTagSize = 16;
+
+/// Computes the 16-byte Poly1305 tag of `data` under a 32-byte one-time key.
+util::Bytes poly1305_tag(const util::Bytes& key, const util::Bytes& data);
+
+}  // namespace odtn::crypto

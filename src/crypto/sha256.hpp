@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used as the hash underlying HMAC/HKDF key derivation for onion-group keys
+// and pairwise session keys. Verified against the NIST test vectors in
+// tests/crypto/sha256_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace odtn::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs more input; may be called repeatedly.
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const util::Bytes& data) { update(data.data(), data.size()); }
+
+  /// Finalizes and returns the 32-byte digest. The object must not be
+  /// updated afterwards (reconstruct for a new message).
+  util::Bytes finish();
+
+  /// One-shot convenience.
+  static util::Bytes digest(const util::Bytes& data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace odtn::crypto

@@ -1,0 +1,117 @@
+#include "crypto/shamir.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace odtn::crypto {
+
+std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b) {
+  // Russian-peasant multiplication modulo the AES polynomial 0x11b.
+  std::uint8_t p = 0;
+  while (b != 0) {
+    if (b & 1) p ^= a;
+    bool carry = (a & 0x80) != 0;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (carry) a ^= 0x1b;
+    b >>= 1;
+  }
+  return p;
+}
+
+std::uint8_t gf256_inv(std::uint8_t a) {
+  if (a == 0) throw std::invalid_argument("gf256_inv: zero has no inverse");
+  // a^254 = a^-1 in GF(2^8) (Fermat). Square-and-multiply over the fixed
+  // exponent 254 = 0b11111110.
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  int exp = 254;
+  while (exp > 0) {
+    if (exp & 1) result = gf256_mul(result, base);
+    base = gf256_mul(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::vector<Share> shamir_split(const util::Bytes& secret,
+                                std::size_t threshold,
+                                std::size_t share_count, Drbg& drbg) {
+  if (threshold == 0 || threshold > share_count) {
+    throw std::invalid_argument("shamir_split: bad threshold");
+  }
+  if (share_count > 255) {
+    throw std::invalid_argument("shamir_split: at most 255 shares");
+  }
+
+  std::vector<Share> shares(share_count);
+  for (std::size_t j = 0; j < share_count; ++j) {
+    shares[j].x = static_cast<std::uint8_t>(j + 1);
+    shares[j].data.resize(secret.size());
+  }
+
+  // Independent polynomial per secret byte: f(x) = s + a_1 x + ... +
+  // a_{t-1} x^{t-1} with uniform coefficients.
+  for (std::size_t byte = 0; byte < secret.size(); ++byte) {
+    util::Bytes coeffs = drbg.generate(threshold - 1);
+    for (std::size_t j = 0; j < share_count; ++j) {
+      std::uint8_t x = shares[j].x;
+      // Horner evaluation from the highest coefficient down to the secret.
+      std::uint8_t y = 0;
+      for (std::size_t c = threshold - 1; c-- > 0;) {
+        y = static_cast<std::uint8_t>(gf256_mul(y, x) ^ coeffs[c]);
+      }
+      y = static_cast<std::uint8_t>(gf256_mul(y, x) ^ secret[byte]);
+      shares[j].data[byte] = y;
+    }
+  }
+  return shares;
+}
+
+util::Bytes shamir_reconstruct(const std::vector<Share>& shares,
+                               std::size_t threshold) {
+  if (threshold == 0) {
+    throw std::invalid_argument("shamir_reconstruct: bad threshold");
+  }
+  if (shares.size() < threshold) {
+    throw std::invalid_argument("shamir_reconstruct: not enough shares");
+  }
+  std::set<std::uint8_t> xs;
+  std::size_t length = shares.front().data.size();
+  for (std::size_t j = 0; j < threshold; ++j) {
+    if (shares[j].x == 0) {
+      throw std::invalid_argument("shamir_reconstruct: share with x = 0");
+    }
+    if (!xs.insert(shares[j].x).second) {
+      throw std::invalid_argument("shamir_reconstruct: duplicate share point");
+    }
+    if (shares[j].data.size() != length) {
+      throw std::invalid_argument("shamir_reconstruct: share length mismatch");
+    }
+  }
+
+  // Lagrange interpolation at x = 0 using the first `threshold` shares:
+  // s = sum_j y_j * prod_{m != j} x_m / (x_m ^ x_j).
+  std::vector<std::uint8_t> weights(threshold);
+  for (std::size_t j = 0; j < threshold; ++j) {
+    std::uint8_t num = 1, den = 1;
+    for (std::size_t m = 0; m < threshold; ++m) {
+      if (m == j) continue;
+      num = gf256_mul(num, shares[m].x);
+      den = gf256_mul(den,
+                      static_cast<std::uint8_t>(shares[m].x ^ shares[j].x));
+    }
+    weights[j] = gf256_mul(num, gf256_inv(den));
+  }
+
+  util::Bytes secret(length);
+  for (std::size_t byte = 0; byte < length; ++byte) {
+    std::uint8_t s = 0;
+    for (std::size_t j = 0; j < threshold; ++j) {
+      s ^= gf256_mul(weights[j], shares[j].data[byte]);
+    }
+    secret[byte] = s;
+  }
+  return secret;
+}
+
+}  // namespace odtn::crypto

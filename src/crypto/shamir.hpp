@@ -1,0 +1,42 @@
+// Shamir threshold secret sharing over GF(2^8) [Shamir, CACM 1979].
+//
+// Substrate for the Threshold Pivot Scheme (TPS) of Jansen & Beverly
+// (MILCOM 2011), which the paper compares against in Sec. VI-C: a message
+// is split into s shares such that any tau of them reconstruct it and
+// fewer reveal nothing. Each byte of the secret is shared independently
+// with a random degree-(tau-1) polynomial; share j carries the polynomial
+// evaluations at x = j.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "util/bytes.hpp"
+
+namespace odtn::crypto {
+
+struct Share {
+  std::uint8_t x = 0;  // evaluation point, 1..255 (0 would leak the secret)
+  util::Bytes data;    // one byte per secret byte
+};
+
+/// Splits `secret` into `share_count` shares with reconstruction threshold
+/// `threshold` (1 <= threshold <= share_count <= 255).
+std::vector<Share> shamir_split(const util::Bytes& secret,
+                                std::size_t threshold,
+                                std::size_t share_count, Drbg& drbg);
+
+/// Reconstructs the secret from any `threshold` (or more) distinct shares.
+/// Throws std::invalid_argument on inconsistent/insufficient input. With
+/// fewer than threshold shares the output of the underlying polynomial is
+/// information-theoretically independent of the secret — tested by the
+/// distribution checks in tests/crypto/shamir_test.cpp.
+util::Bytes shamir_reconstruct(const std::vector<Share>& shares,
+                               std::size_t threshold);
+
+/// GF(2^8) helpers (AES polynomial x^8+x^4+x^3+x+1), exposed for tests.
+std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t gf256_inv(std::uint8_t a);
+
+}  // namespace odtn::crypto

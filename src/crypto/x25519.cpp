@@ -1,0 +1,264 @@
+#include "crypto/x25519.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace odtn::crypto {
+
+namespace {
+
+// Field element mod p = 2^255 - 19, as 5 limbs of 51 bits.
+struct Fe {
+  std::uint64_t v[5];
+};
+
+constexpr std::uint64_t kMask51 = (1ULL << 51) - 1;
+
+Fe fe_zero() { return Fe{{0, 0, 0, 0, 0}}; }
+Fe fe_one() { return Fe{{1, 0, 0, 0, 0}}; }
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  return r;
+}
+
+// a - b with a bias of 2p added so limbs stay non-negative.
+Fe fe_sub(const Fe& a, const Fe& b) {
+  Fe r;
+  r.v[0] = a.v[0] + 0xfffffffffffdaULL - b.v[0];
+  r.v[1] = a.v[1] + 0xffffffffffffeULL - b.v[1];
+  r.v[2] = a.v[2] + 0xffffffffffffeULL - b.v[2];
+  r.v[3] = a.v[3] + 0xffffffffffffeULL - b.v[3];
+  r.v[4] = a.v[4] + 0xffffffffffffeULL - b.v[4];
+  return r;
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  using u128 = __uint128_t;
+  const std::uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3],
+                      a4 = a.v[4];
+  const std::uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3],
+                      b4 = b.v[4];
+  const std::uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19,
+                      b4_19 = b4 * 19;
+
+  u128 t0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 +
+            (u128)a3 * b2_19 + (u128)a4 * b1_19;
+  u128 t1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 +
+            (u128)a3 * b3_19 + (u128)a4 * b2_19;
+  u128 t2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 +
+            (u128)a3 * b4_19 + (u128)a4 * b3_19;
+  u128 t3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 +
+            (u128)a4 * b4_19;
+  u128 t4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 +
+            (u128)a4 * b0;
+
+  Fe r;
+  std::uint64_t c;
+  r.v[0] = (std::uint64_t)t0 & kMask51; c = (std::uint64_t)(t0 >> 51);
+  t1 += c;
+  r.v[1] = (std::uint64_t)t1 & kMask51; c = (std::uint64_t)(t1 >> 51);
+  t2 += c;
+  r.v[2] = (std::uint64_t)t2 & kMask51; c = (std::uint64_t)(t2 >> 51);
+  t3 += c;
+  r.v[3] = (std::uint64_t)t3 & kMask51; c = (std::uint64_t)(t3 >> 51);
+  t4 += c;
+  r.v[4] = (std::uint64_t)t4 & kMask51; c = (std::uint64_t)(t4 >> 51);
+  r.v[0] += c * 19;
+  c = r.v[0] >> 51; r.v[0] &= kMask51;
+  r.v[1] += c;
+  return r;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+Fe fe_mul_small(const Fe& a, std::uint64_t s) {
+  using u128 = __uint128_t;
+  Fe r;
+  u128 t[5];
+  for (int i = 0; i < 5; ++i) t[i] = (u128)a.v[i] * s;
+  std::uint64_t c;
+  r.v[0] = (std::uint64_t)t[0] & kMask51; c = (std::uint64_t)(t[0] >> 51);
+  t[1] += c;
+  r.v[1] = (std::uint64_t)t[1] & kMask51; c = (std::uint64_t)(t[1] >> 51);
+  t[2] += c;
+  r.v[2] = (std::uint64_t)t[2] & kMask51; c = (std::uint64_t)(t[2] >> 51);
+  t[3] += c;
+  r.v[3] = (std::uint64_t)t[3] & kMask51; c = (std::uint64_t)(t[3] >> 51);
+  t[4] += c;
+  r.v[4] = (std::uint64_t)t[4] & kMask51; c = (std::uint64_t)(t[4] >> 51);
+  r.v[0] += c * 19;
+  return r;
+}
+
+// Constant-time conditional swap.
+void fe_cswap(Fe& a, Fe& b, std::uint64_t swap) {
+  std::uint64_t mask = 0 - swap;
+  for (int i = 0; i < 5; ++i) {
+    std::uint64_t x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+// a^(p-2) = a^-1 mod p.
+Fe fe_invert(const Fe& a) {
+  // Addition chain from curve25519 reference implementations.
+  Fe z2 = fe_sq(a);                       // 2
+  Fe z8 = fe_sq(fe_sq(z2));               // 8
+  Fe z9 = fe_mul(z8, a);                  // 9
+  Fe z11 = fe_mul(z9, z2);                // 11
+  Fe z22 = fe_sq(z11);                    // 22
+  Fe z_5_0 = fe_mul(z22, z9);             // 2^5 - 2^0
+  Fe t = fe_sq(z_5_0);
+  for (int i = 1; i < 5; ++i) t = fe_sq(t);
+  Fe z_10_0 = fe_mul(t, z_5_0);           // 2^10 - 2^0
+  t = fe_sq(z_10_0);
+  for (int i = 1; i < 10; ++i) t = fe_sq(t);
+  Fe z_20_0 = fe_mul(t, z_10_0);          // 2^20 - 2^0
+  t = fe_sq(z_20_0);
+  for (int i = 1; i < 20; ++i) t = fe_sq(t);
+  Fe z_40_0 = fe_mul(t, z_20_0);          // 2^40 - 2^0
+  t = fe_sq(z_40_0);
+  for (int i = 1; i < 10; ++i) t = fe_sq(t);
+  Fe z_50_0 = fe_mul(t, z_10_0);          // 2^50 - 2^0
+  t = fe_sq(z_50_0);
+  for (int i = 1; i < 50; ++i) t = fe_sq(t);
+  Fe z_100_0 = fe_mul(t, z_50_0);         // 2^100 - 2^0
+  t = fe_sq(z_100_0);
+  for (int i = 1; i < 100; ++i) t = fe_sq(t);
+  Fe z_200_0 = fe_mul(t, z_100_0);        // 2^200 - 2^0
+  t = fe_sq(z_200_0);
+  for (int i = 1; i < 50; ++i) t = fe_sq(t);
+  Fe z_250_0 = fe_mul(t, z_50_0);         // 2^250 - 2^0
+  t = fe_sq(z_250_0);
+  for (int i = 1; i < 5; ++i) t = fe_sq(t);
+  return fe_mul(t, z11);                  // 2^255 - 21
+}
+
+Fe fe_from_bytes(const std::uint8_t* s) {
+  auto load64 = [](const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+  };
+  Fe r;
+  r.v[0] = load64(s) & kMask51;
+  r.v[1] = (load64(s + 6) >> 3) & kMask51;
+  r.v[2] = (load64(s + 12) >> 6) & kMask51;
+  r.v[3] = (load64(s + 19) >> 1) & kMask51;
+  // Top bit of the point encoding is masked per RFC 7748.
+  r.v[4] = (load64(s + 24) >> 12) & kMask51;
+  return r;
+}
+
+void fe_to_bytes(std::uint8_t* s, const Fe& a) {
+  // Carry fully, then reduce mod p canonically.
+  Fe t = a;
+  std::uint64_t c;
+  for (int pass = 0; pass < 3; ++pass) {
+    c = t.v[0] >> 51; t.v[0] &= kMask51; t.v[1] += c;
+    c = t.v[1] >> 51; t.v[1] &= kMask51; t.v[2] += c;
+    c = t.v[2] >> 51; t.v[2] &= kMask51; t.v[3] += c;
+    c = t.v[3] >> 51; t.v[3] &= kMask51; t.v[4] += c;
+    c = t.v[4] >> 51; t.v[4] &= kMask51; t.v[0] += c * 19;
+  }
+  // Now t < 2^255 + small; subtract p if t >= p (constant time).
+  std::uint64_t q = (t.v[0] + 19) >> 51;
+  q = (t.v[1] + q) >> 51;
+  q = (t.v[2] + q) >> 51;
+  q = (t.v[3] + q) >> 51;
+  q = (t.v[4] + q) >> 51;
+  t.v[0] += 19 * q;
+  c = t.v[0] >> 51; t.v[0] &= kMask51; t.v[1] += c;
+  c = t.v[1] >> 51; t.v[1] &= kMask51; t.v[2] += c;
+  c = t.v[2] >> 51; t.v[2] &= kMask51; t.v[3] += c;
+  c = t.v[3] >> 51; t.v[3] &= kMask51; t.v[4] += c;
+  t.v[4] &= kMask51;
+
+  std::uint64_t out0 = t.v[0] | (t.v[1] << 51);
+  std::uint64_t out1 = (t.v[1] >> 13) | (t.v[2] << 38);
+  std::uint64_t out2 = (t.v[2] >> 26) | (t.v[3] << 25);
+  std::uint64_t out3 = (t.v[3] >> 39) | (t.v[4] << 12);
+  auto store64 = [](std::uint8_t* p, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  store64(s, out0);
+  store64(s + 8, out1);
+  store64(s + 16, out2);
+  store64(s + 24, out3);
+}
+
+}  // namespace
+
+util::Bytes x25519(const util::Bytes& scalar, const util::Bytes& point) {
+  if (scalar.size() != kX25519KeySize || point.size() != kX25519KeySize) {
+    throw std::invalid_argument("x25519: inputs must be 32 bytes");
+  }
+  std::uint8_t e[32];
+  std::memcpy(e, scalar.data(), 32);
+  e[0] &= 248;
+  e[31] &= 127;
+  e[31] |= 64;
+
+  Fe x1 = fe_from_bytes(point.data());
+  Fe x2 = fe_one(), z2 = fe_zero();
+  Fe x3 = x1, z3 = fe_one();
+  std::uint64_t swap = 0;
+
+  for (int t = 254; t >= 0; --t) {
+    std::uint64_t k_t = (e[t >> 3] >> (t & 7)) & 1;
+    swap ^= k_t;
+    fe_cswap(x2, x3, swap);
+    fe_cswap(z2, z3, swap);
+    swap = k_t;
+
+    Fe a = fe_add(x2, z2);
+    Fe aa = fe_sq(a);
+    Fe b = fe_sub(x2, z2);
+    Fe bb = fe_sq(b);
+    Fe e_ = fe_sub(aa, bb);
+    Fe c = fe_add(x3, z3);
+    Fe d = fe_sub(x3, z3);
+    Fe da = fe_mul(d, a);
+    Fe cb = fe_mul(c, b);
+    Fe t0 = fe_add(da, cb);
+    x3 = fe_sq(t0);
+    Fe t1 = fe_sub(da, cb);
+    z3 = fe_mul(x1, fe_sq(t1));
+    x2 = fe_mul(aa, bb);
+    Fe t2 = fe_mul_small(e_, 121665);
+    z2 = fe_mul(e_, fe_add(aa, t2));
+  }
+  fe_cswap(x2, x3, swap);
+  fe_cswap(z2, z3, swap);
+
+  Fe out = fe_mul(x2, fe_invert(z2));
+  util::Bytes result(kX25519KeySize);
+  fe_to_bytes(result.data(), out);
+  return result;
+}
+
+util::Bytes x25519_base(const util::Bytes& scalar) {
+  util::Bytes base(kX25519KeySize, 0);
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+KeyPair generate_keypair(util::Rng& rng) {
+  KeyPair kp;
+  kp.private_key.resize(kX25519KeySize);
+  for (auto& b : kp.private_key) {
+    b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  kp.public_key = x25519_base(kp.private_key);
+  return kp;
+}
+
+util::Bytes shared_secret(const util::Bytes& my_private,
+                          const util::Bytes& their_public) {
+  return x25519(my_private, their_public);
+}
+
+}  // namespace odtn::crypto

@@ -1,0 +1,122 @@
+#include "graph/contact_graph.hpp"
+
+#include <stdexcept>
+
+namespace odtn::graph {
+
+ContactGraph::ContactGraph(std::size_t n) : n_(n) {
+  if (n < 2) throw std::invalid_argument("ContactGraph: need >= 2 nodes");
+  rates_.assign(n * (n - 1) / 2, 0.0);
+}
+
+std::size_t ContactGraph::index(NodeId i, NodeId j) const {
+  if (i >= n_ || j >= n_ || i == j) {
+    throw std::out_of_range("ContactGraph: bad node pair");
+  }
+  if (i > j) std::swap(i, j);
+  // Row-major upper triangle: row i starts at i*n - i*(i+1)/2 - i... use
+  // the standard formula for pair (i, j), i < j:
+  std::size_t row_start = static_cast<std::size_t>(i) * (2 * n_ - i - 1) / 2;
+  return row_start + (j - i - 1);
+}
+
+double ContactGraph::rate(NodeId i, NodeId j) const {
+  if (i == j) return 0.0;
+  return rates_[index(i, j)];
+}
+
+void ContactGraph::set_rate(NodeId i, NodeId j, double r) {
+  if (r < 0.0) throw std::invalid_argument("ContactGraph: negative rate");
+  rates_[index(i, j)] = r;
+}
+
+void ContactGraph::set_inter_contact_time(NodeId i, NodeId j, double ict) {
+  if (!(ict > 0.0)) {
+    throw std::invalid_argument("ContactGraph: inter-contact time must be > 0");
+  }
+  set_rate(i, j, 1.0 / ict);
+}
+
+double ContactGraph::rate_to_set(NodeId i,
+                                 const std::vector<NodeId>& targets) const {
+  double sum = 0.0;
+  for (NodeId t : targets) {
+    if (t != i) sum += rate(i, t);
+  }
+  return sum;
+}
+
+double ContactGraph::mean_set_to_set_rate(const std::vector<NodeId>& from,
+                                          const std::vector<NodeId>& to) const {
+  if (from.empty()) throw std::invalid_argument("mean_set_to_set_rate: empty");
+  double sum = 0.0;
+  for (NodeId i : from) sum += rate_to_set(i, to);
+  return sum / static_cast<double>(from.size());
+}
+
+double ContactGraph::total_rate() const {
+  double sum = 0.0;
+  for (double r : rates_) sum += r;
+  return sum;
+}
+
+std::vector<NodeId> ContactGraph::neighbors(NodeId i) const {
+  std::vector<NodeId> out;
+  for (NodeId j = 0; j < n_; ++j) {
+    if (j != i && rate(i, j) > 0.0) out.push_back(j);
+  }
+  return out;
+}
+
+ContactGraph random_contact_graph(std::size_t n, util::Rng& rng,
+                                  double min_ict, double max_ict) {
+  if (!(min_ict > 0.0) || max_ict < min_ict) {
+    throw std::invalid_argument("random_contact_graph: bad ICT range");
+  }
+  ContactGraph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      g.set_inter_contact_time(i, j, rng.uniform(min_ict, max_ict));
+    }
+  }
+  return g;
+}
+
+ContactGraph sparse_contact_graph(std::size_t n, double p, util::Rng& rng,
+                                  double min_ict, double max_ict) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("sparse_contact_graph: p out of [0,1]");
+  }
+  ContactGraph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.chance(p)) {
+        g.set_inter_contact_time(i, j, rng.uniform(min_ict, max_ict));
+      }
+    }
+  }
+  return g;
+}
+
+ContactGraph community_contact_graph(std::size_t n, std::size_t communities,
+                                     double slowdown, util::Rng& rng,
+                                     double min_ict, double max_ict) {
+  if (communities == 0 || communities > n) {
+    throw std::invalid_argument("community_contact_graph: bad community count");
+  }
+  if (!(slowdown >= 1.0)) {
+    throw std::invalid_argument("community_contact_graph: slowdown must be >= 1");
+  }
+  ContactGraph g(n);
+  std::size_t block = (n + communities - 1) / communities;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      double ict = rng.uniform(min_ict, max_ict);
+      if (i / block != j / block) ict *= slowdown;
+      g.set_inter_contact_time(i, j, ict);
+    }
+  }
+  return g;
+}
+
+}  // namespace odtn::graph

@@ -1,0 +1,80 @@
+// Contact-graph representation of a DTN (Sec. III-A of the paper).
+//
+// A DTN is a graph over n nodes where edge (i, j) carries the contact rate
+// lambda_ij: contacts between i and j form a Poisson process with that
+// rate, i.e. inter-contact times are exponential with mean 1/lambda_ij.
+// A zero rate means the pair never meets.
+#pragma once
+
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace odtn::graph {
+
+class ContactGraph {
+ public:
+  /// Creates a graph of `n` isolated nodes (all rates zero).
+  explicit ContactGraph(std::size_t n);
+
+  std::size_t node_count() const { return n_; }
+
+  /// Contact rate between i and j (symmetric). rate(i, i) is always 0.
+  double rate(NodeId i, NodeId j) const;
+
+  /// Sets the symmetric contact rate; `r` must be >= 0 and i != j.
+  void set_rate(NodeId i, NodeId j, double r);
+
+  /// Equivalent: sets rate from a mean inter-contact time (> 0).
+  void set_inter_contact_time(NodeId i, NodeId j, double ict);
+
+  /// Sum of rates from `i` into the node set `targets` (skipping i itself):
+  /// the aggregate rate at which i meets *any* member — the anycast rate of
+  /// the opportunistic onion path model (Eq. 4, first/last cases).
+  double rate_to_set(NodeId i, const std::vector<NodeId>& targets) const;
+
+  /// Average over senders in `from` of the summed rate into `to`
+  /// (Eq. 4, middle case): (1/|from|) * sum_{i in from} sum_{j in to} rate.
+  double mean_set_to_set_rate(const std::vector<NodeId>& from,
+                              const std::vector<NodeId>& to) const;
+
+  /// Total pairwise rate over the whole graph (used by the event-driven
+  /// baselines to sample "next contact anywhere").
+  double total_rate() const;
+
+  /// All neighbors of i with non-zero rate.
+  std::vector<NodeId> neighbors(NodeId i) const;
+
+ private:
+  std::size_t index(NodeId i, NodeId j) const;
+
+  std::size_t n_;
+  // Upper-triangular dense storage: rates_[index(i,j)] for i < j.
+  std::vector<double> rates_;
+};
+
+/// Random contact graph of Table II: every pair gets an inter-contact time
+/// drawn uniformly from [min_ict, max_ict] (paper: 10..360 minutes).
+ContactGraph random_contact_graph(std::size_t n, util::Rng& rng,
+                                  double min_ict = 10.0,
+                                  double max_ict = 360.0);
+
+/// Sparse variant: each pair is connected with probability `p` (and then
+/// gets a uniform inter-contact time). Used for ablations: the paper's model
+/// assumes a dense contact graph, and this generator shows where the
+/// approximation degrades.
+ContactGraph sparse_contact_graph(std::size_t n, double p, util::Rng& rng,
+                                  double min_ict = 10.0,
+                                  double max_ict = 360.0);
+
+/// Community-structured graph: nodes are split into `communities` equal
+/// blocks; intra-community pairs use [min_ict, max_ict], inter-community
+/// pairs are `slowdown` times slower. Models the social structure of
+/// human-contact DTNs for the example applications.
+ContactGraph community_contact_graph(std::size_t n, std::size_t communities,
+                                     double slowdown, util::Rng& rng,
+                                     double min_ict = 10.0,
+                                     double max_ict = 360.0);
+
+}  // namespace odtn::graph

@@ -1,0 +1,87 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace odtn::graph {
+
+std::string format_graph(const ContactGraph& graph) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "odtn-graph 1 " << graph.node_count() << "\n";
+  for (NodeId i = 0; i < graph.node_count(); ++i) {
+    for (NodeId j = i + 1; j < graph.node_count(); ++j) {
+      double r = graph.rate(i, j);
+      if (r > 0.0) os << i << ' ' << j << ' ' << r << "\n";
+    }
+  }
+  return os.str();
+}
+
+ContactGraph parse_graph(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  // Header.
+  std::size_t n = 0;
+  bool have_header = false;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string magic;
+    if (!(ls >> magic)) continue;
+    int version;
+    if (magic != "odtn-graph" || !(ls >> version >> n) || version != 1) {
+      throw std::invalid_argument("parse_graph: bad header on line " +
+                                  std::to_string(line_no));
+    }
+    have_header = true;
+    break;
+  }
+  if (!have_header) throw std::invalid_argument("parse_graph: missing header");
+
+  ContactGraph graph(n);
+  while (std::getline(is, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    long i, j;
+    double rate;
+    if (!(ls >> i)) continue;
+    if (!(ls >> j >> rate)) {
+      throw std::invalid_argument("parse_graph: malformed line " +
+                                  std::to_string(line_no));
+    }
+    if (i < 0 || j < 0 || static_cast<std::size_t>(i) >= n ||
+        static_cast<std::size_t>(j) >= n) {
+      throw std::invalid_argument("parse_graph: unknown node on line " +
+                                  std::to_string(line_no));
+    }
+    if (graph.rate(static_cast<NodeId>(i), static_cast<NodeId>(j)) != 0.0) {
+      throw std::invalid_argument("parse_graph: duplicate edge on line " +
+                                  std::to_string(line_no));
+    }
+    graph.set_rate(static_cast<NodeId>(i), static_cast<NodeId>(j), rate);
+  }
+  return graph;
+}
+
+void save_graph_file(const ContactGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_graph_file: cannot open " + path);
+  out << format_graph(graph);
+}
+
+ContactGraph load_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_graph_file: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_graph(buf.str());
+}
+
+}  // namespace odtn::graph

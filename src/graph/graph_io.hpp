@@ -1,0 +1,26 @@
+// Contact-graph (de)serialization.
+//
+// Lets experiments pin a graph realization to disk — e.g. to re-run a
+// figure on the exact graph that produced an anomaly, or to exchange
+// calibrated rate matrices between deployments.
+#pragma once
+
+#include <string>
+
+#include "graph/contact_graph.hpp"
+
+namespace odtn::graph {
+
+/// Text format: `odtn-graph 1 <n>` header, then one `i j rate` line per
+/// non-zero edge. '#' comments allowed.
+std::string format_graph(const ContactGraph& graph);
+
+/// Parses the format above; throws std::invalid_argument on malformed
+/// input (bad header, unknown nodes, negative rates, duplicate edges).
+ContactGraph parse_graph(const std::string& text);
+
+/// File convenience wrappers; throw std::runtime_error on IO failure.
+void save_graph_file(const ContactGraph& graph, const std::string& path);
+ContactGraph load_graph_file(const std::string& path);
+
+}  // namespace odtn::graph

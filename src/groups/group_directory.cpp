@@ -1,0 +1,70 @@
+#include "groups/group_directory.hpp"
+
+#include <stdexcept>
+
+namespace odtn::groups {
+
+GroupDirectory::GroupDirectory(std::size_t n, std::size_t g, util::Rng* rng)
+    : g_(g) {
+  if (n == 0) throw std::invalid_argument("GroupDirectory: empty network");
+  if (g == 0 || g > n) {
+    throw std::invalid_argument("GroupDirectory: group size out of range");
+  }
+  std::vector<NodeId> order(n);
+  for (NodeId i = 0; i < n; ++i) order[i] = i;
+  if (rng != nullptr) rng->shuffle(order);
+
+  std::size_t group_count = (n + g - 1) / g;
+  members_.resize(group_count);
+  node_to_group_.resize(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    GroupId gid = static_cast<GroupId>(pos / g);
+    members_[gid].push_back(order[pos]);
+    node_to_group_[order[pos]] = gid;
+  }
+}
+
+GroupId GroupDirectory::group_of(NodeId node) const {
+  if (node >= node_to_group_.size()) {
+    throw std::out_of_range("GroupDirectory::group_of");
+  }
+  return node_to_group_[node];
+}
+
+const std::vector<NodeId>& GroupDirectory::members(GroupId group) const {
+  if (group >= members_.size()) {
+    throw std::out_of_range("GroupDirectory::members");
+  }
+  return members_[group];
+}
+
+bool GroupDirectory::in_group(NodeId node, GroupId group) const {
+  return group_of(node) == group;
+}
+
+std::vector<GroupId> GroupDirectory::select_relay_groups(
+    NodeId src, NodeId dst, std::size_t k, util::Rng& rng) const {
+  std::vector<GroupId> candidates;
+  GroupId src_group = group_of(src);
+  GroupId dst_group = group_of(dst);
+  for (GroupId g = 0; g < members_.size(); ++g) {
+    if (g != src_group && g != dst_group) candidates.push_back(g);
+  }
+  // With very few groups (e.g. g = n/2), endpoint exclusion may be
+  // impossible; fall back to all groups, as ARDEN does in small networks.
+  if (candidates.size() < k) {
+    candidates.clear();
+    for (GroupId g = 0; g < members_.size(); ++g) candidates.push_back(g);
+  }
+  if (candidates.size() < k) {
+    throw std::invalid_argument(
+        "select_relay_groups: fewer groups than requested relays");
+  }
+  auto idx = rng.sample_without_replacement(candidates.size(), k);
+  std::vector<GroupId> out;
+  out.reserve(k);
+  for (auto i : idx) out.push_back(candidates[i]);
+  return out;
+}
+
+}  // namespace odtn::groups

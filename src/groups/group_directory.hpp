@@ -1,0 +1,47 @@
+// Onion-group membership (Sec. II-B / III-A of the paper).
+//
+// The n nodes of the network are partitioned into ceil(n/g) groups of size
+// g (the last group may be smaller when g does not divide n — the paper's
+// analysis ignores this, the simulator does not). Any node in a group can
+// peel the onion layer encrypted to that group.
+#pragma once
+
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace odtn::groups {
+
+class GroupDirectory {
+ public:
+  /// Partitions nodes 0..n-1 into groups of size g. If `rng` is non-null the
+  /// assignment is a random permutation (as in the paper's simulations);
+  /// otherwise nodes are assigned in id order (deterministic, for tests).
+  GroupDirectory(std::size_t n, std::size_t g, util::Rng* rng = nullptr);
+
+  std::size_t node_count() const { return node_to_group_.size(); }
+  std::size_t group_count() const { return members_.size(); }
+  /// Nominal group size g (the last group may have fewer members).
+  std::size_t nominal_group_size() const { return g_; }
+
+  GroupId group_of(NodeId node) const;
+  const std::vector<NodeId>& members(GroupId group) const;
+  bool in_group(NodeId node, GroupId group) const;
+
+  /// Selects the K relay groups R_1..R_K for a message (Algorithms 1-2,
+  /// line 2): a uniform random choice of K distinct groups, excluding the
+  /// groups of the source and destination when enough groups exist (a relay
+  /// group containing an endpoint would weaken its anonymity).
+  /// Throws if fewer than K candidate groups are available.
+  std::vector<GroupId> select_relay_groups(NodeId src, NodeId dst,
+                                           std::size_t k,
+                                           util::Rng& rng) const;
+
+ private:
+  std::size_t g_;
+  std::vector<GroupId> node_to_group_;
+  std::vector<std::vector<NodeId>> members_;
+};
+
+}  // namespace odtn::groups

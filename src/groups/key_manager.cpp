@@ -1,0 +1,86 @@
+#include "groups/key_manager.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace odtn::groups {
+
+namespace {
+
+util::Bytes derive(const util::Bytes& master, const std::string& label,
+                   std::uint64_t index) {
+  util::Bytes info = util::to_bytes(label);
+  util::put_u64le(info, index);
+  return crypto::hkdf(master, /*salt=*/{}, info, 32);
+}
+
+}  // namespace
+
+KeyManager::KeyManager(const GroupDirectory& directory, std::uint64_t seed) {
+  util::Bytes master;
+  util::put_u64le(master, seed);
+  util::append(master, util::to_bytes("odtn-key-manager-v1"));
+
+  group_keys_.reserve(directory.group_count());
+  for (GroupId g = 0; g < directory.group_count(); ++g) {
+    group_keys_.push_back(derive(master, "group-key", g));
+  }
+
+  identity_master_ = master;
+  identities_.resize(directory.node_count());
+  inbox_keys_.reserve(directory.node_count());
+  for (NodeId v = 0; v < directory.node_count(); ++v) {
+    inbox_keys_.push_back(derive(master, "inbox-key", v));
+  }
+}
+
+const util::Bytes& KeyManager::group_key(GroupId group) const {
+  if (group >= group_keys_.size()) {
+    throw std::out_of_range("KeyManager::group_key");
+  }
+  return group_keys_[group];
+}
+
+const crypto::KeyPair& KeyManager::node_identity(NodeId node) const {
+  if (node >= identities_.size()) {
+    throw std::out_of_range("KeyManager::node_identity");
+  }
+  if (!identities_[node].has_value()) {
+    crypto::KeyPair kp;
+    kp.private_key = derive(identity_master_, "identity-key", node);
+    kp.public_key = crypto::x25519_base(kp.private_key);
+    identities_[node] = std::move(kp);
+  }
+  return *identities_[node];
+}
+
+const util::Bytes& KeyManager::inbox_key(NodeId node) const {
+  if (node >= inbox_keys_.size()) {
+    throw std::out_of_range("KeyManager::inbox_key");
+  }
+  return inbox_keys_[node];
+}
+
+const util::Bytes& KeyManager::session_key(NodeId a, NodeId b) const {
+  if (a == b) throw std::invalid_argument("session_key: a == b");
+  if (a >= identities_.size() || b >= identities_.size()) {
+    throw std::out_of_range("KeyManager::session_key");
+  }
+  NodeId lo = std::min(a, b), hi = std::max(a, b);
+  std::uint64_t cache_key = (std::uint64_t{lo} << 32) | hi;
+  auto it = session_cache_.find(cache_key);
+  if (it != session_cache_.end()) return it->second;
+
+  util::Bytes shared = crypto::shared_secret(node_identity(lo).private_key,
+                                             node_identity(hi).public_key);
+  util::Bytes info = util::to_bytes("odtn-session");
+  util::put_u32le(info, lo);
+  util::put_u32le(info, hi);
+  util::Bytes key = crypto::hkdf(shared, /*salt=*/{}, info, 32);
+  auto [pos, inserted] = session_cache_.emplace(cache_key, std::move(key));
+  (void)inserted;
+  return pos->second;
+}
+
+}  // namespace odtn::groups

@@ -1,0 +1,57 @@
+// Key material for onion-group routing.
+//
+// The paper delegates key setup to ARDEN (attribute-based encryption); the
+// analysis only requires that (a) every member of group R_k can peel layer
+// k and (b) two meeting nodes can establish a secure link. We realize (a)
+// with HKDF-derived per-group symmetric keys and (b) with per-node X25519
+// identities + ECDH (see DESIGN.md for why this substitution is faithful).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/x25519.hpp"
+#include "groups/group_directory.hpp"
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+
+namespace odtn::groups {
+
+class KeyManager {
+ public:
+  /// Derives all group keys, node identity key pairs, and node inbox keys
+  /// from a master seed (deterministic per experiment).
+  KeyManager(const GroupDirectory& directory, std::uint64_t seed);
+
+  /// Symmetric key shared by all members of `group` (32 bytes).
+  const util::Bytes& group_key(GroupId group) const;
+
+  /// X25519 identity of `node`.
+  const crypto::KeyPair& node_identity(NodeId node) const;
+
+  /// Symmetric key a sender uses for the innermost onion layer addressed to
+  /// `node` (32 bytes). Models the end-to-end key the source shares with
+  /// the destination (the paper assumes end-to-end encryption exists).
+  const util::Bytes& inbox_key(NodeId node) const;
+
+  /// ECDH + HKDF session key for the "secure link" two meeting nodes
+  /// establish (Algorithms 1-2, line "establish a secure link"). Symmetric
+  /// in (a, b); memoized because the ladder is the costly operation.
+  const util::Bytes& session_key(NodeId a, NodeId b) const;
+
+  std::size_t node_count() const { return identities_.size(); }
+  std::size_t group_count() const { return group_keys_.size(); }
+
+ private:
+  std::vector<util::Bytes> group_keys_;
+  // Identity key pairs are derived deterministically per node but the
+  // public half (an X25519 ladder, the expensive operation) is computed
+  // lazily: simulations that run without real crypto never pay for it.
+  mutable std::vector<std::optional<crypto::KeyPair>> identities_;
+  util::Bytes identity_master_;
+  std::vector<util::Bytes> inbox_keys_;
+  mutable std::unordered_map<std::uint64_t, util::Bytes> session_cache_;
+};
+
+}  // namespace odtn::groups

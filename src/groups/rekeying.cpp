@@ -1,0 +1,93 @@
+#include "groups/rekeying.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace odtn::groups {
+
+namespace {
+
+util::Bytes ratchet_once(const util::Bytes& key) {
+  return crypto::hkdf(key, /*salt=*/{}, util::to_bytes("odtn-ratchet"), 32);
+}
+
+}  // namespace
+
+GroupKeySchedule::GroupKeySchedule(const GroupDirectory& directory,
+                                   std::uint64_t seed) {
+  util::Bytes master;
+  util::put_u64le(master, seed);
+  util::append(master, util::to_bytes("odtn-rekeying-v1"));
+  chains_.resize(directory.group_count());
+  for (GroupId g = 0; g < directory.group_count(); ++g) {
+    util::Bytes info = util::to_bytes("epoch0-group");
+    util::put_u32le(info, g);
+    chains_[g].base_key = crypto::hkdf(master, {}, info, 32);
+    chains_[g].cached_epoch = 0;
+    chains_[g].cached_key = chains_[g].base_key;
+  }
+}
+
+const util::Bytes& GroupKeySchedule::key_at(GroupId group, Epoch epoch) const {
+  if (group >= chains_.size()) {
+    throw std::out_of_range("GroupKeySchedule::key_at");
+  }
+  const Chain& c = chains_[group];
+  if (epoch < c.base_epoch) {
+    throw std::invalid_argument(
+        "key_at: epoch precedes the group's last heal (forward security)");
+  }
+  if (epoch < c.cached_epoch) {
+    // Recompute from the base (one-way chain cannot go backwards).
+    c.cached_epoch = c.base_epoch;
+    c.cached_key = c.base_key;
+  }
+  while (c.cached_epoch < epoch) {
+    c.cached_key = ratchet_once(c.cached_key);
+    ++c.cached_epoch;
+  }
+  return c.cached_key;
+}
+
+void GroupKeySchedule::heal(GroupId group, Epoch heal_epoch,
+                            const util::Bytes& fresh_entropy) {
+  if (group >= chains_.size()) {
+    throw std::out_of_range("GroupKeySchedule::heal");
+  }
+  Chain& c = chains_[group];
+  if (heal_epoch <= c.base_epoch) {
+    throw std::invalid_argument("heal: epoch must move forward");
+  }
+  if (fresh_entropy.empty()) {
+    throw std::invalid_argument("heal: fresh entropy required");
+  }
+  util::Bytes ikm = c.base_key;  // bind to the chain's identity
+  util::append(ikm, fresh_entropy);
+  util::Bytes info = util::to_bytes("odtn-heal");
+  util::put_u32le(info, group);
+  util::put_u32le(info, heal_epoch);
+  c.base_key = crypto::hkdf(ikm, {}, info, 32);
+  c.base_epoch = heal_epoch;
+  c.cached_epoch = heal_epoch;
+  c.cached_key = c.base_key;
+}
+
+Epoch GroupKeySchedule::last_heal(GroupId group) const {
+  if (group >= chains_.size()) {
+    throw std::out_of_range("GroupKeySchedule::last_heal");
+  }
+  return chains_[group].base_epoch;
+}
+
+std::pair<Epoch, Epoch> GroupKeySchedule::exposure_window(
+    Epoch captured_epoch, Epoch heal_epoch) {
+  constexpr Epoch kMax = std::numeric_limits<Epoch>::max();
+  if (heal_epoch == 0 || heal_epoch <= captured_epoch) {
+    return {captured_epoch, kMax};  // never healed after capture: open-ended
+  }
+  return {captured_epoch, heal_epoch - 1};
+}
+
+}  // namespace odtn::groups

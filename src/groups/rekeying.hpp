@@ -1,0 +1,75 @@
+// Epoch-based group re-keying with forward security.
+//
+// The paper's adversary keeps everything it ever learned: once a node is
+// compromised, its group's layer is peelable forever. Real deployments
+// rotate group keys (the paper cites secure key-update schemes [14] as the
+// substrate). This module provides a hash-ratchet schedule:
+//
+//   key(group, e+1) = HKDF(key(group, e), "odtn-ratchet")
+//
+// One-wayness of the ratchet gives *forward* security: a key captured at
+// epoch e derives all keys at epochs >= e but none before — so layers of
+// onions sent in past epochs stay sealed. Recovery from compromise
+// ("healing") re-seeds a group's chain with fresh entropy, cutting the
+// adversary off from future epochs too.
+//
+// bench-free module; its security properties are asserted by tests and the
+// exposure-window analysis below.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "groups/group_directory.hpp"
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+
+namespace odtn::groups {
+
+using Epoch = std::uint32_t;
+
+class GroupKeySchedule {
+ public:
+  /// Derives each group's epoch-0 key from `seed`.
+  GroupKeySchedule(const GroupDirectory& directory, std::uint64_t seed);
+
+  std::size_t group_count() const { return chains_.size(); }
+
+  /// Key of `group` at `epoch` (32 bytes). Epochs are absolute; the
+  /// schedule caches the latest computed link of each chain, so asking for
+  /// increasing epochs is O(delta). Asking for an epoch before the group's
+  /// last heal throws std::invalid_argument (those keys are deliberately
+  /// irrecoverable from current state).
+  const util::Bytes& key_at(GroupId group, Epoch epoch) const;
+
+  /// Re-seeds `group`'s chain with fresh entropy effective at
+  /// `heal_epoch`: keys from that epoch on are unrelated to every earlier
+  /// key. Heals must move forward in time.
+  void heal(GroupId group, Epoch heal_epoch, const util::Bytes& fresh_entropy);
+
+  /// Epoch of the group's most recent heal (0 if never healed).
+  Epoch last_heal(GroupId group) const;
+
+  /// Adversary exposure window: given a key captured at `captured_epoch`,
+  /// the inclusive range of epochs the adversary can decrypt, assuming the
+  /// group heals at `heal_epoch` (or never, if heal_epoch == 0 and the
+  /// group was never healed after capture). Returns {captured, heal-1}
+  /// clamped appropriately; an unhealed group yields an open range encoded
+  /// as {captured, max}.
+  static std::pair<Epoch, Epoch> exposure_window(Epoch captured_epoch,
+                                                 Epoch heal_epoch);
+
+ private:
+  struct Chain {
+    Epoch base_epoch = 0;      // epoch of `base_key` (last heal or 0)
+    util::Bytes base_key;      // key at base_epoch
+    // Cache: latest derived (epoch, key) to keep forward queries O(delta).
+    mutable Epoch cached_epoch = 0;
+    mutable util::Bytes cached_key;
+  };
+
+  std::vector<Chain> chains_;
+};
+
+}  // namespace odtn::groups

@@ -1,0 +1,158 @@
+#include "routing/baselines.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace odtn::routing {
+
+namespace {
+
+void check_endpoints(const MessageSpec& spec) {
+  if (spec.src == spec.dst) throw std::invalid_argument("route: src == dst");
+}
+
+}  // namespace
+
+DeliveryResult DirectDelivery::route(sim::ContactModel& contacts,
+                                     const MessageSpec& spec) {
+  check_endpoints(spec);
+  DeliveryResult result;
+  auto ev = contacts.first_contact(spec.src, {spec.dst}, spec.start,
+                                   spec.start + spec.ttl);
+  if (ev.has_value()) {
+    result.delivered = true;
+    result.delay = ev->time - spec.start;
+    result.transmissions = 1;
+  }
+  return result;
+}
+
+DeliveryResult SprayAndWaitRouting::route(sim::ContactModel& contacts,
+                                          const MessageSpec& spec) {
+  check_endpoints(spec);
+  if (spec.copies == 0) {
+    throw std::invalid_argument("SprayAndWaitRouting: copies must be >= 1");
+  }
+  DeliveryResult result;
+  const Time deadline = spec.start + spec.ttl;
+  Time now = spec.start;
+
+  std::unordered_set<NodeId> holders = {spec.src};
+  std::size_t tickets = spec.copies - 1;  // copies the source may spray
+
+  while (true) {
+    // Wait phase event: any holder meets dst. Spray phase event: source
+    // meets a non-holder (while tickets remain). Take whichever is first.
+    std::vector<NodeId> holder_list(holders.begin(), holders.end());
+    auto deliver = contacts.first_cross_contact(holder_list, {spec.dst}, now,
+                                                deadline);
+    std::optional<sim::CrossContact> spray;
+    if (tickets > 0) {
+      std::vector<NodeId> others;
+      for (NodeId v = 0; v < contacts.node_count(); ++v) {
+        if (v != spec.dst && holders.count(v) == 0) others.push_back(v);
+      }
+      spray = contacts.first_contact(spec.src, others, now, deadline);
+    }
+
+    if (deliver.has_value() &&
+        (!spray.has_value() || deliver->time <= spray->time)) {
+      result.delivered = true;
+      result.delay = deliver->time - spec.start;
+      ++result.transmissions;
+      return result;
+    }
+    if (!spray.has_value()) return result;  // deadline with no delivery
+
+    now = spray->time;
+    holders.insert(spray->b);
+    --tickets;
+    ++result.transmissions;
+  }
+}
+
+DeliveryResult BinarySprayAndWaitRouting::route(sim::ContactModel& contacts,
+                                                const MessageSpec& spec) {
+  check_endpoints(spec);
+  if (spec.copies == 0) {
+    throw std::invalid_argument(
+        "BinarySprayAndWaitRouting: copies must be >= 1");
+  }
+  DeliveryResult result;
+  const Time deadline = spec.start + spec.ttl;
+  Time now = spec.start;
+
+  // holder -> remaining tickets.
+  std::unordered_map<NodeId, std::size_t> tickets = {{spec.src, spec.copies}};
+
+  while (true) {
+    // Delivery event: any holder meets dst.
+    std::vector<NodeId> holder_list;
+    holder_list.reserve(tickets.size());
+    for (const auto& [v, t] : tickets) holder_list.push_back(v);
+    auto deliver =
+        contacts.first_cross_contact(holder_list, {spec.dst}, now, deadline);
+
+    // Spray event: a holder with > 1 tickets meets a ticketless node.
+    std::vector<NodeId> sprayers;
+    for (const auto& [v, t] : tickets) {
+      if (t > 1) sprayers.push_back(v);
+    }
+    std::optional<sim::CrossContact> spray;
+    if (!sprayers.empty()) {
+      std::vector<NodeId> others;
+      for (NodeId v = 0; v < contacts.node_count(); ++v) {
+        if (v != spec.dst && tickets.count(v) == 0) others.push_back(v);
+      }
+      spray = contacts.first_cross_contact(sprayers, others, now, deadline);
+    }
+
+    if (deliver.has_value() &&
+        (!spray.has_value() || deliver->time <= spray->time)) {
+      result.delivered = true;
+      result.delay = deliver->time - spec.start;
+      ++result.transmissions;
+      return result;
+    }
+    if (!spray.has_value()) return result;
+
+    now = spray->time;
+    std::size_t& t = tickets[spray->a];
+    std::size_t give = t / 2;
+    t -= give;
+    tickets[spray->b] = give;
+    ++result.transmissions;
+  }
+}
+
+DeliveryResult EpidemicRouting::route(sim::ContactModel& contacts,
+                                      const MessageSpec& spec) {
+  check_endpoints(spec);
+  DeliveryResult result;
+  const Time deadline = spec.start + spec.ttl;
+  Time now = spec.start;
+
+  std::unordered_set<NodeId> infected = {spec.src};
+
+  while (infected.size() < contacts.node_count()) {
+    std::vector<NodeId> holders(infected.begin(), infected.end());
+    std::vector<NodeId> susceptible;
+    for (NodeId v = 0; v < contacts.node_count(); ++v) {
+      if (infected.count(v) == 0) susceptible.push_back(v);
+    }
+    auto ev = contacts.first_cross_contact(holders, susceptible, now, deadline);
+    if (!ev.has_value()) break;
+
+    now = ev->time;
+    infected.insert(ev->b);
+    ++result.transmissions;
+    if (ev->b == spec.dst && !result.delivered) {
+      result.delivered = true;
+      result.delay = now - spec.start;
+    }
+  }
+  return result;
+}
+
+}  // namespace odtn::routing

@@ -1,0 +1,408 @@
+#include "routing/onion_routing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "crypto/aead.hpp"
+
+namespace odtn::routing {
+
+namespace {
+
+// Per-copy crypto state and helpers, shared by both protocols.
+struct CryptoState {
+  bool enabled = false;
+  const OnionContext* ctx = nullptr;
+  crypto::Drbg drbg{std::uint64_t{0}};
+  bool ok = true;  // all link/peel operations succeeded so far
+};
+
+// Models the "secure link" of Algorithms 1-2: the wire packet crosses the
+// contact encrypted under the pair's ECDH session key.
+util::Bytes cross_secure_link(CryptoState& cs, NodeId sender, NodeId receiver,
+                              const util::Bytes& wire) {
+  const util::Bytes& sk = cs.ctx->keys->session_key(sender, receiver);
+  util::Bytes nonce = cs.drbg.generate_nonce();
+  util::Bytes sealed = crypto::aead_seal(sk, nonce, {}, wire);
+  auto opened = crypto::aead_open(sk, nonce, {}, sealed);
+  if (!opened.has_value()) {
+    cs.ok = false;
+    return wire;
+  }
+  return *opened;
+}
+
+// One copy of the message in flight.
+struct Walker {
+  NodeId holder;
+  /// Number of onion layers peeled so far; hop h < K means the copy still
+  /// needs to reach relay group R_{h+1}; h == K means next stop is dst.
+  std::size_t hop = 0;
+  std::vector<NodeId> path;  // relays visited (r_1..)
+  util::Bytes wire;          // current onion packet (kReal mode)
+  bool crypto_ok = true;
+  bool delivered = false;
+};
+
+}  // namespace
+
+SingleCopyOnionRouting::SingleCopyOnionRouting(const OnionContext& context)
+    : ctx_(context) {
+  if (ctx_.directory == nullptr || ctx_.keys == nullptr ||
+      ctx_.codec == nullptr) {
+    throw std::invalid_argument("OnionContext: null component");
+  }
+}
+
+DeliveryResult SingleCopyOnionRouting::route(
+    sim::ContactModel& contacts, const MessageSpec& spec, util::Rng& rng,
+    const std::vector<GroupId>* forced_groups) {
+  if (spec.copies != 1) {
+    throw std::invalid_argument("SingleCopyOnionRouting: copies must be 1");
+  }
+  if (spec.src == spec.dst) {
+    throw std::invalid_argument("route: src == dst");
+  }
+  const std::size_t k = spec.num_relays;
+  const auto& dir = *ctx_.directory;
+
+  DeliveryResult result;
+  result.relay_groups = forced_groups != nullptr
+                            ? *forced_groups
+                            : dir.select_relay_groups(spec.src, spec.dst, k, rng);
+  if (result.relay_groups.size() != k) {
+    throw std::invalid_argument("route: wrong relay group count");
+  }
+  result.relays_per_hop.assign(k, {});
+
+  const bool group_mode = spec.destination_group_delivery;
+  const GroupId dst_group = group_mode ? dir.group_of(spec.dst) : kInvalidGroup;
+
+  CryptoState cs;
+  cs.enabled = (ctx_.crypto == CryptoMode::kReal);
+  cs.ctx = &ctx_;
+  util::Bytes wire;
+  if (cs.enabled) {
+    cs.drbg = crypto::Drbg(rng.next());
+    wire = ctx_.codec->build(spec.payload, spec.dst, result.relay_groups,
+                             *ctx_.keys, cs.drbg, dst_group);
+  }
+
+  const Time deadline = spec.start + spec.ttl;
+  NodeId holder = spec.src;
+  Time now = spec.start;
+
+  // Relay phase: hops through R_1..R_K.
+  for (std::size_t hop = 0; hop < k; ++hop) {
+    std::vector<NodeId> targets;
+    for (NodeId m : dir.members(result.relay_groups[hop])) {
+      if (m != holder) targets.push_back(m);
+    }
+    auto contact = contacts.first_contact(holder, targets, now, deadline);
+    if (!contact.has_value()) return result;  // deadline passed: Algorithm 1 FAIL
+
+    NodeId receiver = contact->b;
+    now = contact->time;
+    ++result.transmissions;
+
+    if (cs.enabled) {
+      util::Bytes received = cross_secure_link(cs, holder, receiver, wire);
+      auto peeled = ctx_.codec->peel(
+          received, ctx_.keys->group_key(result.relay_groups[hop]), cs.drbg);
+      bool last = (hop + 1 == k);
+      bool expected =
+          peeled.has_value() &&
+          ((!last && peeled->type == onion::Peeled::Type::kRelay &&
+            peeled->next_group == result.relay_groups[hop + 1]) ||
+           (last && !group_mode &&
+            peeled->type == onion::Peeled::Type::kDeliver &&
+            peeled->dest == spec.dst) ||
+           (last && group_mode &&
+            peeled->type == onion::Peeled::Type::kRelay &&
+            peeled->next_group == dst_group));
+      if (!expected) {
+        cs.ok = false;
+      } else {
+        wire = std::move(peeled->next_wire);
+      }
+    }
+
+    result.relay_path.push_back(receiver);
+    result.relays_per_hop[hop].push_back(receiver);
+    holder = receiver;
+  }
+
+  // Delivery phase.
+  if (!group_mode) {
+    auto contact = contacts.first_contact(holder, {spec.dst}, now, deadline);
+    if (!contact.has_value()) return result;
+    now = contact->time;
+    ++result.transmissions;
+    if (cs.enabled) {
+      util::Bytes received = cross_secure_link(cs, holder, spec.dst, wire);
+      auto final_layer =
+          ctx_.codec->peel(received, ctx_.keys->inbox_key(spec.dst), cs.drbg);
+      cs.ok = cs.ok && final_layer.has_value() &&
+              final_layer->type == onion::Peeled::Type::kFinal &&
+              final_layer->payload == spec.payload;
+    }
+  } else {
+    // Destination-group phase: the R_K relay hands the onion to *any*
+    // member of the destination's group; the packet then walks the group
+    // (skipping members that already held it) until the destination opens
+    // the final layer. Relays and carriers learn only the group.
+    std::unordered_set<NodeId> visited = {holder};
+    bool group_layer_peeled = false;
+    while (holder != spec.dst) {
+      std::vector<NodeId> targets;
+      for (NodeId m : dir.members(dst_group)) {
+        if (m != holder && visited.count(m) == 0) targets.push_back(m);
+      }
+      auto contact = contacts.first_contact(holder, targets, now, deadline);
+      if (!contact.has_value()) return result;
+      NodeId receiver = contact->b;
+      now = contact->time;
+      ++result.transmissions;
+      if (group_layer_peeled) ++result.intra_group_hops;
+
+      if (cs.enabled) {
+        util::Bytes received = cross_secure_link(cs, holder, receiver, wire);
+        if (!group_layer_peeled) {
+          auto peeled =
+              ctx_.codec->peel(received, ctx_.keys->group_key(dst_group),
+                               cs.drbg);
+          if (!peeled.has_value() ||
+              peeled->type != onion::Peeled::Type::kDeliverGroup ||
+              peeled->next_group != dst_group) {
+            cs.ok = false;
+          } else {
+            wire = std::move(peeled->next_wire);
+          }
+        } else {
+          wire = std::move(received);
+        }
+        if (receiver == spec.dst) {
+          auto final_layer = ctx_.codec->peel(
+              wire, ctx_.keys->inbox_key(spec.dst), cs.drbg);
+          cs.ok = cs.ok && final_layer.has_value() &&
+                  final_layer->type == onion::Peeled::Type::kFinal &&
+                  final_layer->payload == spec.payload;
+        }
+      }
+      group_layer_peeled = true;
+      visited.insert(receiver);
+      holder = receiver;
+    }
+  }
+
+  result.delivered = true;
+  result.delay = now - spec.start;
+  result.crypto_verified = cs.enabled && cs.ok;
+  return result;
+}
+
+MultiCopyOnionRouting::MultiCopyOnionRouting(const OnionContext& context,
+                                             SprayMode mode)
+    : ctx_(context), mode_(mode) {
+  if (ctx_.directory == nullptr || ctx_.keys == nullptr ||
+      ctx_.codec == nullptr) {
+    throw std::invalid_argument("OnionContext: null component");
+  }
+}
+
+DeliveryResult MultiCopyOnionRouting::route(
+    sim::ContactModel& contacts, const MessageSpec& spec, util::Rng& rng,
+    const std::vector<GroupId>* forced_groups) {
+  if (spec.copies == 0) {
+    throw std::invalid_argument("MultiCopyOnionRouting: copies must be >= 1");
+  }
+  if (spec.destination_group_delivery) {
+    throw std::invalid_argument(
+        "MultiCopyOnionRouting: destination-group delivery is single-copy "
+        "only");
+  }
+  if (spec.src == spec.dst) {
+    throw std::invalid_argument("route: src == dst");
+  }
+  const std::size_t k = spec.num_relays;
+  const std::size_t l = spec.copies;
+  const auto& dir = *ctx_.directory;
+
+  DeliveryResult result;
+  result.relay_groups = forced_groups != nullptr
+                            ? *forced_groups
+                            : dir.select_relay_groups(spec.src, spec.dst, k, rng);
+  result.relays_per_hop.assign(k, {});
+
+  CryptoState cs;
+  cs.enabled = (ctx_.crypto == CryptoMode::kReal);
+  cs.ctx = &ctx_;
+  util::Bytes original_wire;
+  if (cs.enabled) {
+    cs.drbg = crypto::Drbg(rng.next());
+    original_wire = ctx_.codec->build(spec.payload, spec.dst,
+                                      result.relay_groups, *ctx_.keys, cs.drbg);
+  }
+
+  const Time deadline = spec.start + spec.ttl;
+  Time now = spec.start;
+
+  // Nodes that have ever held (or been handed) the message; Forward() in
+  // Algorithm 2 declines peers that already have m.
+  std::unordered_set<NodeId> seen = {spec.src};
+
+  // Source's remaining spray tickets (copies it may still hand out).
+  // In kSprayAndWait the source retains one copy for itself and sprays the
+  // other l-1 to arbitrary nodes; in kDirectToFirstGroup all l tickets go
+  // to members of R_1.
+  std::size_t source_tickets = (mode_ == SprayMode::kSprayAndWait) ? l - 1 : l;
+  bool source_active = source_tickets > 0;
+
+  std::vector<Walker> walkers;
+  if (mode_ == SprayMode::kSprayAndWait) {
+    // The source's own copy behaves like a carrier waiting for R_1.
+    Walker w;
+    w.holder = spec.src;
+    w.hop = 0;
+    w.wire = original_wire;
+    walkers.push_back(std::move(w));
+  }
+
+  // Targets a walker is currently waiting for.
+  auto walker_targets = [&](const Walker& w) {
+    std::vector<NodeId> targets;
+    if (w.hop < k) {
+      for (NodeId m : dir.members(result.relay_groups[w.hop])) {
+        if (m != w.holder && seen.count(m) == 0) targets.push_back(m);
+      }
+    } else if (seen.count(spec.dst) == 0) {
+      // Forward() declines peers that already have m — once one copy has
+      // been delivered, dst is in `seen` and later copies are not re-sent.
+      targets.push_back(spec.dst);
+    }
+    return targets;
+  };
+
+  auto spray_targets = [&] {
+    std::vector<NodeId> targets;
+    if (mode_ == SprayMode::kDirectToFirstGroup) {
+      for (NodeId m : dir.members(result.relay_groups[0])) {
+        if (seen.count(m) == 0) targets.push_back(m);
+      }
+    } else {
+      for (NodeId v = 0; v < contacts.node_count(); ++v) {
+        if (v != spec.dst && seen.count(v) == 0) {
+          targets.push_back(v);
+        }
+      }
+    }
+    return targets;
+  };
+
+  while (true) {
+    // Find the earliest pending event across the source sprayer and all
+    // live walkers. Re-querying from `now` each iteration is exact for the
+    // Poisson model (memorylessness) and a plain re-scan for traces.
+    struct Pending {
+      Time time;
+      int agent;  // -1 = source sprayer, otherwise walker index
+      NodeId receiver;
+    };
+    std::optional<Pending> best;
+
+    if (source_active) {
+      auto ev = contacts.first_contact(spec.src, spray_targets(), now, deadline);
+      if (ev.has_value()) best = Pending{ev->time, -1, ev->b};
+    }
+    for (std::size_t i = 0; i < walkers.size(); ++i) {
+      if (walkers[i].delivered) continue;
+      auto ev = contacts.first_contact(walkers[i].holder, walker_targets(walkers[i]),
+                                       now, deadline);
+      if (ev.has_value() && (!best || ev->time < best->time)) {
+        best = Pending{ev->time, static_cast<int>(i), ev->b};
+      }
+    }
+    if (!best.has_value()) break;  // every copy is stuck until the deadline
+    now = best->time;
+
+    if (best->agent == -1) {
+      // Source hands out one copy.
+      ++result.transmissions;
+      seen.insert(best->receiver);
+      --source_tickets;
+      if (source_tickets == 0) source_active = false;
+
+      Walker w;
+      w.holder = best->receiver;
+      w.wire = original_wire;
+      if (mode_ == SprayMode::kDirectToFirstGroup) {
+        // Receiver is a member of R_1 and peels layer 1 immediately.
+        if (cs.enabled) {
+          util::Bytes received =
+              cross_secure_link(cs, spec.src, best->receiver, original_wire);
+          auto peeled = ctx_.codec->peel(
+              received, ctx_.keys->group_key(result.relay_groups[0]), cs.drbg);
+          w.crypto_ok = peeled.has_value();
+          if (peeled.has_value()) w.wire = std::move(peeled->next_wire);
+        }
+        w.hop = 1;
+        w.path.push_back(best->receiver);
+        result.relays_per_hop[0].push_back(best->receiver);
+      } else {
+        // Receiver is a plain carrier; it cannot peel anything.
+        if (cs.enabled) {
+          w.wire = cross_secure_link(cs, spec.src, best->receiver, original_wire);
+        }
+        w.hop = 0;
+      }
+      walkers.push_back(std::move(w));
+      continue;
+    }
+
+    // A walker forwards its copy.
+    Walker& w = walkers[static_cast<std::size_t>(best->agent)];
+    NodeId receiver = best->receiver;
+    ++result.transmissions;
+    seen.insert(receiver);
+
+    if (cs.enabled) {
+      util::Bytes received = cross_secure_link(cs, w.holder, receiver, w.wire);
+      if (w.hop < k) {
+        auto peeled = ctx_.codec->peel(
+            received, ctx_.keys->group_key(result.relay_groups[w.hop]), cs.drbg);
+        if (!peeled.has_value()) {
+          w.crypto_ok = false;
+        } else {
+          w.wire = std::move(peeled->next_wire);
+        }
+      } else {
+        auto final_layer =
+            ctx_.codec->peel(received, ctx_.keys->inbox_key(spec.dst), cs.drbg);
+        w.crypto_ok = w.crypto_ok && final_layer.has_value() &&
+                      final_layer->type == onion::Peeled::Type::kFinal &&
+                      final_layer->payload == spec.payload;
+      }
+    }
+
+    if (w.hop < k) {
+      w.path.push_back(receiver);
+      result.relays_per_hop[w.hop].push_back(receiver);
+      w.holder = receiver;
+      ++w.hop;
+    } else {
+      // Delivered to dst.
+      w.delivered = true;
+      if (!result.delivered) {
+        result.delivered = true;
+        result.delay = now - spec.start;
+        result.relay_path = w.path;
+        result.crypto_verified = cs.enabled && cs.ok && w.crypto_ok;
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace odtn::routing

@@ -1,0 +1,73 @@
+// Onion-based anonymous routing for DTNs: the paper's abstract protocols.
+//
+// SingleCopyOnionRouting implements Algorithm 1 (ARDEN-like): exactly one
+// copy hops through K randomly-chosen relay onion groups; at each contact,
+// the holder forwards iff the peer belongs to the next group.
+//
+// MultiCopyOnionRouting implements Algorithm 2: up to L copies, managed
+// with spray-and-wait-style tickets. Two spray strategies are provided:
+//   * kDirectToFirstGroup — Algorithm 2 read literally: the source hands
+//     every copy directly to (distinct) members of R_1.
+//   * kSprayAndWait — the simulation section's "source spray-and-wait"
+//     augmentation: the source sprays L-1 copies to the first nodes it
+//     meets (any node); each sprayed holder then waits for a member of R_1.
+//     This matches the cost bound 1 + 2(L-1) + KL <= (K+2)L of Sec. IV-C.
+// After the first hop both modes behave identically (each holder has one
+// ticket).
+#pragma once
+
+#include "crypto/drbg.hpp"
+#include "groups/group_directory.hpp"
+#include "groups/key_manager.hpp"
+#include "onion/onion.hpp"
+#include "routing/types.hpp"
+#include "sim/contact_model.hpp"
+#include "util/rng.hpp"
+
+namespace odtn::routing {
+
+/// Context shared by the onion protocols: group membership, keys, codec.
+/// All references must outlive the protocol objects.
+struct OnionContext {
+  const groups::GroupDirectory* directory;
+  const groups::KeyManager* keys;
+  const onion::OnionCodec* codec;
+  CryptoMode crypto = CryptoMode::kNone;
+};
+
+class SingleCopyOnionRouting {
+ public:
+  explicit SingleCopyOnionRouting(const OnionContext& context);
+
+  /// Routes one message. `spec.copies` must be 1. If `forced_groups` is
+  /// non-null it overrides random relay-group selection (used by tests and
+  /// by the analysis-vs-simulation benches, which must evaluate both on the
+  /// same group realization).
+  DeliveryResult route(sim::ContactModel& contacts, const MessageSpec& spec,
+                       util::Rng& rng,
+                       const std::vector<GroupId>* forced_groups = nullptr);
+
+ private:
+  OnionContext ctx_;
+};
+
+enum class SprayMode {
+  kDirectToFirstGroup,
+  kSprayAndWait,
+};
+
+class MultiCopyOnionRouting {
+ public:
+  MultiCopyOnionRouting(const OnionContext& context,
+                        SprayMode mode = SprayMode::kSprayAndWait);
+
+  DeliveryResult route(sim::ContactModel& contacts, const MessageSpec& spec,
+                       util::Rng& rng,
+                       const std::vector<GroupId>* forced_groups = nullptr);
+
+ private:
+  OnionContext ctx_;
+  SprayMode mode_;
+};
+
+}  // namespace odtn::routing

@@ -1,0 +1,107 @@
+#include "routing/prophet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace odtn::routing {
+
+PredictabilityTable::PredictabilityTable(std::size_t n,
+                                         const ProphetOptions& options)
+    : n_(n), options_(options) {
+  if (n < 2) throw std::invalid_argument("PredictabilityTable: n < 2");
+  if (!(options_.p_init > 0.0) || options_.p_init > 1.0 ||
+      options_.beta < 0.0 || options_.beta > 1.0 ||
+      !(options_.gamma > 0.0) || options_.gamma > 1.0 ||
+      !(options_.aging_unit > 0.0)) {
+    throw std::invalid_argument("PredictabilityTable: bad options");
+  }
+  p_.assign(n * n, 0.0);
+  last_update_.assign(n, 0.0);
+}
+
+double PredictabilityTable::get(NodeId a, NodeId b) const {
+  if (a >= n_ || b >= n_) throw std::out_of_range("PredictabilityTable::get");
+  return p_[a * n_ + b];
+}
+
+void PredictabilityTable::age_row(NodeId a, Time now) {
+  double elapsed = now - last_update_[a];
+  if (elapsed <= 0.0) return;
+  double factor = std::pow(options_.gamma, elapsed / options_.aging_unit);
+  for (std::size_t b = 0; b < n_; ++b) p_[a * n_ + b] *= factor;
+  last_update_[a] = now;
+}
+
+void PredictabilityTable::on_contact(NodeId a, NodeId b, Time now) {
+  if (a >= n_ || b >= n_ || a == b) {
+    throw std::invalid_argument("PredictabilityTable::on_contact");
+  }
+  age_row(a, now);
+  age_row(b, now);
+
+  // Direct reinforcement (symmetric encounters).
+  p_[a * n_ + b] += (1.0 - p_[a * n_ + b]) * options_.p_init;
+  p_[b * n_ + a] += (1.0 - p_[b * n_ + a]) * options_.p_init;
+
+  // Transitivity: each side learns from the other's table.
+  for (std::size_t c = 0; c < n_; ++c) {
+    if (c == a || c == b) continue;
+    double via_b = p_[a * n_ + b] * p_[b * n_ + c] * options_.beta;
+    p_[a * n_ + c] += (1.0 - p_[a * n_ + c]) * via_b;
+    double via_a = p_[b * n_ + a] * p_[a * n_ + c] * options_.beta;
+    p_[b * n_ + c] += (1.0 - p_[b * n_ + c]) * via_a;
+  }
+}
+
+ProphetRouting::ProphetRouting(ProphetOptions options)
+    : options_(options) {
+  // Validate via the table's constructor rules.
+  PredictabilityTable probe(2, options_);
+}
+
+ProphetResult ProphetRouting::route(const trace::ContactTrace& trace,
+                                    const MessageSpec& spec) {
+  if (spec.src == spec.dst) {
+    throw std::invalid_argument("route: src == dst");
+  }
+  if (spec.src >= trace.node_count() || spec.dst >= trace.node_count()) {
+    throw std::invalid_argument("route: unknown endpoint");
+  }
+
+  const Time deadline = spec.start + spec.ttl;
+  PredictabilityTable table(trace.node_count(), options_);
+  std::unordered_set<NodeId> holders = {spec.src};
+
+  ProphetResult result;
+  for (const auto& event : trace.events()) {
+    if (event.time >= deadline) break;
+    // Predictabilities learn from the whole trace prefix, including events
+    // before the message exists.
+    table.on_contact(event.a, event.b, event.time);
+    if (event.time < spec.start) continue;
+    if (result.delivered) continue;
+
+    for (auto [u, v] : {std::pair<NodeId, NodeId>{event.a, event.b},
+                        std::pair<NodeId, NodeId>{event.b, event.a}}) {
+      if (holders.count(u) == 0 || holders.count(v) > 0) continue;
+      if (v == spec.dst) {
+        holders.insert(v);
+        ++result.transmissions;
+        result.delivered = true;
+        result.delay = event.time - spec.start;
+        break;
+      }
+      // Forwarding rule: copy to peers with strictly better
+      // predictability toward the destination.
+      if (table.get(v, spec.dst) > table.get(u, spec.dst)) {
+        holders.insert(v);
+        ++result.transmissions;
+      }
+    }
+  }
+  result.carriers = holders.size();
+  return result;
+}
+
+}  // namespace odtn::routing

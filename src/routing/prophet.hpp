@@ -1,0 +1,79 @@
+// PRoPHET — Probabilistic Routing Protocol using History of Encounters and
+// Transitivity (Lindgren, Doria, Schelen, 2003).
+//
+// The paper's related work (Sec. VI-A) observes that "the use of past
+// contact history significantly improves the delivery rate for a given
+// forwarding cost". PRoPHET is the canonical instance of that family and
+// serves here as the history-based, non-anonymous baseline: each node
+// maintains delivery predictabilities P(a, b) updated on encounters
+// (direct reinforcement), decayed over time (aging), and propagated
+// through relays (transitivity). A holder forwards a copy to a peer whose
+// predictability toward the destination exceeds its own.
+//
+// Trace-driven: predictabilities must be learned from the same contact
+// sequence the message rides, so routing consumes an explicit
+// ContactTrace (for random graphs, use trace::sample_poisson_trace).
+#pragma once
+
+#include <vector>
+
+#include "routing/types.hpp"
+#include "trace/contact_trace.hpp"
+
+namespace odtn::routing {
+
+struct ProphetOptions {
+  double p_init = 0.75;   // direct-encounter reinforcement
+  double beta = 0.25;     // transitivity weight
+  double gamma = 0.98;    // aging factor per time unit
+  double aging_unit = 60.0;  // seconds (or sim units) per aging step
+  /// Contact history before `spec.start` used to warm predictabilities up.
+  /// 0 = learn only from pre-start events that exist in the trace anyway.
+  double warmup = 0.0;  // reserved; the full trace prefix is always used
+};
+
+/// Per-message outcome plus protocol-wide cost.
+struct ProphetResult {
+  bool delivered = false;
+  Time delay = kTimeInfinity;
+  std::size_t transmissions = 0;
+  /// Nodes that ever carried a copy (forwarding tree size).
+  std::size_t carriers = 0;
+};
+
+class ProphetRouting {
+ public:
+  explicit ProphetRouting(ProphetOptions options = {});
+
+  ProphetResult route(const trace::ContactTrace& trace,
+                      const MessageSpec& spec);
+
+  const ProphetOptions& options() const { return options_; }
+
+ private:
+  ProphetOptions options_;
+};
+
+/// The predictability table, exposed as its own class so the update rules
+/// are unit-testable in isolation.
+class PredictabilityTable {
+ public:
+  PredictabilityTable(std::size_t n, const ProphetOptions& options);
+
+  double get(NodeId a, NodeId b) const;
+
+  /// Applies aging to every entry of `a`'s row up to `now`, then the
+  /// direct-encounter update for (a, b) and (b, a), then transitivity
+  /// through both endpoints.
+  void on_contact(NodeId a, NodeId b, Time now);
+
+ private:
+  void age_row(NodeId a, Time now);
+
+  std::size_t n_;
+  ProphetOptions options_;
+  std::vector<double> p_;          // row-major n*n
+  std::vector<Time> last_update_;  // per row
+};
+
+}  // namespace odtn::routing

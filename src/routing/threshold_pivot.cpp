@@ -1,0 +1,176 @@
+#include "routing/threshold_pivot.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/aead.hpp"
+
+namespace odtn::routing {
+
+namespace {
+
+// A share in flight: src -> relay (one onion-group hop) -> pivot.
+struct ShareWalker {
+  std::size_t index;
+  GroupId relay_group;
+  NodeId holder;
+  bool at_relay = false;   // has completed the src -> relay hop
+  bool at_pivot = false;
+  NodeId relay = kInvalidNode;
+};
+
+}  // namespace
+
+ThresholdPivotRouting::ThresholdPivotRouting(
+    const groups::GroupDirectory& directory, const groups::KeyManager& keys,
+    TpsOptions options, CryptoMode crypto)
+    : directory_(&directory),
+      keys_(&keys),
+      options_(options),
+      crypto_(crypto) {
+  if (options_.threshold == 0 || options_.threshold > options_.share_count) {
+    throw std::invalid_argument("ThresholdPivotRouting: bad threshold");
+  }
+  if (options_.share_count > 255) {
+    throw std::invalid_argument("ThresholdPivotRouting: too many shares");
+  }
+}
+
+TpsResult ThresholdPivotRouting::route(sim::ContactModel& contacts,
+                                       const MessageSpec& spec,
+                                       util::Rng& rng) {
+  if (spec.src == spec.dst) {
+    throw std::invalid_argument("route: src == dst");
+  }
+  const std::size_t n = contacts.node_count();
+  if (n < 3) throw std::invalid_argument("TPS: need at least 3 nodes");
+
+  TpsResult result;
+  result.share_relays.assign(options_.share_count, kInvalidNode);
+
+  // Pick a pivot distinct from both endpoints.
+  NodeId pivot = static_cast<NodeId>(rng.below(n));
+  while (pivot == spec.src || pivot == spec.dst) {
+    pivot = static_cast<NodeId>(rng.below(n));
+  }
+  result.pivot = pivot;
+
+  // Each share gets its own random relay group (sampled independently; TPS
+  // does not require distinct groups across shares).
+  std::vector<ShareWalker> shares(options_.share_count);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    shares[i].index = i;
+    auto groups = directory_->select_relay_groups(spec.src, spec.dst, 1, rng);
+    shares[i].relay_group = groups[0];
+    shares[i].holder = spec.src;
+  }
+
+  // Real crypto: split the payload, seal each share for the pivot.
+  crypto::Drbg drbg(rng.next());
+  std::vector<crypto::Share> crypto_shares;
+  std::vector<util::Bytes> sealed_shares(options_.share_count);
+  if (crypto_ == CryptoMode::kReal) {
+    crypto_shares = crypto::shamir_split(spec.payload, options_.threshold,
+                                         options_.share_count, drbg);
+    for (std::size_t i = 0; i < crypto_shares.size(); ++i) {
+      util::Bytes plain;
+      plain.push_back(crypto_shares[i].x);
+      util::append(plain, crypto_shares[i].data);
+      util::Bytes nonce = drbg.generate_nonce();
+      util::Bytes sealed = nonce;
+      util::append(sealed, crypto::aead_seal(keys_->inbox_key(pivot), nonce,
+                                             {}, plain));
+      sealed_shares[i] = std::move(sealed);
+    }
+  }
+
+  const Time deadline = spec.start + spec.ttl;
+  Time now = spec.start;
+  std::size_t arrived = 0;
+  Time pivot_ready_at = kTimeInfinity;
+
+  // Phase 1+2 interleaved: every share progresses independently.
+  while (true) {
+    struct Pending {
+      Time time;
+      std::size_t share;
+      NodeId receiver;
+    };
+    std::optional<Pending> best;
+    for (auto& s : shares) {
+      if (s.at_pivot) continue;
+      std::vector<NodeId> targets;
+      if (!s.at_relay) {
+        for (NodeId m : directory_->members(s.relay_group)) {
+          if (m != s.holder && m != pivot) targets.push_back(m);
+        }
+      } else {
+        targets.push_back(pivot);
+      }
+      auto ev = contacts.first_contact(s.holder, targets, now, deadline);
+      if (ev.has_value() && (!best || ev->time < best->time)) {
+        best = Pending{ev->time, s.index, ev->b};
+      }
+    }
+    if (!best.has_value()) break;
+
+    now = best->time;
+    auto& s = shares[best->share];
+    ++result.transmissions;
+    if (!s.at_relay) {
+      s.at_relay = true;
+      s.relay = best->receiver;
+      s.holder = best->receiver;
+      result.share_relays[s.index] = best->receiver;
+    } else {
+      s.at_pivot = true;
+      ++arrived;
+      if (arrived == options_.threshold) {
+        pivot_ready_at = now;
+        break;  // pivot can reconstruct; remaining shares are irrelevant
+      }
+    }
+  }
+  result.shares_at_pivot = arrived;
+  if (arrived < options_.threshold) return result;
+
+  // Pivot-side reconstruction (kReal).
+  util::Bytes reconstructed;
+  bool crypto_ok = true;
+  if (crypto_ == CryptoMode::kReal) {
+    std::vector<crypto::Share> received;
+    for (const auto& s : shares) {
+      if (!s.at_pivot) continue;
+      const util::Bytes& sealed = sealed_shares[s.index];
+      util::Bytes nonce(sealed.begin(), sealed.begin() + 12);
+      util::Bytes body(sealed.begin() + 12, sealed.end());
+      auto plain = crypto::aead_open(keys_->inbox_key(pivot), nonce, {}, body);
+      if (!plain.has_value() || plain->empty()) {
+        crypto_ok = false;
+        continue;
+      }
+      crypto::Share share;
+      share.x = (*plain)[0];
+      share.data.assign(plain->begin() + 1, plain->end());
+      received.push_back(std::move(share));
+    }
+    if (received.size() >= options_.threshold) {
+      reconstructed = crypto::shamir_reconstruct(received, options_.threshold);
+      crypto_ok = crypto_ok && reconstructed == spec.payload;
+    } else {
+      crypto_ok = false;
+    }
+  }
+
+  // Phase 3: pivot -> dst. (This is the step that reveals the destination
+  // to the pivot — TPS's known anonymity concession.)
+  auto ev = contacts.first_contact(pivot, {spec.dst}, pivot_ready_at, deadline);
+  if (!ev.has_value()) return result;
+  ++result.transmissions;
+  result.delivered = true;
+  result.delay = ev->time - spec.start;
+  result.crypto_verified = (crypto_ == CryptoMode::kReal) && crypto_ok;
+  return result;
+}
+
+}  // namespace odtn::routing

@@ -1,0 +1,67 @@
+// Threshold Pivot Scheme (TPS) — Jansen & Beverly, MILCOM 2011.
+//
+// The alternative anonymous DTN routing the paper discusses in Sec. VI-C:
+// instead of nesting K onion layers (long sequential paths), the source
+// splits the message into `share_count` Shamir shares with threshold
+// `threshold`; each share travels through ONE onion-group relay to a
+// common pivot node. The pivot reconstructs once `threshold` shares have
+// arrived and forwards the message to the destination.
+//
+// Trade-off vs onion routing (exercised by bench/ablation_tps_vs_onion):
+// shares travel in parallel, so delay resembles a 2-hop path instead of a
+// (K+1)-hop path — but the destination's identity is revealed to the
+// pivot, which onion routing never does.
+#pragma once
+
+#include "crypto/drbg.hpp"
+#include "crypto/shamir.hpp"
+#include "groups/group_directory.hpp"
+#include "groups/key_manager.hpp"
+#include "routing/types.hpp"
+#include "sim/contact_model.hpp"
+#include "util/rng.hpp"
+
+namespace odtn::routing {
+
+struct TpsOptions {
+  std::size_t share_count = 5;  // s: shares created by the source
+  std::size_t threshold = 3;    // tau: shares the pivot needs
+};
+
+struct TpsResult {
+  bool delivered = false;
+  Time delay = kTimeInfinity;
+  std::size_t transmissions = 0;
+  /// Shares that reached the pivot within the deadline.
+  std::size_t shares_at_pivot = 0;
+  NodeId pivot = kInvalidNode;
+  /// The relay each share passed through (kInvalidNode if it never left
+  /// the source); indices follow share order.
+  std::vector<NodeId> share_relays;
+  /// kReal mode: the pivot reconstructed the payload and the destination
+  /// received it intact.
+  bool crypto_verified = false;
+};
+
+class ThresholdPivotRouting {
+ public:
+  ThresholdPivotRouting(const groups::GroupDirectory& directory,
+                        const groups::KeyManager& keys,
+                        TpsOptions options = {},
+                        CryptoMode crypto = CryptoMode::kNone);
+
+  /// Routes one message. `spec.num_relays` and `spec.copies` are ignored
+  /// (TPS has its own share parameters).
+  TpsResult route(sim::ContactModel& contacts, const MessageSpec& spec,
+                  util::Rng& rng);
+
+  const TpsOptions& options() const { return options_; }
+
+ private:
+  const groups::GroupDirectory* directory_;
+  const groups::KeyManager* keys_;
+  TpsOptions options_;
+  CryptoMode crypto_;
+};
+
+}  // namespace odtn::routing

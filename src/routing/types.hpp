@@ -1,0 +1,68 @@
+// Shared routing types: message specification and delivery outcome.
+#pragma once
+
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+
+namespace odtn::routing {
+
+/// Whether protocol runs carry real layered onions (X25519 secure links,
+/// ChaCha20-Poly1305 layers) or only simulate the forwarding decisions.
+/// Metrics are identical in both modes — the paper's performance/security
+/// measures depend on forwarding dynamics, not on the cipher — so the
+/// figure benches default to kNone while correctness tests use kReal.
+enum class CryptoMode {
+  kNone,
+  kReal,
+};
+
+struct MessageSpec {
+  NodeId src = 0;
+  NodeId dst = 1;
+  /// Time at which the source starts trying to forward.
+  Time start = 0.0;
+  /// Message deadline T, relative to `start` (Table I).
+  Time ttl = 1800.0;
+  /// Number of relay onion groups K the message travels through.
+  std::size_t num_relays = 3;
+  /// Number of copies L (1 = single-copy forwarding).
+  std::size_t copies = 1;
+  /// ARDEN's destination-anonymity option ("the last hop forms an onion
+  /// group"): the final relay learns only the destination's group; the
+  /// message then circulates inside that group until the destination opens
+  /// it. Single-copy forwarding only.
+  bool destination_group_delivery = false;
+  /// Application payload (used in CryptoMode::kReal).
+  util::Bytes payload;
+};
+
+struct DeliveryResult {
+  bool delivered = false;
+  /// Delay of the first delivered copy (relative to start); meaningful only
+  /// when delivered.
+  Time delay = kTimeInfinity;
+  /// Total number of message transmissions in the whole network, across all
+  /// copies, until every copy was delivered, discarded, or expired
+  /// (the cost metric of Sec. IV-C).
+  std::size_t transmissions = 0;
+  /// Relay nodes r_1..r_K of the first delivered copy, in hop order
+  /// (excludes src and dst). Empty if not delivered.
+  std::vector<NodeId> relay_path;
+  /// For hop k (0-based index: k = 0 is relay hop R_1), the set of nodes
+  /// that relayed *any* copy at that hop. Single-copy: one node per hop of
+  /// the delivered path. Multi-copy: up to L per hop. Used by the
+  /// multi-copy anonymity measurement (Sec. IV-F).
+  std::vector<std::vector<NodeId>> relays_per_hop;
+  /// The relay groups R_1..R_K the source selected.
+  std::vector<GroupId> relay_groups;
+  /// Destination-group delivery only: extra transfers spent circulating
+  /// inside the destination's group before the destination received it.
+  std::size_t intra_group_hops = 0;
+  /// kReal mode only: destination decrypted the onion payload and it
+  /// matched the original message.
+  bool crypto_verified = false;
+};
+
+}  // namespace odtn::routing

@@ -1,0 +1,86 @@
+#include "sim/contact_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace odtn::sim {
+
+PoissonContactModel::PoissonContactModel(const graph::ContactGraph& graph,
+                                         util::Rng& rng)
+    : graph_(&graph), rng_(&rng) {}
+
+std::optional<CrossContact> PoissonContactModel::first_cross_contact(
+    const std::vector<NodeId>& from, const std::vector<NodeId>& to,
+    Time after, Time horizon) {
+  if (!(horizon > after)) return std::nullopt;
+
+  // Collect candidate unordered pairs and their rates. A pair reachable via
+  // both orientations (when the sets overlap) must be counted once.
+  struct Pair {
+    NodeId a, b;
+    double rate;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(from.size() * to.size());
+  std::unordered_set<std::uint64_t> seen;
+  double total = 0.0;
+  for (NodeId a : from) {
+    for (NodeId b : to) {
+      if (a == b) continue;
+      NodeId lo = std::min(a, b), hi = std::max(a, b);
+      std::uint64_t key = (std::uint64_t{lo} << 32) | hi;
+      if (!seen.insert(key).second) continue;
+      double r = graph_->rate(a, b);
+      if (r > 0.0) {
+        pairs.push_back({a, b, r});
+        total += r;
+      }
+    }
+  }
+  if (pairs.empty() || total <= 0.0) return std::nullopt;
+
+  // Superposition of Poisson processes: the first event arrives after an
+  // Exp(total) wait and belongs to pair p with probability rate_p / total.
+  Time t = after + rng_->exponential(total);
+  if (t >= horizon) return std::nullopt;
+
+  double pick = rng_->uniform01() * total;
+  double cum = 0.0;
+  for (const auto& p : pairs) {
+    cum += p.rate;
+    if (pick < cum) return CrossContact{t, p.a, p.b};
+  }
+  // Floating-point slack: return the last pair.
+  const auto& p = pairs.back();
+  return CrossContact{t, p.a, p.b};
+}
+
+TraceContactModel::TraceContactModel(const trace::ContactTrace& trace)
+    : trace_(&trace) {}
+
+std::optional<CrossContact> TraceContactModel::first_cross_contact(
+    const std::vector<NodeId>& from, const std::vector<NodeId>& to,
+    Time after, Time horizon) {
+  if (!(horizon > after)) return std::nullopt;
+  std::unordered_set<NodeId> set_a(from.begin(), from.end());
+  std::unordered_set<NodeId> set_b(to.begin(), to.end());
+
+  const auto& events = trace_->events();
+  auto it = std::lower_bound(events.begin(), events.end(), after,
+                             [](const trace::ContactEvent& e, Time t) {
+                               return e.time < t;
+                             });
+  for (; it != events.end() && it->time < horizon; ++it) {
+    if (it->a == it->b) continue;
+    if (set_a.count(it->a) > 0 && set_b.count(it->b) > 0) {
+      return CrossContact{it->time, it->a, it->b};
+    }
+    if (set_a.count(it->b) > 0 && set_b.count(it->a) > 0) {
+      return CrossContact{it->time, it->b, it->a};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace odtn::sim

@@ -1,0 +1,87 @@
+// Contact dynamics abstraction for the DTN simulator.
+//
+// Routing protocols only ever need one primitive: "when is the next
+// contact between some node of set A and some node of set B, after time
+// t?". Two implementations exist:
+//
+//  * PoissonContactModel — samples live from the contact graph's Poisson
+//    processes. Memorylessness makes state-by-state resampling an *exact*
+//    simulation of the contact processes (no approximation is introduced),
+//    while never touching the analytical delivery-rate model the simulator
+//    is supposed to validate.
+//  * TraceContactModel — replays a recorded or synthetic ContactTrace.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/contact_graph.hpp"
+#include "trace/contact_trace.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace odtn::sim {
+
+/// A realized contact: node `a` (from the first queried set) meets node `b`
+/// (from the second) at `time`.
+struct CrossContact {
+  Time time;
+  NodeId a;
+  NodeId b;
+};
+
+class ContactModel {
+ public:
+  virtual ~ContactModel() = default;
+
+  virtual std::size_t node_count() const = 0;
+
+  /// First contact at time >= `after` and < `horizon` between any a in
+  /// `from` and any b in `to` (unordered pairs; a pair occurring in both
+  /// orientations is considered once). Self-pairs are ignored.
+  virtual std::optional<CrossContact> first_cross_contact(
+      const std::vector<NodeId>& from, const std::vector<NodeId>& to,
+      Time after, Time horizon) = 0;
+
+  /// Convenience: first contact of a single holder with any candidate.
+  std::optional<CrossContact> first_contact(NodeId holder,
+                                            const std::vector<NodeId>& to,
+                                            Time after, Time horizon) {
+    return first_cross_contact({holder}, to, after, horizon);
+  }
+};
+
+/// Live-sampled Poisson contacts over a ContactGraph.
+class PoissonContactModel final : public ContactModel {
+ public:
+  /// Both references must outlive the model.
+  PoissonContactModel(const graph::ContactGraph& graph, util::Rng& rng);
+
+  std::size_t node_count() const override { return graph_->node_count(); }
+
+  std::optional<CrossContact> first_cross_contact(
+      const std::vector<NodeId>& from, const std::vector<NodeId>& to,
+      Time after, Time horizon) override;
+
+ private:
+  const graph::ContactGraph* graph_;
+  util::Rng* rng_;
+};
+
+/// Replays a recorded ContactTrace.
+class TraceContactModel final : public ContactModel {
+ public:
+  /// The trace must outlive the model.
+  explicit TraceContactModel(const trace::ContactTrace& trace);
+
+  std::size_t node_count() const override { return trace_->node_count(); }
+
+  std::optional<CrossContact> first_cross_contact(
+      const std::vector<NodeId>& from, const std::vector<NodeId>& to,
+      Time after, Time horizon) override;
+
+ private:
+  const trace::ContactTrace* trace_;
+};
+
+}  // namespace odtn::sim

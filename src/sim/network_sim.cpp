@@ -1,0 +1,288 @@
+#include "sim/network_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace odtn::sim {
+
+double NetworkSimReport::delivery_rate() const {
+  if (outcomes.empty()) return 0.0;
+  std::size_t delivered = 0;
+  for (const auto& o : outcomes) delivered += o.delivered;
+  return static_cast<double>(delivered) / static_cast<double>(outcomes.size());
+}
+
+double NetworkSimReport::mean_delay() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& o : outcomes) {
+    if (o.delivered) {
+      sum += o.delay;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+namespace {
+
+struct Copy {
+  std::size_t msg;
+  std::size_t hop;  // onion groups traversed so far (1..K)
+  NodeId holder;
+  Time arrival = 0.0;  // when the current holder received it
+  bool alive = true;
+};
+
+struct SourceToken {
+  std::size_t tickets;
+  bool alive = true;
+};
+
+struct Engine {
+  const trace::ContactTrace* trace;
+  const groups::GroupDirectory* directory;
+  const NetworkSimConfig* config;
+
+  std::vector<InjectedMessage> messages;
+  std::vector<std::vector<GroupId>> relay_groups;  // per message
+  std::vector<SourceToken> tokens;                 // per message
+  std::vector<std::unordered_set<NodeId>> seen;    // per message
+
+  std::vector<Copy> copies;
+  std::vector<std::set<std::size_t>> holdings;  // node -> copy ids
+  std::vector<std::size_t> load;                // node -> buffered items
+
+  // (deadline, kind, id): kind 0 = source token (id = msg), 1 = copy.
+  using Expiry = std::tuple<Time, int, std::size_t>;
+  std::priority_queue<Expiry, std::vector<Expiry>, std::greater<>> expiries;
+
+  NetworkSimReport report;
+
+  bool buffer_full(NodeId v) const {
+    return config->buffer_capacity != 0 &&
+           load[v] >= config->buffer_capacity;
+  }
+
+  // Tries to admit one more item at `v`, applying the buffer policy.
+  // Returns false if the node stays full (transfer must be refused).
+  bool make_room(NodeId v, std::size_t msg) {
+    if (!buffer_full(v)) return true;
+    if (config->policy == BufferPolicy::kRejectNew) {
+      ++report.outcomes[msg].buffer_rejections;
+      ++report.total_buffer_rejections;
+      return false;
+    }
+    // kDropOldest: evict the relayed copy that has waited longest. Source
+    // tokens are locally originated and never evicted, so if the buffer is
+    // all tokens the transfer is refused anyway.
+    std::size_t victim = SIZE_MAX;
+    Time oldest = kTimeInfinity;
+    for (std::size_t id : holdings[v]) {
+      if (copies[id].alive && copies[id].arrival < oldest) {
+        oldest = copies[id].arrival;
+        victim = id;
+      }
+    }
+    if (victim == SIZE_MAX) {
+      ++report.outcomes[msg].buffer_rejections;
+      ++report.total_buffer_rejections;
+      return false;
+    }
+    copies[victim].alive = false;
+    holdings[v].erase(victim);
+    --load[v];
+    ++report.evicted_copies;
+    return true;
+  }
+
+  Time deadline_of(std::size_t msg) const {
+    return messages[msg].start + messages[msg].ttl;
+  }
+
+  void inject(std::size_t m) {
+    const auto& msg = messages[m];
+    if (buffer_full(msg.src)) {
+      report.outcomes[m].injection_failed = true;
+      return;
+    }
+    tokens[m].tickets = msg.copies;
+    tokens[m].alive = true;
+    ++load[msg.src];
+    seen[m].insert(msg.src);
+    expiries.emplace(deadline_of(m), 0, m);
+  }
+
+  void expire_until(Time t) {
+    while (!expiries.empty() && std::get<0>(expiries.top()) < t) {
+      auto [deadline, kind, id] = expiries.top();
+      expiries.pop();
+      if (kind == 0) {
+        if (tokens[id].alive) {
+          tokens[id].alive = false;
+          --load[messages[id].src];
+          ++report.expired_copies;
+        }
+      } else if (copies[id].alive) {
+        copies[id].alive = false;
+        holdings[copies[id].holder].erase(id);
+        --load[copies[id].holder];
+        ++report.expired_copies;
+      }
+    }
+  }
+
+  // Whether `receiver` is a valid next hop for message m at `hop`.
+  bool qualifies(std::size_t m, std::size_t hop, NodeId receiver) const {
+    const auto& msg = messages[m];
+    if (seen[m].count(receiver) > 0) return false;  // Forward() dedup
+    if (hop < msg.num_relays) {
+      return directory->in_group(receiver, relay_groups[m][hop]);
+    }
+    return receiver == msg.dst;
+  }
+
+  // Attempts every transfer from `sender` to `receiver` at time t.
+  void transfer_direction(NodeId sender, NodeId receiver, Time t) {
+    // Source token: hand a fresh copy into R_1.
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+      if (!tokens[m].alive || messages[m].src != sender) continue;
+      if (t > deadline_of(m)) continue;
+      if (!qualifies(m, 0, receiver)) continue;
+      if (!make_room(receiver, m)) continue;
+      std::size_t id = copies.size();
+      copies.push_back({m, 1, receiver, t, true});
+      holdings[receiver].insert(id);
+      ++load[receiver];
+      seen[m].insert(receiver);
+      expiries.emplace(deadline_of(m), 1, id);
+      ++report.outcomes[m].transmissions;
+      ++report.total_transmissions;
+      if (--tokens[m].tickets == 0) {
+        tokens[m].alive = false;
+        --load[sender];
+      }
+      // A message with num_relays == 0 would deliver straight from the
+      // token; the constructor rejects that case, so hop 1 is always a
+      // relay position here.
+    }
+
+    // Relayed copies.
+    std::vector<std::size_t> ids(holdings[sender].begin(),
+                                 holdings[sender].end());
+    for (std::size_t id : ids) {
+      Copy& c = copies[id];
+      if (!c.alive) continue;
+      std::size_t m = c.msg;
+      if (t > deadline_of(m)) continue;
+      if (!qualifies(m, c.hop, receiver)) continue;
+
+      if (receiver == messages[m].dst && c.hop == messages[m].num_relays) {
+        // Delivery: the destination consumes the message (no buffer cost).
+        ++report.outcomes[m].transmissions;
+        ++report.total_transmissions;
+        seen[m].insert(receiver);
+        if (!report.outcomes[m].delivered) {
+          report.outcomes[m].delivered = true;
+          report.outcomes[m].delay = t - messages[m].start;
+        }
+        c.alive = false;
+        holdings[sender].erase(id);
+        --load[sender];
+        continue;
+      }
+
+      if (!make_room(receiver, m)) continue;
+      if (!c.alive) continue;  // evicted by make_room on its own holder
+      // Forward and free the sender's slot (single ticket per copy).
+      ++report.outcomes[m].transmissions;
+      ++report.total_transmissions;
+      holdings[sender].erase(id);
+      --load[sender];
+      c.holder = receiver;
+      c.arrival = t;
+      ++c.hop;
+      holdings[receiver].insert(id);
+      ++load[receiver];
+      seen[m].insert(receiver);
+    }
+  }
+
+  NetworkSimReport run(util::Rng& rng) {
+    report.outcomes.assign(messages.size(), {});
+    tokens.assign(messages.size(), SourceToken{0, false});
+    seen.assign(messages.size(), {});
+    holdings.assign(trace->node_count(), {});
+    load.assign(trace->node_count(), 0);
+
+    // Select relay groups per message.
+    relay_groups.resize(messages.size());
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+      relay_groups[m] = directory->select_relay_groups(
+          messages[m].src, messages[m].dst, messages[m].num_relays, rng);
+    }
+
+    // Injection order by start time.
+    std::vector<std::size_t> order(messages.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return messages[a].start < messages[b].start;
+    });
+
+    std::size_t next_injection = 0;
+    for (const auto& event : trace->events()) {
+      while (next_injection < order.size() &&
+             messages[order[next_injection]].start <= event.time) {
+        expire_until(messages[order[next_injection]].start);
+        inject(order[next_injection]);
+        ++next_injection;
+      }
+      expire_until(event.time);
+      transfer_direction(event.a, event.b, event.time);
+      transfer_direction(event.b, event.a, event.time);
+    }
+    // Messages injected after the last event simply never move.
+    while (next_injection < order.size()) {
+      inject(order[next_injection]);
+      ++next_injection;
+    }
+    return std::move(report);
+  }
+};
+
+}  // namespace
+
+NetworkSimReport run_network_sim(const trace::ContactTrace& trace,
+                                 const groups::GroupDirectory& directory,
+                                 std::vector<InjectedMessage> messages,
+                                 const NetworkSimConfig& config,
+                                 util::Rng& rng) {
+  if (trace.node_count() != directory.node_count()) {
+    throw std::invalid_argument("run_network_sim: node count mismatch");
+  }
+  for (const auto& m : messages) {
+    if (m.src == m.dst) {
+      throw std::invalid_argument("run_network_sim: src == dst");
+    }
+    if (m.src >= trace.node_count() || m.dst >= trace.node_count()) {
+      throw std::invalid_argument("run_network_sim: unknown endpoint");
+    }
+    if (m.num_relays == 0) {
+      throw std::invalid_argument("run_network_sim: need >= 1 relay group");
+    }
+    if (m.copies == 0) {
+      throw std::invalid_argument("run_network_sim: copies must be >= 1");
+    }
+  }
+  Engine engine;
+  engine.trace = &trace;
+  engine.directory = &directory;
+  engine.config = &config;
+  engine.messages = std::move(messages);
+  return engine.run(rng);
+}
+
+}  // namespace odtn::sim

@@ -1,0 +1,84 @@
+// Whole-network discrete-event simulation: many concurrent messages over
+// one shared contact process, with finite per-node buffers.
+//
+// The paper's analysis (like most DTN analyses) models one message at a
+// time with infinite buffers. This engine lifts both assumptions so the
+// library can answer deployment questions the closed forms cannot: what
+// happens to delivery when relays run out of buffer space under load?
+// (bench/ablation_buffer_contention quantifies it.)
+//
+// Protocol semantics follow Algorithms 1-2: single-copy onion forwarding
+// per message, or multi-copy with source tickets handed to members of the
+// first relay group (Algorithm 2's literal reading). A transfer happens at
+// a contact (a, b) iff b is in the message's next onion group (or is the
+// destination on the last hop), b does not already hold or relay the
+// message, and b has buffer space.
+#pragma once
+
+#include <vector>
+
+#include "groups/group_directory.hpp"
+#include "trace/contact_trace.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace odtn::sim {
+
+/// What a full node does when offered another message (classic DTN buffer
+/// management policies).
+enum class BufferPolicy {
+  kRejectNew,   // refuse the transfer (the sender keeps its copy)
+  kDropOldest,  // evict the longest-buffered relayed copy to admit the new
+                // one (locally-originated messages are never evicted)
+};
+
+struct NetworkSimConfig {
+  /// Messages a node can buffer simultaneously; 0 = unlimited (the
+  /// analytical model's assumption).
+  std::size_t buffer_capacity = 0;
+  BufferPolicy policy = BufferPolicy::kRejectNew;
+};
+
+struct InjectedMessage {
+  NodeId src = 0;
+  NodeId dst = 1;
+  Time start = 0.0;
+  Time ttl = 1800.0;
+  std::size_t num_relays = 3;  // K
+  std::size_t copies = 1;      // L (tickets at the source)
+};
+
+struct MessageOutcome {
+  bool delivered = false;
+  Time delay = kTimeInfinity;
+  std::size_t transmissions = 0;
+  /// Transfers that would have happened but were refused because the
+  /// receiver's buffer was full.
+  std::size_t buffer_rejections = 0;
+  /// True if the message never left the source (source buffer full at
+  /// injection time).
+  bool injection_failed = false;
+};
+
+struct NetworkSimReport {
+  std::vector<MessageOutcome> outcomes;
+  std::size_t total_transmissions = 0;
+  std::size_t total_buffer_rejections = 0;
+  std::size_t expired_copies = 0;
+  /// Copies evicted by BufferPolicy::kDropOldest.
+  std::size_t evicted_copies = 0;
+
+  double delivery_rate() const;
+  double mean_delay() const;  // over delivered messages
+};
+
+/// Runs all `messages` over the trace. Relay groups are selected per
+/// message from `rng` at injection time. Deterministic given (trace,
+/// directory, messages, config, seed).
+NetworkSimReport run_network_sim(const trace::ContactTrace& trace,
+                                 const groups::GroupDirectory& directory,
+                                 std::vector<InjectedMessage> messages,
+                                 const NetworkSimConfig& config,
+                                 util::Rng& rng);
+
+}  // namespace odtn::sim

@@ -1,0 +1,242 @@
+#include "trace/contact_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace odtn::trace {
+
+ContactTrace::ContactTrace(std::size_t node_count,
+                           std::vector<ContactEvent> events)
+    : node_count_(node_count), events_(std::move(events)) {
+  if (node_count < 2) {
+    throw std::invalid_argument("ContactTrace: need >= 2 nodes");
+  }
+  for (const auto& e : events_) {
+    if (e.a >= node_count || e.b >= node_count) {
+      throw std::invalid_argument("ContactTrace: event references unknown node");
+    }
+    if (e.a == e.b) {
+      throw std::invalid_argument("ContactTrace: self-contact event");
+    }
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ContactEvent& x, const ContactEvent& y) {
+                     return x.time < y.time;
+                   });
+  per_node_.resize(node_count);
+  for (const auto& e : events_) {
+    per_node_[e.a].push_back({e.time, e.b});
+    per_node_[e.b].push_back({e.time, e.a});
+  }
+}
+
+Time ContactTrace::start_time() const {
+  return events_.empty() ? 0.0 : events_.front().time;
+}
+
+Time ContactTrace::end_time() const {
+  return events_.empty() ? 0.0 : events_.back().time;
+}
+
+const std::vector<ContactTrace::NodeContact>& ContactTrace::contacts_of(
+    NodeId node) const {
+  if (node >= node_count_) throw std::out_of_range("contacts_of");
+  return per_node_[node];
+}
+
+std::optional<ContactTrace::NodeContact> ContactTrace::first_contact(
+    NodeId node, const std::vector<NodeId>& candidates, Time after,
+    Time horizon) const {
+  const auto& list = contacts_of(node);
+  auto it = std::lower_bound(
+      list.begin(), list.end(), after,
+      [](const NodeContact& c, Time t) { return c.time < t; });
+  std::unordered_set<NodeId> wanted(candidates.begin(), candidates.end());
+  for (; it != list.end() && it->time < horizon; ++it) {
+    if (wanted.count(it->peer) > 0) return *it;
+  }
+  return std::nullopt;
+}
+
+Time ContactTrace::active_duration(Time max_idle_gap) const {
+  if (!(max_idle_gap > 0.0)) {
+    throw std::invalid_argument("active_duration: max_idle_gap must be > 0");
+  }
+  if (events_.size() < 2) return 0.0;
+  Time active = 0.0;
+  for (std::size_t i = 1; i < events_.size(); ++i) {
+    active += std::min(events_[i].time - events_[i - 1].time, max_idle_gap);
+  }
+  return active;
+}
+
+graph::ContactGraph ContactTrace::estimate_rates_active(
+    Time max_idle_gap) const {
+  graph::ContactGraph g = estimate_rates();
+  double wall = end_time() - start_time();
+  double active = active_duration(max_idle_gap);
+  if (wall <= 0.0 || active <= 0.0) return g;
+  // Rescale wall-clock rates to active-time rates.
+  double factor = wall / active;
+  for (NodeId i = 0; i < node_count_; ++i) {
+    for (NodeId j = i + 1; j < node_count_; ++j) {
+      double r = g.rate(i, j);
+      if (r > 0.0) g.set_rate(i, j, r * factor);
+    }
+  }
+  return g;
+}
+
+graph::ContactGraph ContactTrace::estimate_rates() const {
+  graph::ContactGraph g(node_count_);
+  double duration = end_time() - start_time();
+  if (duration <= 0.0) return g;
+  // Count contacts per pair.
+  std::vector<std::vector<std::size_t>> counts(
+      node_count_, std::vector<std::size_t>(node_count_, 0));
+  for (const auto& e : events_) {
+    counts[e.a][e.b]++;
+    counts[e.b][e.a]++;
+  }
+  for (NodeId i = 0; i < node_count_; ++i) {
+    for (NodeId j = i + 1; j < node_count_; ++j) {
+      if (counts[i][j] > 0) {
+        g.set_rate(i, j, static_cast<double>(counts[i][j]) / duration);
+      }
+    }
+  }
+  return g;
+}
+
+ContactTrace parse_trace(const std::string& text, std::size_t node_count) {
+  std::vector<ContactEvent> events;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    double t;
+    long a, b;
+    if (!(ls >> t)) continue;  // blank or comment-only line
+    if (!(ls >> a >> b)) {
+      throw std::invalid_argument("parse_trace: malformed line " +
+                                  std::to_string(line_no));
+    }
+    if (a < 0 || b < 0) {
+      throw std::invalid_argument("parse_trace: negative node id on line " +
+                                  std::to_string(line_no));
+    }
+    events.push_back({t, static_cast<NodeId>(a), static_cast<NodeId>(b)});
+  }
+  return ContactTrace(node_count, std::move(events));
+}
+
+ContactTrace parse_crawdad_trace(const std::string& text,
+                                 std::size_t node_count) {
+  std::vector<ContactEvent> events;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    long id1, id2;
+    double start, end;
+    if (!(ls >> id1)) continue;  // blank line
+    if (!(ls >> id2 >> start >> end)) {
+      throw std::invalid_argument("parse_crawdad_trace: malformed line " +
+                                  std::to_string(line_no));
+    }
+    if (id1 < 1 || id2 < 1) {
+      throw std::invalid_argument("parse_crawdad_trace: ids are 1-based; line " +
+                                  std::to_string(line_no));
+    }
+    if (end < start) {
+      throw std::invalid_argument("parse_crawdad_trace: end < start on line " +
+                                  std::to_string(line_no));
+    }
+    // Drop external/stationary devices, as the paper does.
+    if (static_cast<std::size_t>(id1) > node_count ||
+        static_cast<std::size_t>(id2) > node_count) {
+      continue;
+    }
+    if (id1 == id2) continue;
+    events.push_back({start, static_cast<NodeId>(id1 - 1),
+                      static_cast<NodeId>(id2 - 1)});
+  }
+  return ContactTrace(node_count, std::move(events));
+}
+
+ContactTrace parse_one_report(const std::string& text,
+                              std::size_t node_count) {
+  std::vector<ContactEvent> events;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    double t;
+    std::string tag;
+    if (!(ls >> t >> tag)) continue;  // blank or non-report line
+    if (tag != "CONN") continue;
+    long a, b;
+    std::string state;
+    if (!(ls >> a >> b >> state)) {
+      throw std::invalid_argument("parse_one_report: malformed CONN line " +
+                                  std::to_string(line_no));
+    }
+    if (state != "up" && state != "down") {
+      throw std::invalid_argument("parse_one_report: bad state on line " +
+                                  std::to_string(line_no));
+    }
+    if (state != "up") continue;
+    if (a < 0 || b < 0) {
+      throw std::invalid_argument("parse_one_report: negative id on line " +
+                                  std::to_string(line_no));
+    }
+    if (static_cast<std::size_t>(a) >= node_count ||
+        static_cast<std::size_t>(b) >= node_count || a == b) {
+      continue;
+    }
+    events.push_back({t, static_cast<NodeId>(a), static_cast<NodeId>(b)});
+  }
+  return ContactTrace(node_count, std::move(events));
+}
+
+ContactTrace load_trace_file(const std::string& path, std::size_t node_count) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace_file: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_trace(buf.str(), node_count);
+}
+
+std::string format_trace(const ContactTrace& trace) {
+  std::ostringstream os;
+  os.precision(17);  // lossless double round-trip
+  os << "# odtn contact trace: nodes=" << trace.node_count()
+     << " events=" << trace.event_count() << "\n";
+  for (const auto& e : trace.events()) {
+    os << e.time << ' ' << e.a << ' ' << e.b << '\n';
+  }
+  return os.str();
+}
+
+void save_trace_file(const ContactTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace_file: cannot open " + path);
+  out << format_trace(trace);
+}
+
+}  // namespace odtn::trace

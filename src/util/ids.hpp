@@ -1,0 +1,23 @@
+// Core identifier and time types shared by every DTN subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace odtn {
+
+/// Node identifier: nodes are numbered 0..n-1 within a network.
+using NodeId = std::uint32_t;
+
+/// Onion-group identifier: groups are numbered 0..ceil(n/g)-1.
+using GroupId = std::uint32_t;
+
+/// Simulation time. Unit-agnostic: the random-graph experiments use
+/// minutes (as Table II of the paper), the trace experiments use seconds.
+using Time = double;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr GroupId kInvalidGroup = std::numeric_limits<GroupId>::max();
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+}  // namespace odtn

@@ -1,0 +1,62 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace odtn::util {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::below: bound must be > 0");
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::range: lo > hi");
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::exponential(double rate) {
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("Rng::exponential: rate must be positive");
+  }
+  // Inverse CDF; 1 - uniform01() is in (0, 1] so log() is finite.
+  return -std::log(1.0 - uniform01()) / rate;
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  SplitMix64 sm(next() ^ 0xd2b74407b1ce6e93ULL);
+  for (auto& s : child.state_) s = sm.next();
+  return child;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n) {
+    throw std::invalid_argument("sample_without_replacement: k > n");
+  }
+  // Partial Fisher–Yates over an index vector; O(n) setup, fine for the
+  // network sizes this library targets (n <= a few thousand).
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + static_cast<std::size_t>(below(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace odtn::util

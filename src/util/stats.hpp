@@ -1,0 +1,63 @@
+// Streaming statistics for experiment aggregation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace odtn::util {
+
+/// Welford's online algorithm: numerically stable running mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 when n < 2.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; 0 when n < 2.
+  double stderr_mean() const;
+  /// Half-width of the ~95% normal confidence interval on the mean.
+  double ci95_halfwidth() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merges another accumulator (parallel aggregation).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); values outside are clamped into the
+/// first/last bin. Used for delay distributions in the examples.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+  /// Empirical quantile (0 <= q <= 1) from bin midpoints.
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;
+};
+
+/// Mean of a vector; 0 for empty input.
+double mean_of(const std::vector<double>& v);
+
+}  // namespace odtn::util

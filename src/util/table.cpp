@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace odtn::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::new_row() { rows_.emplace_back(); }
+
+void Table::cell(const std::string& value) {
+  if (rows_.empty()) throw std::logic_error("Table::cell before new_row");
+  if (rows_.back().size() >= headers_.size()) {
+    throw std::logic_error("Table::cell: row overflow");
+  }
+  rows_.back().push_back(value);
+}
+
+void Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  cell(os.str());
+}
+
+void Table::cell(std::int64_t value) { cell(std::to_string(value)); }
+
+const std::string& Table::at(std::size_t row, std::size_t col) const {
+  return rows_.at(row).at(col);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << v;
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::vector<std::string> rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule.push_back(std::string(widths[c], '-'));
+  }
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace odtn::util

@@ -1,0 +1,34 @@
+// Aligned plain-text table printer used by the figure-reproduction benches
+// to print "paper rows": one row per x-value, one column per curve.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace odtn::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  void new_row();
+  void cell(const std::string& value);
+  void cell(double value, int precision = 4);
+  void cell(std::int64_t value);
+
+  /// Renders the table with aligned columns to `os`.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+  /// Raw cell access (row-major), for tests.
+  const std::string& at(std::size_t row, std::size_t col) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace odtn::util

@@ -1,0 +1,201 @@
+#include "adversary/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/anonymity.hpp"
+#include "analysis/traceable.hpp"
+#include "util/stats.hpp"
+
+namespace odtn::adversary {
+namespace {
+
+TEST(CompromiseModel, ExactCount) {
+  util::Rng rng(1);
+  CompromiseModel cm(100, 17, rng);
+  std::size_t count = 0;
+  for (NodeId v = 0; v < 100; ++v) count += cm.is_compromised(v);
+  EXPECT_EQ(count, 17u);
+  EXPECT_EQ(cm.compromised_count(), 17u);
+  EXPECT_EQ(cm.node_count(), 100u);
+}
+
+TEST(CompromiseModel, FromFractionRounds) {
+  util::Rng rng(2);
+  EXPECT_EQ(CompromiseModel::from_fraction(100, 0.1, rng).compromised_count(),
+            10u);
+  EXPECT_EQ(CompromiseModel::from_fraction(41, 0.1, rng).compromised_count(),
+            4u);
+  EXPECT_EQ(CompromiseModel::from_fraction(12, 0.5, rng).compromised_count(),
+            6u);
+}
+
+TEST(CompromiseModel, ExtremesAndValidation) {
+  util::Rng rng(3);
+  CompromiseModel none(10, 0, rng);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_FALSE(none.is_compromised(v));
+  CompromiseModel all(10, 10, rng);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_TRUE(all.is_compromised(v));
+  EXPECT_THROW(CompromiseModel(10, 11, rng), std::invalid_argument);
+  EXPECT_THROW(CompromiseModel::from_fraction(10, 1.5, rng),
+               std::invalid_argument);
+}
+
+TEST(CompromiseModel, UniformSelection) {
+  util::Rng rng(4);
+  std::vector<int> hits(20, 0);
+  const int trials = 10000;
+  for (int t = 0; t < trials; ++t) {
+    CompromiseModel cm(20, 5, rng);
+    for (NodeId v = 0; v < 20; ++v) hits[v] += cm.is_compromised(v);
+  }
+  for (int h : hits) EXPECT_NEAR(h, trials / 4, 250);
+}
+
+TEST(CompromiseModel, TargetedPicksHighestRateNodes) {
+  graph::ContactGraph g(5);
+  g.set_rate(0, 1, 0.1);
+  g.set_rate(2, 3, 1.0);
+  g.set_rate(2, 4, 1.0);
+  g.set_rate(3, 4, 0.5);
+  // Total rates: 0:0.1 1:0.1 2:2.0 3:1.5 4:1.5
+  auto cm = CompromiseModel::targeted(g, 2);
+  EXPECT_TRUE(cm.is_compromised(2));
+  EXPECT_TRUE(cm.is_compromised(3));  // tie with 4 broken by id
+  EXPECT_FALSE(cm.is_compromised(4));
+  EXPECT_FALSE(cm.is_compromised(0));
+  EXPECT_EQ(cm.compromised_count(), 2u);
+}
+
+TEST(CompromiseModel, TargetedExtremes) {
+  util::Rng rng(20);
+  auto g = graph::random_contact_graph(10, rng);
+  auto none = CompromiseModel::targeted(g, 0);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_FALSE(none.is_compromised(v));
+  auto all = CompromiseModel::targeted(g, 10);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_TRUE(all.is_compromised(v));
+  EXPECT_THROW(CompromiseModel::targeted(g, 11), std::invalid_argument);
+}
+
+TEST(CompromiseModel, TargetedIsDeterministic) {
+  util::Rng rng(21);
+  auto g = graph::random_contact_graph(20, rng);
+  auto a = CompromiseModel::targeted(g, 5);
+  auto b = CompromiseModel::targeted(g, 5);
+  for (NodeId v = 0; v < 20; ++v) {
+    EXPECT_EQ(a.is_compromised(v), b.is_compromised(v));
+  }
+}
+
+TEST(PathBits, SenderOrder) {
+  util::Rng rng(5);
+  CompromiseModel cm(10, 0, rng);
+  // Manually build: no one compromised -> all bits 0; length = relays + 1.
+  auto bits = path_bits(0, {1, 2, 3}, cm);
+  EXPECT_EQ(bits.size(), 4u);
+  for (bool b : bits) EXPECT_FALSE(b);
+}
+
+TEST(MeasuredTraceable, PaperExample) {
+  // Path v1..v5 (src=v1, relays v2,v3,v4, dst=v5): compromising v1,v2,v4
+  // gives 1101 -> 0.3125; v2,v3,v4 gives 0111 -> 0.5625. Construct the
+  // exact sets with a deterministic trick: choose compromised ids directly.
+  util::Rng rng(6);
+  // Build a model with all 5 nodes and mark by rejection sampling runs: we
+  // instead exploit CompromiseModel(n, n, rng) complement tricks — simpler
+  // to just probe with crafted paths against a fixed compromise set.
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    CompromiseModel cm(5, 3, rng);
+    bool c0 = cm.is_compromised(0), c1 = cm.is_compromised(1),
+         c2 = cm.is_compromised(2), c3 = cm.is_compromised(3);
+    if (c0 && c1 && !c2 && c3) {
+      EXPECT_DOUBLE_EQ(measured_traceable_rate(0, {1, 2, 3}, cm), 0.3125);
+      return;
+    }
+  }
+  FAIL() << "never sampled the target compromise set";
+}
+
+TEST(MeasuredTraceable, AllAndNothing) {
+  util::Rng rng(7);
+  CompromiseModel none(10, 0, rng);
+  CompromiseModel all(10, 10, rng);
+  EXPECT_EQ(measured_traceable_rate(0, {1, 2, 3}, none), 0.0);
+  EXPECT_EQ(measured_traceable_rate(0, {1, 2, 3}, all), 1.0);
+}
+
+TEST(MeasuredTraceable, ConvergesToExactModel) {
+  // Monte Carlo over compromise sets on random relay paths converges to
+  // analysis::traceable_rate_exact (sampling without replacement makes the
+  // match approximate at small n; use n = 200 to tighten it).
+  util::Rng rng(8);
+  std::size_t n = 200, c = 40, eta = 4;
+  util::RunningStats mc;
+  for (int trial = 0; trial < 30000; ++trial) {
+    CompromiseModel cm(n, c, rng);
+    // Path: src=0, relays 1..eta-1 (distinct nodes).
+    std::vector<NodeId> relays;
+    for (NodeId v = 1; v < eta; ++v) relays.push_back(v);
+    mc.add(measured_traceable_rate(0, relays, cm));
+  }
+  double exact = analysis::traceable_rate_exact(eta, 0.2);
+  EXPECT_NEAR(mc.mean(), exact, 0.012);
+}
+
+TEST(CompromisedPositions, SingleCopyCounting) {
+  util::Rng rng(9);
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    CompromiseModel cm(6, 2, rng);
+    if (cm.is_compromised(0) && cm.is_compromised(3)) {
+      // positions: src(0)=hit, hop relays {1},{2},{3}: only {3} hit.
+      EXPECT_EQ(compromised_positions(0, {{1}, {2}, {3}}, cm), 2u);
+      return;
+    }
+  }
+  FAIL() << "never sampled the target compromise set";
+}
+
+TEST(CompromisedPositions, MultiCopyAnyRelayExposesGroup) {
+  util::Rng rng(10);
+  for (int attempt = 0; attempt < 5000; ++attempt) {
+    CompromiseModel cm(8, 1, rng);
+    if (cm.is_compromised(4)) {
+      // hop 0 relays {1, 4}: exposed via 4; hop 1 relays {2, 3}: clean.
+      EXPECT_EQ(compromised_positions(0, {{1, 4}, {2, 3}}, cm), 1u);
+      // A position counts once even with two compromised relays.
+      EXPECT_EQ(compromised_positions(0, {{4, 4}, {2}}, cm), 1u);
+      return;
+    }
+  }
+  FAIL() << "never sampled the target compromise set";
+}
+
+TEST(MeasuredAnonymity, MatchesFormulaAtObservedCo) {
+  util::Rng rng(11);
+  CompromiseModel cm(100, 30, rng);
+  std::vector<std::vector<NodeId>> relays = {{1}, {2}, {3}};
+  std::size_t c_o = compromised_positions(0, relays, cm);
+  double expect =
+      analysis::path_anonymity(4, static_cast<double>(c_o), 100, 5);
+  EXPECT_DOUBLE_EQ(measured_path_anonymity(0, relays, cm, 100, 5), expect);
+}
+
+TEST(MeasuredAnonymity, ConvergesToModel) {
+  // Mean measured anonymity over many compromise sets ~= Eq. 19 at E[c_o].
+  // (D is linear in c_o, so the expectation passes through exactly.)
+  util::Rng rng(12);
+  std::size_t n = 100, c = 10;
+  util::RunningStats mc;
+  for (int trial = 0; trial < 20000; ++trial) {
+    CompromiseModel cm(n, c, rng);
+    NodeId src = static_cast<NodeId>(rng.below(n));
+    std::vector<std::vector<NodeId>> relays;
+    auto picks = rng.sample_without_replacement(n, 3);
+    for (auto i : picks) relays.push_back({static_cast<NodeId>(i)});
+    mc.add(measured_path_anonymity(src, relays, cm, n, 5));
+  }
+  double model = analysis::path_anonymity_model(4, 0.1, n, 5);
+  EXPECT_NEAR(mc.mean(), model, 0.01);
+}
+
+}  // namespace
+}  // namespace odtn::adversary

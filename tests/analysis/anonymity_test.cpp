@@ -1,0 +1,216 @@
+#include "analysis/anonymity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace odtn::analysis {
+namespace {
+
+TEST(ExpectedCompromised, SingleCopyIsEtaP) {
+  EXPECT_DOUBLE_EQ(expected_compromised_on_path(4, 0.1), 0.4);
+  EXPECT_DOUBLE_EQ(expected_compromised_on_path(4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(expected_compromised_on_path(4, 1.0), 4.0);
+}
+
+TEST(ExpectedCompromised, MultiCopyFormula) {
+  // Eq. 20: eta * (1 - (1-p)^L).
+  double p = 0.1;
+  EXPECT_NEAR(expected_compromised_on_path(4, p, 3),
+              4.0 * (1 - std::pow(0.9, 3)), 1e-12);
+  // L = 1 reduces to the single-copy expectation.
+  EXPECT_DOUBLE_EQ(expected_compromised_on_path(4, p, 1),
+                   expected_compromised_on_path(4, p));
+}
+
+TEST(ExpectedCompromised, MatchesBinomialSimulation) {
+  // The closed form equals the Binomial expectation the paper writes.
+  util::Rng rng(1);
+  std::size_t eta = 5;
+  double p = 0.25;
+  std::size_t copies = 3;
+  util::RunningStats mc;
+  for (int trial = 0; trial < 60000; ++trial) {
+    int count = 0;
+    for (std::size_t pos = 0; pos < eta; ++pos) {
+      bool exposed = false;
+      for (std::size_t l = 0; l < copies && !exposed; ++l) {
+        exposed = rng.chance(p);
+      }
+      count += exposed;
+    }
+    mc.add(count);
+  }
+  EXPECT_NEAR(mc.mean(), expected_compromised_on_path(eta, p, copies), 0.03);
+}
+
+TEST(ExpectedCompromised, MonotoneInCopies) {
+  double prev = 0.0;
+  for (std::size_t l = 1; l <= 6; ++l) {
+    double v = expected_compromised_on_path(4, 0.2, l);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  EXPECT_LE(prev, 4.0);
+}
+
+TEST(PathAnonymity, NoCompromiseIsPerfect) {
+  EXPECT_DOUBLE_EQ(path_anonymity(4, 0.0, 100, 5), 1.0);
+  EXPECT_DOUBLE_EQ(path_anonymity_exact(4, 0.0, 100, 5), 1.0);
+}
+
+TEST(PathAnonymity, FullCompromiseFloor) {
+  // All positions exposed: D = ln g / (ln n - 1).
+  double expect = std::log(5.0) / (std::log(100.0) - 1.0);
+  EXPECT_NEAR(path_anonymity(4, 4.0, 100, 5), expect, 1e-12);
+}
+
+TEST(PathAnonymity, GroupSizeOneFullCompromiseIsZero) {
+  EXPECT_NEAR(path_anonymity(4, 4.0, 100, 1), 0.0, 1e-12);
+}
+
+TEST(PathAnonymity, DecreasesWithCompromise) {
+  double prev = 2.0;
+  for (double c_o = 0.0; c_o <= 4.0; c_o += 0.5) {
+    double d = path_anonymity(4, c_o, 100, 5);
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(PathAnonymity, IncreasesWithGroupSize) {
+  // Fig. 9: larger groups hide the next hop better.
+  double prev = -1.0;
+  for (std::size_t g : {1u, 2u, 5u, 10u, 20u}) {
+    double d = path_anonymity(4, 2.0, 100, g);
+    EXPECT_GT(d, prev) << "g=" << g;
+    prev = d;
+  }
+}
+
+TEST(PathAnonymity, StirlingCloseToExact) {
+  // Eq. 19 is a Stirling approximation of the exact entropy ratio; for the
+  // paper's n = 100 they should agree to a few percent.
+  for (std::size_t eta : {4u, 6u, 11u}) {
+    for (double c_o : {0.0, 1.0, 2.0, 4.0}) {
+      if (c_o > eta) continue;
+      double stirling = path_anonymity(eta, c_o, 100, 5);
+      double exact = path_anonymity_exact(eta, c_o, 100, 5);
+      // The ln(n!) ~ n ln n - n approximation carries a few percent of
+      // error at n = 100; it grows with eta and c_o.
+      EXPECT_NEAR(stirling, exact, 0.10) << "eta=" << eta << " c_o=" << c_o;
+    }
+  }
+  // At the paper's operating point (eta = 4) the agreement is tight.
+  EXPECT_NEAR(path_anonymity(4, 1.0, 100, 5),
+              path_anonymity_exact(4, 1.0, 100, 5), 0.03);
+}
+
+TEST(PathAnonymityModel, MultiCopyReducesAnonymity) {
+  // Fig. 12: more copies expose more groups.
+  double prev = 2.0;
+  for (std::size_t l : {1u, 2u, 3u, 5u}) {
+    double d = path_anonymity_model(4, 0.1, 100, 5, l);
+    EXPECT_LT(d, prev) << "L=" << l;
+    prev = d;
+  }
+}
+
+TEST(PathAnonymityModel, PaperOperatingPoint) {
+  // Sanity-check Fig. 8's shape: g=5, K=3 (eta=4), n=100.
+  // D(10%) should be high (>0.9), D(50%) noticeably lower.
+  double d10 = path_anonymity_model(4, 0.1, 100, 5);
+  double d50 = path_anonymity_model(4, 0.5, 100, 5);
+  EXPECT_GT(d10, 0.9);
+  EXPECT_LT(d50, d10);
+  EXPECT_GT(d50, 0.5);
+}
+
+TEST(PathAnonymityDistinct, FullDiversityBracketsEq20) {
+  // With d_k = L at every relay hop, the refined model differs from
+  // Eq. 20 only in the source position: Eq. 20 applies the L-copy
+  // exposure probability even there, while physically the source is a
+  // single sender (exposure p). The refined value therefore sits at or
+  // above Eq. 20 and below the single-copy model.
+  std::size_t eta = 4, n = 100, g = 5, l = 3;
+  double p = 0.2;
+  std::vector<double> full(eta - 1, static_cast<double>(l));
+  double refined = path_anonymity_model_distinct(eta, p, n, g, full);
+  EXPECT_GE(refined, path_anonymity_model(eta, p, n, g, l) - 1e-12);
+  EXPECT_LT(refined, path_anonymity_model(eta, p, n, g, 1));
+  // Exact identity against the definitional expectation.
+  double c_o = p + (eta - 1) * (1.0 - std::pow(1.0 - p, double(l)));
+  EXPECT_NEAR(refined, path_anonymity(eta, c_o, n, g), 1e-12);
+}
+
+TEST(PathAnonymityDistinct, ReducesToSingleCopyAtOneRelayPerHop) {
+  std::size_t eta = 4, n = 100, g = 5;
+  double p = 0.3;
+  std::vector<double> ones(eta - 1, 1.0);
+  EXPECT_NEAR(path_anonymity_model_distinct(eta, p, n, g, ones),
+              path_anonymity_model(eta, p, n, g, 1), 1e-9);
+}
+
+TEST(PathAnonymityDistinct, FewerDistinctRelaysRaiseAnonymity) {
+  // The mechanism behind the paper's Fig. 19 gap: when copies reuse
+  // relays, fewer positions are exposed and anonymity stays higher than
+  // the independent-path model predicts.
+  std::size_t eta = 4, n = 100, g = 5;
+  double p = 0.3;
+  std::vector<double> reused(eta - 1, 1.4);  // realized diversity << L = 5
+  double refined = path_anonymity_model_distinct(eta, p, n, g, reused);
+  double eq20 = path_anonymity_model(eta, p, n, g, 5);
+  double single = path_anonymity_model(eta, p, n, g, 1);
+  EXPECT_GT(refined, eq20);
+  EXPECT_LT(refined, single);
+}
+
+TEST(PathAnonymityDistinct, Validation) {
+  EXPECT_THROW(
+      path_anonymity_model_distinct(4, 0.1, 100, 5, {1.0, 1.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      path_anonymity_model_distinct(4, 0.1, 100, 5, {1.0, -1.0, 1.0}),
+      std::invalid_argument);
+}
+
+TEST(PathAnonymity, Validation) {
+  EXPECT_THROW(path_anonymity(0, 0.0, 100, 5), std::invalid_argument);
+  EXPECT_THROW(path_anonymity(4, -0.1, 100, 5), std::invalid_argument);
+  EXPECT_THROW(path_anonymity(4, 5.0, 100, 5), std::invalid_argument);
+  EXPECT_THROW(path_anonymity(4, 1.0, 2, 1), std::invalid_argument);
+  EXPECT_THROW(path_anonymity(4, 1.0, 100, 0), std::invalid_argument);
+  EXPECT_THROW(path_anonymity(4, 1.0, 100, 101), std::invalid_argument);
+  EXPECT_THROW(expected_compromised_on_path(4, 0.5, 0),
+               std::invalid_argument);
+  EXPECT_THROW(expected_compromised_on_path(4, 1.5), std::invalid_argument);
+}
+
+// Parameterized sweep over the paper's Fig. 8/9 grid.
+struct AnonCase {
+  std::size_t g;
+  double p;
+};
+
+class AnonymitySweep : public ::testing::TestWithParam<AnonCase> {};
+
+TEST_P(AnonymitySweep, InUnitIntervalAndOrdered) {
+  auto [g, p] = GetParam();
+  double d1 = path_anonymity_model(4, p, 100, g, 1);
+  double d5 = path_anonymity_model(4, p, 100, g, 5);
+  EXPECT_GE(d1, 0.0);
+  EXPECT_LE(d1, 1.0);
+  EXPECT_LE(d5, d1 + 1e-12);  // more copies never increase anonymity
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig8Grid, AnonymitySweep,
+    ::testing::Values(AnonCase{1, 0.1}, AnonCase{1, 0.5}, AnonCase{5, 0.1},
+                      AnonCase{5, 0.3}, AnonCase{5, 0.5}, AnonCase{10, 0.1},
+                      AnonCase{10, 0.5}));
+
+}  // namespace
+}  // namespace odtn::analysis

@@ -1,0 +1,50 @@
+#include "analysis/cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace odtn::analysis {
+namespace {
+
+TEST(Cost, SingleCopyIsHops) {
+  EXPECT_EQ(single_copy_cost(0), 1u);
+  EXPECT_EQ(single_copy_cost(3), 4u);
+  EXPECT_EQ(single_copy_cost(10), 11u);
+}
+
+TEST(Cost, MultiCopyBound) {
+  EXPECT_EQ(multi_copy_cost_bound(3, 1), 5u);
+  EXPECT_EQ(multi_copy_cost_bound(3, 5), 25u);
+  EXPECT_EQ(multi_copy_cost_bound(10, 5), 60u);
+}
+
+TEST(Cost, NonAnonymousIs2L) {
+  EXPECT_EQ(non_anonymous_cost(1), 2u);
+  EXPECT_EQ(non_anonymous_cost(5), 10u);
+}
+
+TEST(Cost, AnonymityOverheadOrdering) {
+  // The paper's claim: anonymity costs transmissions. For every K >= 1 and
+  // L, onion routing costs strictly more than the non-anonymous bound.
+  for (std::size_t k = 1; k <= 10; ++k) {
+    for (std::size_t l = 1; l <= 5; ++l) {
+      EXPECT_GT(multi_copy_cost_bound(k, l), non_anonymous_cost(l))
+          << "K=" << k << " L=" << l;
+    }
+  }
+}
+
+TEST(Cost, SingleCopyConsistentWithMultiCopyAtL1) {
+  // The L=1 bound (K+2) exceeds the exact single-copy cost (K+1) by the
+  // spray slack only.
+  for (std::size_t k = 0; k <= 10; ++k) {
+    EXPECT_EQ(multi_copy_cost_bound(k, 1) - single_copy_cost(k), 1u);
+  }
+}
+
+TEST(Cost, ZeroCopiesRejected) {
+  EXPECT_THROW(multi_copy_cost_bound(3, 0), std::invalid_argument);
+  EXPECT_THROW(non_anonymous_cost(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odtn::analysis

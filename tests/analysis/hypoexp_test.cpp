@@ -1,0 +1,203 @@
+#include "analysis/hypoexp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace odtn::analysis {
+namespace {
+
+TEST(Hypoexp, SingleStageIsExponential) {
+  for (double t : {0.5, 1.0, 10.0}) {
+    EXPECT_NEAR(hypoexp_cdf({0.2}, t), 1.0 - std::exp(-0.2 * t), 1e-12);
+  }
+}
+
+TEST(Hypoexp, ZeroAndNegativeTime) {
+  EXPECT_EQ(hypoexp_cdf({1.0, 2.0}, 0.0), 0.0);
+  EXPECT_EQ(hypoexp_cdf({1.0, 2.0}, -5.0), 0.0);
+}
+
+TEST(Hypoexp, TwoStageClosedForm) {
+  // For distinct rates a, b: F(t) = 1 - (b e^{-at} - a e^{-bt}) / (b - a).
+  double a = 0.3, b = 0.7, t = 2.5;
+  double expect =
+      1.0 - (b * std::exp(-a * t) - a * std::exp(-b * t)) / (b - a);
+  EXPECT_NEAR(hypoexp_cdf({a, b}, t), expect, 1e-12);
+}
+
+TEST(Hypoexp, CoefficientsSumToOne) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::size_t n = 2 + rng.below(6);
+    std::vector<double> rates;
+    for (std::size_t i = 0; i < n; ++i) rates.push_back(rng.uniform(0.01, 2.0));
+    auto coeff = hypoexp_coefficients(rates);
+    double sum = 0;
+    for (double c : coeff) sum += c;
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(Hypoexp, CdfPropertiesRandomRates) {
+  // Property sweep: valid CDF — within [0,1], nondecreasing, -> 1.
+  util::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::size_t n = 1 + rng.below(8);
+    std::vector<double> rates;
+    for (std::size_t i = 0; i < n; ++i) rates.push_back(rng.uniform(0.05, 1.0));
+    double prev = 0.0;
+    for (double t = 0.0; t <= 200.0; t += 2.0) {
+      double f = hypoexp_cdf(rates, t);
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+      EXPECT_GE(f, prev - 1e-9) << "CDF decreased at t=" << t;
+      prev = f;
+    }
+    EXPECT_GT(hypoexp_cdf(rates, 1e5), 0.999);
+  }
+}
+
+TEST(Hypoexp, EqualRatesAreErlang) {
+  // The degenerate case the paper's Eq. 5 cannot express directly: equal
+  // rates. Erlang-2 CDF: 1 - e^{-rt}(1 + rt).
+  double r = 0.5, t = 3.0;
+  double erlang2 = 1.0 - std::exp(-r * t) * (1.0 + r * t);
+  EXPECT_NEAR(hypoexp_cdf({r, r}, t), erlang2, 1e-4);
+}
+
+TEST(Hypoexp, ManyEqualRatesStillValid) {
+  std::vector<double> rates(6, 0.25);
+  double prev = 0.0;
+  for (double t = 0.0; t < 100.0; t += 1.0) {
+    double f = hypoexp_cdf(rates, t);
+    EXPECT_GE(f, prev - 1e-9);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  // Erlang-6 mean = 24; median slightly below. CDF(24) should be ~0.55.
+  EXPECT_NEAR(hypoexp_cdf(rates, 24.0), 0.55, 0.05);
+}
+
+TEST(Hypoexp, NearEqualRatesNoBlowup) {
+  std::vector<double> rates = {0.2, 0.2 * (1 + 1e-13), 0.5};
+  double f = hypoexp_cdf(rates, 10.0);
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+  // Compare against the well-separated approximation.
+  double ref = hypoexp_cdf({0.2, 0.2000001, 0.5}, 10.0);
+  EXPECT_NEAR(f, ref, 1e-3);
+}
+
+TEST(Hypoexp, CoefficientsRejectDuplicates) {
+  EXPECT_THROW(hypoexp_coefficients({0.2, 0.2}), std::invalid_argument);
+}
+
+TEST(Hypoexp, CdfMatchesCoefficientFormForDistinctRates) {
+  // For well-separated rates, uniformization must reproduce Eq. 5/6.
+  std::vector<double> rates = {0.1, 0.3, 0.55, 0.9};
+  auto a = hypoexp_coefficients(rates);
+  for (double t : {1.0, 5.0, 20.0, 80.0}) {
+    double closed = 0.0;
+    for (std::size_t k = 0; k < rates.size(); ++k) {
+      closed += a[k] * (1.0 - std::exp(-rates[k] * t));
+    }
+    EXPECT_NEAR(hypoexp_cdf(rates, t), closed, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(Hypoexp, LargeTimeHorizonStable) {
+  // x = max_rate * t >> 700 exercises the log-space Poisson weights.
+  std::vector<double> rates = {2.0, 0.01, 0.5};
+  double f = hypoexp_cdf(rates, 2000.0);
+  EXPECT_GT(f, 0.999);
+  EXPECT_LE(f, 1.0);
+}
+
+TEST(Hypoexp, MonteCarloAgreement) {
+  // The CDF must match the empirical distribution of a sum of exponentials.
+  std::vector<double> rates = {0.1, 0.25, 0.5, 0.08};
+  util::Rng rng(3);
+  const int n = 50000;
+  for (double t : {10.0, 30.0, 60.0}) {
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+      double sum = 0;
+      for (double r : rates) sum += rng.exponential(r);
+      if (sum <= t) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, hypoexp_cdf(rates, t), 0.01)
+        << "t=" << t;
+  }
+}
+
+TEST(HypoexpQuantile, InvertsCdf) {
+  std::vector<double> rates = {0.1, 0.3, 0.07};
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    double t = hypoexp_quantile(rates, q);
+    EXPECT_NEAR(hypoexp_cdf(rates, t), q, 1e-6) << "q=" << q;
+  }
+}
+
+TEST(HypoexpQuantile, ExponentialClosedForm) {
+  // Single stage: quantile = -ln(1-q)/rate.
+  double rate = 0.25;
+  for (double q : {0.25, 0.5, 0.95}) {
+    EXPECT_NEAR(hypoexp_quantile({rate}, q), -std::log(1.0 - q) / rate,
+                1e-6);
+  }
+}
+
+TEST(HypoexpQuantile, MonotoneInQ) {
+  std::vector<double> rates = {0.2, 0.2, 0.5};
+  double prev = -1.0;
+  for (double q = 0.0; q < 0.999; q += 0.05) {
+    double t = hypoexp_quantile(rates, q);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(HypoexpQuantile, ZeroAndValidation) {
+  EXPECT_EQ(hypoexp_quantile({0.5}, 0.0), 0.0);
+  EXPECT_THROW(hypoexp_quantile({0.5}, 1.0), std::invalid_argument);
+  EXPECT_THROW(hypoexp_quantile({0.5}, -0.1), std::invalid_argument);
+}
+
+TEST(Hypoexp, MeanIsSumOfInverseRates) {
+  EXPECT_DOUBLE_EQ(hypoexp_mean({0.5, 0.25}), 6.0);
+  EXPECT_THROW(hypoexp_mean({0.5, 0.0}), std::invalid_argument);
+}
+
+TEST(Hypoexp, Validation) {
+  EXPECT_THROW(hypoexp_cdf({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(hypoexp_cdf({0.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(hypoexp_cdf({1.0, -0.5}, 1.0), std::invalid_argument);
+}
+
+// Parameterized sweep over stage counts: monotone in rates.
+class HypoexpStageSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HypoexpStageSweep, FasterRatesGiveHigherCdf) {
+  std::size_t stages = GetParam();
+  std::vector<double> slow(stages, 0.1), fast(stages, 0.2);
+  for (double t : {5.0, 20.0, 50.0}) {
+    EXPECT_GE(hypoexp_cdf(fast, t), hypoexp_cdf(slow, t));
+  }
+}
+
+TEST_P(HypoexpStageSweep, MoreStagesGiveLowerCdf) {
+  std::size_t stages = GetParam();
+  std::vector<double> base(stages, 0.15), more(stages + 1, 0.15);
+  for (double t : {5.0, 20.0, 50.0}) {
+    EXPECT_GE(hypoexp_cdf(base, t), hypoexp_cdf(more, t) - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, HypoexpStageSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 11));
+
+}  // namespace
+}  // namespace odtn::analysis

@@ -1,0 +1,153 @@
+#include "analysis/traceable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/run_length.hpp"
+#include "util/stats.hpp"
+
+namespace odtn::analysis {
+namespace {
+
+TEST(TraceableExact, DegenerateCases) {
+  EXPECT_EQ(traceable_rate_exact(0, 0.5), 0.0);
+  EXPECT_EQ(traceable_rate_exact(4, 0.0), 0.0);
+  EXPECT_EQ(traceable_rate_exact(4, 1.0), 1.0);
+}
+
+TEST(TraceableExact, SingleHopIsP) {
+  // eta = 1: E[sum run^2] = p * 1.
+  for (double p : {0.1, 0.3, 0.7}) {
+    EXPECT_NEAR(traceable_rate_exact(1, p), p, 1e-12);
+  }
+}
+
+TEST(TraceableExact, TwoHopClosedForm) {
+  // eta = 2, bits b1 b2: E = p^2*4 + 2*p(1-p)*1, over eta^2 = 4.
+  for (double p : {0.1, 0.25, 0.5}) {
+    double expect = (4 * p * p + 2 * p * (1 - p)) / 4.0;
+    EXPECT_NEAR(traceable_rate_exact(2, p), expect, 1e-12);
+  }
+}
+
+TEST(TraceableExact, MatchesMonteCarlo) {
+  util::Rng rng(1);
+  for (std::size_t eta : {3u, 4u, 6u, 11u}) {
+    for (double p : {0.1, 0.3, 0.5}) {
+      util::RunningStats mc;
+      for (int trial = 0; trial < 40000; ++trial) {
+        std::vector<bool> bits(eta);
+        for (std::size_t i = 0; i < eta; ++i) bits[i] = rng.chance(p);
+        mc.add(util::traceable_rate(bits));
+      }
+      EXPECT_NEAR(mc.mean(), traceable_rate_exact(eta, p), 0.01)
+          << "eta=" << eta << " p=" << p;
+    }
+  }
+}
+
+TEST(TraceableExact, IncreasesWithP) {
+  for (std::size_t eta : {4u, 6u, 11u}) {
+    double prev = 0.0;
+    for (double p = 0.05; p <= 0.95; p += 0.05) {
+      double v = traceable_rate_exact(eta, p);
+      EXPECT_GT(v, prev);
+      prev = v;
+    }
+  }
+}
+
+TEST(TraceableExact, DecreasesWithPathLength) {
+  // Fig. 7: more onion relays dilute the compromised fraction of the path.
+  for (double p : {0.1, 0.2, 0.3}) {
+    double prev = 1.0;
+    for (std::size_t eta = 2; eta <= 11; ++eta) {
+      double v = traceable_rate_exact(eta, p);
+      EXPECT_LT(v, prev) << "eta=" << eta << " p=" << p;
+      prev = v;
+    }
+  }
+}
+
+TEST(TraceablePaper, WithinModelErrorOfExact) {
+  // The paper's approximation should track the exact value in the small-p
+  // regime it assumes (c << n).
+  for (std::size_t eta : {4u, 6u, 11u}) {
+    for (double p : {0.05, 0.1, 0.2, 0.3}) {
+      double paper = traceable_rate_paper(eta, p);
+      double exact = traceable_rate_exact(eta, p);
+      EXPECT_NEAR(paper, exact, 0.55 * exact + 0.01)
+          << "eta=" << eta << " p=" << p;
+    }
+  }
+}
+
+TEST(TraceablePaper, MonotoneAndBoundedInSmallPRegime) {
+  // The approximation assumes c << n; within that regime it is monotone.
+  for (std::size_t eta : {2u, 4u, 8u}) {
+    double prev = -1.0;
+    for (double p = 0.0; p <= 0.5; p += 0.05) {
+      double v = traceable_rate_paper(eta, p);
+      EXPECT_GE(v, prev - 1e-12);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      prev = v;
+    }
+  }
+}
+
+TEST(TraceablePaper, KnownToDegradeOutsideSmallPRegime) {
+  // Documented limitation (the paper assumes c much smaller than n): the
+  // truncated geometric series loses probability mass as p -> 1, so the
+  // approximation *under*-estimates there while the exact value reaches 1.
+  EXPECT_LT(traceable_rate_paper(4, 0.95), traceable_rate_exact(4, 0.95));
+  EXPECT_NEAR(traceable_rate_exact(4, 0.999), 1.0, 0.01);
+}
+
+TEST(TraceablePaper, ZeroEta) { EXPECT_EQ(traceable_rate_paper(0, 0.5), 0.0); }
+
+TEST(GeometricMoment, TruncatedSeriesValue) {
+  // sum_{k=1}^{2} k^2 p^k (1-p) at p=0.5: (1*0.5 + 4*0.25) * 0.5 = 0.75.
+  EXPECT_NEAR(geometric_run_second_moment(2, 0.5), 0.75, 1e-12);
+}
+
+TEST(GeometricMoment, ConvergesForLargeEta) {
+  // Untruncated sum = p(1+p)/(1-p)^2.
+  double p = 0.2;
+  double closed = p * (1 + p) / ((1 - p) * (1 - p));
+  EXPECT_NEAR(geometric_run_second_moment(60, p), closed, 1e-9);
+}
+
+TEST(Traceable, InvalidPRejected) {
+  EXPECT_THROW(traceable_rate_exact(4, -0.1), std::invalid_argument);
+  EXPECT_THROW(traceable_rate_exact(4, 1.1), std::invalid_argument);
+  EXPECT_THROW(traceable_rate_paper(4, 2.0), std::invalid_argument);
+  EXPECT_THROW(geometric_run_second_moment(4, -1.0), std::invalid_argument);
+}
+
+// Parameterized property sweep across the paper's parameter space.
+struct TraceableCase {
+  std::size_t eta;
+  double p;
+};
+
+class TraceableSweep : public ::testing::TestWithParam<TraceableCase> {};
+
+TEST_P(TraceableSweep, ExactBoundedByAllCompromised) {
+  auto [eta, p] = GetParam();
+  double v = traceable_rate_exact(eta, p);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0);
+  // Lower bound: expected squared runs >= expected number of ones / eta^2.
+  EXPECT_GE(v, p / static_cast<double>(eta) - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TraceableSweep,
+    ::testing::Values(TraceableCase{2, 0.1}, TraceableCase{4, 0.1},
+                      TraceableCase{4, 0.3}, TraceableCase{4, 0.5},
+                      TraceableCase{6, 0.2}, TraceableCase{11, 0.1},
+                      TraceableCase{11, 0.5}));
+
+}  // namespace
+}  // namespace odtn::analysis

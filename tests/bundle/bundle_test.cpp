@@ -1,0 +1,236 @@
+#include "bundle/bundle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace odtn::bundle {
+namespace {
+
+Bundle sample_bundle() {
+  Bundle b;
+  b.source = 3;
+  b.destination = 9;
+  b.creation_time = 1234.5;
+  b.sequence = 42;
+  b.lifetime = 1800.0;
+  b.hops_remaining = 10;
+  b.payload = util::to_bytes("bundle payload bytes");
+  return b;
+}
+
+TEST(Bundle, EncodeDecodeRoundTrip) {
+  Bundle b = sample_bundle();
+  auto decoded = decode(encode(b));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, b);
+}
+
+TEST(Bundle, RoundTripWithEmptyPayload) {
+  Bundle b = sample_bundle();
+  b.payload.clear();
+  auto decoded = decode(encode(b));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, b);
+}
+
+TEST(Bundle, AnonymousSourceEid) {
+  Bundle b = sample_bundle();
+  b.source = kNullEid;  // "dtn:none" — source withheld
+  auto decoded = decode(encode(b));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->source, kNullEid);
+}
+
+TEST(Bundle, ExpiryAgainstClock) {
+  Bundle b = sample_bundle();
+  EXPECT_FALSE(b.expired(1234.5));
+  EXPECT_FALSE(b.expired(1234.5 + 1800.0));
+  EXPECT_TRUE(b.expired(1234.5 + 1800.1));
+}
+
+TEST(Bundle, HopBudget) {
+  Bundle b = sample_bundle();
+  b.hops_remaining = 2;
+  EXPECT_TRUE(b.age());
+  EXPECT_TRUE(b.age());
+  EXPECT_FALSE(b.age());
+  EXPECT_EQ(b.hops_remaining, 0u);
+}
+
+TEST(BundleDecode, RejectsMalformed) {
+  Bundle b = sample_bundle();
+  auto wire = encode(b);
+
+  EXPECT_FALSE(decode({}).has_value());
+  util::Bytes truncated(wire.begin(), wire.begin() + 10);
+  EXPECT_FALSE(decode(truncated).has_value());
+
+  util::Bytes bad_magic = wire;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(decode(bad_magic).has_value());
+
+  util::Bytes bad_version = wire;
+  bad_version[4] = 99;
+  EXPECT_FALSE(decode(bad_version).has_value());
+
+  util::Bytes trailing = wire;
+  trailing.push_back(0);
+  EXPECT_FALSE(decode(trailing).has_value());
+
+  util::Bytes cut_payload(wire.begin(), wire.end() - 3);
+  EXPECT_FALSE(decode(cut_payload).has_value());
+}
+
+TEST(BundleDecode, RejectsInconsistentFragmentFields) {
+  Bundle b = sample_bundle();
+  b.is_fragment = true;
+  b.fragment_offset = 100;
+  b.total_length = 50;  // offset beyond total
+  EXPECT_FALSE(decode(encode(b)).has_value());
+
+  Bundle c = sample_bundle();
+  c.is_fragment = false;
+  c.fragment_offset = 7;  // non-fragment with an offset
+  EXPECT_FALSE(decode(encode(c)).has_value());
+}
+
+TEST(BundleDecode, FuzzNeverCrashes) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 3000; ++trial) {
+    util::Bytes garbage(rng.below(120));
+    for (auto& x : garbage) x = static_cast<std::uint8_t>(rng.below(256));
+    (void)decode(garbage);
+  }
+  // Bitflip sweep over a valid encoding.
+  auto wire = encode(sample_bundle());
+  for (int trial = 0; trial < 500; ++trial) {
+    auto mutated = wire;
+    mutated[rng.below(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    (void)decode(mutated);  // must not crash; may or may not parse
+  }
+}
+
+TEST(Fragment, SmallPayloadPassesThrough) {
+  Bundle b = sample_bundle();
+  auto frags = fragment(b, 1000);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0], b);
+  EXPECT_FALSE(frags[0].is_fragment);
+}
+
+TEST(Fragment, SplitsAndCoversPayload) {
+  Bundle b = sample_bundle();
+  b.payload = util::Bytes(100, 0);
+  for (std::size_t i = 0; i < 100; ++i) {
+    b.payload[i] = static_cast<std::uint8_t>(i);
+  }
+  auto frags = fragment(b, 33);
+  ASSERT_EQ(frags.size(), 4u);  // 33+33+33+1
+  std::size_t covered = 0;
+  for (const auto& f : frags) {
+    EXPECT_TRUE(f.is_fragment);
+    EXPECT_EQ(f.total_length, 100u);
+    EXPECT_LE(f.payload.size(), 33u);
+    covered += f.payload.size();
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(Fragment, Validation) {
+  Bundle b = sample_bundle();
+  EXPECT_THROW(fragment(b, 0), std::invalid_argument);
+  auto frags = fragment(b, 4);
+  EXPECT_THROW(fragment(frags[0], 2), std::invalid_argument);
+}
+
+TEST(Reassemble, InOrder) {
+  Bundle b = sample_bundle();
+  b.payload = util::Bytes(70, 0xab);
+  auto whole = reassemble(fragment(b, 16));
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(whole->payload, b.payload);
+  EXPECT_FALSE(whole->is_fragment);
+  EXPECT_EQ(whole->source, b.source);
+}
+
+TEST(Reassemble, AnyOrderAndDuplicates) {
+  util::Rng rng(2);
+  Bundle b = sample_bundle();
+  b.payload.resize(200);
+  for (std::size_t i = 0; i < b.payload.size(); ++i) {
+    b.payload[i] = static_cast<std::uint8_t>(rng.below(256));
+  }
+  auto frags = fragment(b, 23);
+  frags.push_back(frags[2]);  // duplicate
+  rng.shuffle(frags);
+  auto whole = reassemble(frags);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(whole->payload, b.payload);
+}
+
+TEST(Reassemble, MissingFragmentReturnsNullopt) {
+  Bundle b = sample_bundle();
+  b.payload = util::Bytes(100, 1);
+  auto frags = fragment(b, 30);
+  frags.erase(frags.begin() + 1);
+  EXPECT_FALSE(reassemble(frags).has_value());
+}
+
+TEST(Reassemble, MixedBundlesRejected) {
+  Bundle b1 = sample_bundle();
+  b1.payload = util::Bytes(50, 1);
+  Bundle b2 = sample_bundle();
+  b2.sequence = 43;  // different bundle id
+  b2.payload = util::Bytes(50, 2);
+  auto f1 = fragment(b1, 20);
+  auto f2 = fragment(b2, 20);
+  f1.push_back(f2[0]);
+  EXPECT_FALSE(reassemble(f1).has_value());
+}
+
+TEST(Reassemble, ConflictingDuplicateRejected) {
+  Bundle b = sample_bundle();
+  b.payload = util::Bytes(40, 7);
+  auto frags = fragment(b, 10);
+  Bundle corrupt = frags[1];
+  corrupt.payload[0] ^= 0xff;
+  frags.push_back(corrupt);
+  EXPECT_FALSE(reassemble(frags).has_value());
+}
+
+TEST(Reassemble, HopBudgetIsMinimumOfFragments) {
+  Bundle b = sample_bundle();
+  b.payload = util::Bytes(40, 7);
+  auto frags = fragment(b, 10);
+  frags[2].hops_remaining = 3;
+  auto whole = reassemble(frags);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(whole->hops_remaining, 3u);
+}
+
+TEST(Reassemble, SingleUnfragmentedBundle) {
+  Bundle b = sample_bundle();
+  auto whole = reassemble({b});
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(*whole, b);
+  EXPECT_FALSE(reassemble({}).has_value());
+}
+
+TEST(Fragment, FragmentsSurviveWireRoundTrip) {
+  Bundle b = sample_bundle();
+  b.payload = util::Bytes(128, 0x5a);
+  std::vector<Bundle> recovered;
+  for (const auto& f : fragment(b, 50)) {
+    auto d = decode(encode(f));
+    ASSERT_TRUE(d.has_value());
+    recovered.push_back(*d);
+  }
+  auto whole = reassemble(recovered);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(whole->payload, b.payload);
+}
+
+}  // namespace
+}  // namespace odtn::bundle

@@ -1,0 +1,76 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace odtn::crypto {
+namespace {
+
+using util::to_bytes;
+using util::to_hex;
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::digest({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::digest(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::digest(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.update(reinterpret_cast<const std::uint8_t*>(chunk.data()),
+             chunk.size());
+  }
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  util::Bytes data = to_bytes("delay tolerant networks with onion groups");
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.update(data.data(), split);
+    h.update(data.data() + split, data.size() - split);
+    EXPECT_EQ(h.finish(), Sha256::digest(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // 55/56/57/63/64/65 bytes hit all padding branches.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    util::Bytes data(len, 0x42);
+    util::Bytes d1 = Sha256::digest(data);
+    Sha256 h;
+    for (std::size_t i = 0; i < len; ++i) h.update(&data[i], 1);
+    EXPECT_EQ(h.finish(), d1) << "len=" << len;
+  }
+}
+
+TEST(Sha256, UpdateAfterFinishThrows) {
+  Sha256 h;
+  h.update(to_bytes("x"));
+  (void)h.finish();
+  EXPECT_THROW(h.update(to_bytes("y")), std::logic_error);
+  EXPECT_THROW((void)h.finish(), std::logic_error);
+}
+
+TEST(Sha256, DifferentInputsDiffer) {
+  EXPECT_NE(Sha256::digest(to_bytes("a")), Sha256::digest(to_bytes("b")));
+}
+
+}  // namespace
+}  // namespace odtn::crypto

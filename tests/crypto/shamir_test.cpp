@@ -1,0 +1,156 @@
+#include "crypto/shamir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace odtn::crypto {
+namespace {
+
+TEST(Gf256, MultiplicationBasics) {
+  EXPECT_EQ(gf256_mul(0, 0x53), 0);
+  EXPECT_EQ(gf256_mul(1, 0x53), 0x53);
+  // Known AES example: 0x53 * 0xCA = 0x01.
+  EXPECT_EQ(gf256_mul(0x53, 0xCA), 0x01);
+  // Commutativity.
+  for (int a = 0; a < 256; a += 17) {
+    for (int b = 0; b < 256; b += 13) {
+      EXPECT_EQ(gf256_mul(static_cast<std::uint8_t>(a),
+                          static_cast<std::uint8_t>(b)),
+                gf256_mul(static_cast<std::uint8_t>(b),
+                          static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256, EveryNonzeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    std::uint8_t inv = gf256_inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(gf256_mul(static_cast<std::uint8_t>(a), inv), 1) << "a=" << a;
+  }
+  EXPECT_THROW(gf256_inv(0), std::invalid_argument);
+}
+
+TEST(Gf256, Distributivity) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto a = static_cast<std::uint8_t>(rng.below(256));
+    auto b = static_cast<std::uint8_t>(rng.below(256));
+    auto c = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_EQ(gf256_mul(a, b ^ c), gf256_mul(a, b) ^ gf256_mul(a, c));
+  }
+}
+
+TEST(Shamir, SplitAndReconstructExactThreshold) {
+  Drbg drbg(std::uint64_t{1});
+  util::Bytes secret = util::to_bytes("the pivot node is #17");
+  auto shares = shamir_split(secret, 3, 5, drbg);
+  ASSERT_EQ(shares.size(), 5u);
+  std::vector<Share> subset = {shares[0], shares[2], shares[4]};
+  EXPECT_EQ(shamir_reconstruct(subset, 3), secret);
+}
+
+TEST(Shamir, AnySubsetOfThresholdWorks) {
+  Drbg drbg(std::uint64_t{2});
+  util::Bytes secret = util::to_bytes("share me");
+  auto shares = shamir_split(secret, 2, 4, drbg);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      std::vector<Share> pair = {shares[i], shares[j]};
+      EXPECT_EQ(shamir_reconstruct(pair, 2), secret)
+          << "shares " << i << "," << j;
+    }
+  }
+}
+
+TEST(Shamir, MoreThanThresholdAlsoWorks) {
+  Drbg drbg(std::uint64_t{3});
+  util::Bytes secret = util::to_bytes("x");
+  auto shares = shamir_split(secret, 2, 5, drbg);
+  EXPECT_EQ(shamir_reconstruct(shares, 2), secret);
+}
+
+TEST(Shamir, ThresholdOneIsReplication) {
+  Drbg drbg(std::uint64_t{4});
+  util::Bytes secret = util::to_bytes("replicated");
+  auto shares = shamir_split(secret, 1, 3, drbg);
+  for (const auto& s : shares) {
+    EXPECT_EQ(shamir_reconstruct({s}, 1), secret);
+  }
+}
+
+TEST(Shamir, FullThreshold) {
+  Drbg drbg(std::uint64_t{5});
+  util::Bytes secret = util::to_bytes("all or nothing");
+  auto shares = shamir_split(secret, 5, 5, drbg);
+  EXPECT_EQ(shamir_reconstruct(shares, 5), secret);
+}
+
+TEST(Shamir, BelowThresholdRevealsNothing) {
+  // Information-theoretic check: with threshold 2, a single share byte of
+  // a fixed secret must be (close to) uniformly distributed over fresh
+  // polynomial randomness.
+  util::Bytes secret = {0x42};
+  std::map<std::uint8_t, int> histogram;
+  for (std::uint64_t trial = 0; trial < 20000; ++trial) {
+    Drbg drbg(trial + 1000);
+    auto shares = shamir_split(secret, 2, 2, drbg);
+    histogram[shares[0].data[0]]++;
+  }
+  // Expect ~78 per value; flag strong bias only.
+  for (int v = 0; v < 256; ++v) {
+    EXPECT_LT(histogram[static_cast<std::uint8_t>(v)], 200) << "value " << v;
+  }
+  EXPECT_GT(histogram.size(), 200u);
+}
+
+TEST(Shamir, WrongSharesGiveWrongSecret) {
+  Drbg drbg(std::uint64_t{6});
+  util::Bytes secret = util::to_bytes("correct");
+  auto shares = shamir_split(secret, 3, 5, drbg);
+  shares[1].data[0] ^= 0x01;  // corrupted share
+  std::vector<Share> subset = {shares[0], shares[1], shares[2]};
+  EXPECT_NE(shamir_reconstruct(subset, 3), secret);
+}
+
+TEST(Shamir, EmptySecret) {
+  Drbg drbg(std::uint64_t{7});
+  auto shares = shamir_split({}, 2, 3, drbg);
+  EXPECT_TRUE(shamir_reconstruct({shares[0], shares[1]}, 2).empty());
+}
+
+TEST(Shamir, Validation) {
+  Drbg drbg(std::uint64_t{8});
+  util::Bytes secret = {1, 2, 3};
+  EXPECT_THROW(shamir_split(secret, 0, 3, drbg), std::invalid_argument);
+  EXPECT_THROW(shamir_split(secret, 4, 3, drbg), std::invalid_argument);
+  EXPECT_THROW(shamir_split(secret, 2, 256, drbg), std::invalid_argument);
+
+  auto shares = shamir_split(secret, 3, 5, drbg);
+  EXPECT_THROW(shamir_reconstruct({shares[0], shares[1]}, 3),
+               std::invalid_argument);
+  EXPECT_THROW(shamir_reconstruct({shares[0], shares[0], shares[1]}, 3),
+               std::invalid_argument);
+  auto bad = shares;
+  bad[0].data.pop_back();
+  EXPECT_THROW(shamir_reconstruct({bad[0], bad[1], bad[2]}, 3),
+               std::invalid_argument);
+  Share zero_x = shares[0];
+  zero_x.x = 0;
+  EXPECT_THROW(shamir_reconstruct({zero_x, shares[1], shares[2]}, 3),
+               std::invalid_argument);
+  EXPECT_THROW(shamir_reconstruct(shares, 0), std::invalid_argument);
+}
+
+TEST(Shamir, LargeSecretRoundTrip) {
+  Drbg drbg(std::uint64_t{9});
+  util::Bytes secret = drbg.generate(4096);
+  auto shares = shamir_split(secret, 4, 7, drbg);
+  std::vector<Share> subset = {shares[6], shares[1], shares[3], shares[5]};
+  EXPECT_EQ(shamir_reconstruct(subset, 4), secret);
+}
+
+}  // namespace
+}  // namespace odtn::crypto

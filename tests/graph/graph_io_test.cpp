@@ -1,0 +1,70 @@
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/rng.hpp"
+
+namespace odtn::graph {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesRates) {
+  util::Rng rng(1);
+  ContactGraph g = random_contact_graph(20, rng);
+  ContactGraph parsed = parse_graph(format_graph(g));
+  ASSERT_EQ(parsed.node_count(), 20u);
+  for (NodeId i = 0; i < 20; ++i) {
+    for (NodeId j = i + 1; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(parsed.rate(i, j), g.rate(i, j));
+    }
+  }
+}
+
+TEST(GraphIo, SparseGraphRoundTrip) {
+  util::Rng rng(2);
+  ContactGraph g = sparse_contact_graph(15, 0.3, rng);
+  ContactGraph parsed = parse_graph(format_graph(g));
+  EXPECT_DOUBLE_EQ(parsed.total_rate(), g.total_rate());
+}
+
+TEST(GraphIo, CommentsAndBlanksTolerated) {
+  ContactGraph g = parse_graph(
+      "# saved realization\n\nodtn-graph 1 3\n0 1 0.5  # fast pair\n\n"
+      "1 2 0.25\n");
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_DOUBLE_EQ(g.rate(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(g.rate(1, 2), 0.25);
+  EXPECT_DOUBLE_EQ(g.rate(0, 2), 0.0);
+}
+
+TEST(GraphIo, MalformedInputsRejected) {
+  EXPECT_THROW(parse_graph(""), std::invalid_argument);
+  EXPECT_THROW(parse_graph("not-a-graph 1 3\n"), std::invalid_argument);
+  EXPECT_THROW(parse_graph("odtn-graph 2 3\n"), std::invalid_argument);
+  EXPECT_THROW(parse_graph("odtn-graph 1 3\n0 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_graph("odtn-graph 1 3\n0 5 0.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_graph("odtn-graph 1 3\n0 1 -0.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_graph("odtn-graph 1 3\n0 1 0.5\n1 0 0.5\n"),
+               std::invalid_argument);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  util::Rng rng(3);
+  ContactGraph g = random_contact_graph(10, rng);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "odtn_graph_test.txt")
+          .string();
+  save_graph_file(g, path);
+  ContactGraph loaded = load_graph_file(path);
+  EXPECT_DOUBLE_EQ(loaded.total_rate(), g.total_rate());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_graph_file("/nonexistent/odtn.graph"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace odtn::graph

@@ -1,0 +1,134 @@
+#include "groups/group_directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace odtn::groups {
+namespace {
+
+TEST(GroupDirectory, PartitionCoversAllNodesOnce) {
+  util::Rng rng(1);
+  GroupDirectory dir(100, 5, &rng);
+  EXPECT_EQ(dir.group_count(), 20u);
+  std::set<NodeId> seen;
+  for (GroupId g = 0; g < dir.group_count(); ++g) {
+    for (NodeId m : dir.members(g)) {
+      EXPECT_TRUE(seen.insert(m).second) << "node in two groups";
+      EXPECT_EQ(dir.group_of(m), g);
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(GroupDirectory, EqualGroupSizesWhenDivisible) {
+  GroupDirectory dir(100, 5);
+  for (GroupId g = 0; g < dir.group_count(); ++g) {
+    EXPECT_EQ(dir.members(g).size(), 5u);
+  }
+}
+
+TEST(GroupDirectory, RemainderGroupWhenNotDivisible) {
+  // The paper notes "there may exist a group with a smaller size if n is
+  // not divisible by g" — the simulator must handle it.
+  GroupDirectory dir(101, 5);
+  EXPECT_EQ(dir.group_count(), 21u);
+  std::size_t small_groups = 0;
+  for (GroupId g = 0; g < dir.group_count(); ++g) {
+    std::size_t size = dir.members(g).size();
+    EXPECT_LE(size, 5u);
+    if (size < 5u) ++small_groups;
+  }
+  EXPECT_EQ(small_groups, 1u);
+}
+
+TEST(GroupDirectory, GroupSizeOneIsIdentityPartition) {
+  GroupDirectory dir(12, 1);
+  EXPECT_EQ(dir.group_count(), 12u);
+  for (GroupId g = 0; g < 12u; ++g) {
+    EXPECT_EQ(dir.members(g).size(), 1u);
+  }
+}
+
+TEST(GroupDirectory, DeterministicWithoutRng) {
+  GroupDirectory dir(10, 3);
+  EXPECT_EQ(dir.members(0), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(dir.members(3), (std::vector<NodeId>{9}));
+}
+
+TEST(GroupDirectory, RandomAssignmentDiffersFromIdentity) {
+  util::Rng rng(42);
+  GroupDirectory random_dir(100, 5, &rng);
+  GroupDirectory plain_dir(100, 5);
+  bool differs = false;
+  for (NodeId v = 0; v < 100 && !differs; ++v) {
+    differs = random_dir.group_of(v) != plain_dir.group_of(v);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GroupDirectory, Validation) {
+  util::Rng rng(1);
+  EXPECT_THROW(GroupDirectory(0, 1), std::invalid_argument);
+  EXPECT_THROW(GroupDirectory(10, 0), std::invalid_argument);
+  EXPECT_THROW(GroupDirectory(10, 11), std::invalid_argument);
+  GroupDirectory dir(10, 3);
+  EXPECT_THROW(dir.group_of(10), std::out_of_range);
+  EXPECT_THROW(dir.members(4), std::out_of_range);
+}
+
+TEST(GroupDirectory, InGroup) {
+  GroupDirectory dir(10, 5);
+  EXPECT_TRUE(dir.in_group(0, 0));
+  EXPECT_FALSE(dir.in_group(0, 1));
+}
+
+TEST(SelectRelayGroups, DistinctAndExcludesEndpoints) {
+  util::Rng rng(2);
+  GroupDirectory dir(100, 5, &rng);
+  for (int trial = 0; trial < 100; ++trial) {
+    NodeId src = static_cast<NodeId>(rng.below(100));
+    NodeId dst = static_cast<NodeId>(rng.below(100));
+    if (src == dst) continue;
+    auto groups = dir.select_relay_groups(src, dst, 3, rng);
+    EXPECT_EQ(groups.size(), 3u);
+    std::set<GroupId> uniq(groups.begin(), groups.end());
+    EXPECT_EQ(uniq.size(), 3u);
+    for (GroupId g : groups) {
+      EXPECT_NE(g, dir.group_of(src));
+      EXPECT_NE(g, dir.group_of(dst));
+    }
+  }
+}
+
+TEST(SelectRelayGroups, FallsBackWhenTooFewGroups) {
+  util::Rng rng(3);
+  // 3 groups total; excluding src and dst groups leaves at most 2 < 3,
+  // so selection must fall back to using all groups.
+  GroupDirectory dir(9, 3);
+  auto groups = dir.select_relay_groups(0, 8, 3, rng);
+  EXPECT_EQ(groups.size(), 3u);
+}
+
+TEST(SelectRelayGroups, ThrowsWhenImpossible) {
+  util::Rng rng(4);
+  GroupDirectory dir(9, 3);  // 3 groups
+  EXPECT_THROW(dir.select_relay_groups(0, 8, 4, rng), std::invalid_argument);
+}
+
+TEST(SelectRelayGroups, UniformOverCandidates) {
+  util::Rng rng(5);
+  GroupDirectory dir(50, 5);  // groups 0..9, deterministic assignment
+  // src in group 0, dst in group 9; candidates 1..8.
+  std::vector<int> counts(10, 0);
+  const int trials = 8000;
+  for (int t = 0; t < trials; ++t) {
+    for (GroupId g : dir.select_relay_groups(0, 49, 1, rng)) counts[g]++;
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[9], 0);
+  for (int g = 1; g <= 8; ++g) EXPECT_NEAR(counts[g], trials / 8, 150);
+}
+
+}  // namespace
+}  // namespace odtn::groups

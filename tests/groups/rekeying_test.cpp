@@ -1,0 +1,131 @@
+#include "groups/rekeying.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/hmac.hpp"
+
+namespace odtn::groups {
+namespace {
+
+GroupDirectory make_dir() { return GroupDirectory(20, 5); }
+
+TEST(Rekeying, DeterministicPerSeed) {
+  auto dir = make_dir();
+  GroupKeySchedule a(dir, 1), b(dir, 1);
+  EXPECT_EQ(a.key_at(0, 0), b.key_at(0, 0));
+  EXPECT_EQ(a.key_at(2, 17), b.key_at(2, 17));
+  GroupKeySchedule c(dir, 2);
+  EXPECT_NE(a.key_at(0, 0), c.key_at(0, 0));
+}
+
+TEST(Rekeying, KeysDifferAcrossGroupsAndEpochs) {
+  auto dir = make_dir();
+  GroupKeySchedule sched(dir, 3);
+  std::set<util::Bytes> seen;
+  for (GroupId g = 0; g < sched.group_count(); ++g) {
+    for (Epoch e = 0; e < 5; ++e) {
+      EXPECT_TRUE(seen.insert(sched.key_at(g, e)).second)
+          << "g=" << g << " e=" << e;
+    }
+  }
+}
+
+TEST(Rekeying, RatchetIsConsistentForwardAndBackwardQueries) {
+  auto dir = make_dir();
+  GroupKeySchedule sched(dir, 4);
+  util::Bytes k10 = sched.key_at(1, 10);
+  util::Bytes k3 = sched.key_at(1, 3);  // backwards query (recomputed)
+  util::Bytes k10_again = sched.key_at(1, 10);
+  EXPECT_EQ(k10, k10_again);
+  EXPECT_NE(k3, k10);
+}
+
+TEST(Rekeying, ChainMatchesManualRatchet) {
+  // key(e+1) must equal one HKDF-ratchet step applied to key(e).
+  auto dir = make_dir();
+  GroupKeySchedule sched(dir, 5);
+  util::Bytes k4 = sched.key_at(0, 4);
+  util::Bytes k5 = sched.key_at(0, 5);
+  EXPECT_EQ(crypto::hkdf(k4, {}, util::to_bytes("odtn-ratchet"), 32), k5);
+}
+
+TEST(Rekeying, ForwardSecurityAdversaryDerivesOnlyFuture) {
+  // A captured key at epoch e yields epoch e+1 by ratcheting, but the
+  // schedule's earlier keys are unrelated to any forward computation.
+  auto dir = make_dir();
+  GroupKeySchedule sched(dir, 6);
+  util::Bytes captured = sched.key_at(2, 7);
+  // Adversary ratchets forward: matches the schedule.
+  util::Bytes forward = crypto::hkdf(captured, {},
+                                     util::to_bytes("odtn-ratchet"), 32);
+  EXPECT_EQ(forward, sched.key_at(2, 8));
+  // Ratcheting the captured key never reproduces a past key.
+  util::Bytes probe = captured;
+  for (int steps = 0; steps < 64; ++steps) {
+    EXPECT_NE(probe, sched.key_at(2, 6));
+    EXPECT_NE(probe, sched.key_at(2, 0));
+    probe = crypto::hkdf(probe, {}, util::to_bytes("odtn-ratchet"), 32);
+  }
+}
+
+TEST(Rekeying, HealCutsOffTheAdversary) {
+  auto dir = make_dir();
+  GroupKeySchedule sched(dir, 7);
+  util::Bytes captured = sched.key_at(1, 5);
+
+  sched.heal(1, 10, util::to_bytes("fresh-entropy"));
+  EXPECT_EQ(sched.last_heal(1), 10u);
+
+  // Post-heal keys are not what the adversary computes by ratcheting the
+  // captured key 5 steps.
+  util::Bytes adversary_guess = captured;
+  for (int i = 0; i < 5; ++i) {
+    adversary_guess = crypto::hkdf(adversary_guess, {},
+                                   util::to_bytes("odtn-ratchet"), 32);
+  }
+  EXPECT_NE(adversary_guess, sched.key_at(1, 10));
+}
+
+TEST(Rekeying, PreHealEpochsBecomeUnavailable) {
+  auto dir = make_dir();
+  GroupKeySchedule sched(dir, 8);
+  sched.heal(0, 4, util::to_bytes("x"));
+  EXPECT_THROW(sched.key_at(0, 3), std::invalid_argument);
+  EXPECT_NO_THROW(sched.key_at(0, 4));
+  EXPECT_NO_THROW(sched.key_at(0, 9));
+  // Other groups unaffected.
+  EXPECT_NO_THROW(sched.key_at(1, 0));
+}
+
+TEST(Rekeying, HealValidation) {
+  auto dir = make_dir();
+  GroupKeySchedule sched(dir, 9);
+  EXPECT_THROW(sched.heal(0, 0, util::to_bytes("x")), std::invalid_argument);
+  sched.heal(0, 5, util::to_bytes("x"));
+  EXPECT_THROW(sched.heal(0, 5, util::to_bytes("y")), std::invalid_argument);
+  EXPECT_THROW(sched.heal(0, 3, util::to_bytes("y")), std::invalid_argument);
+  EXPECT_THROW(sched.heal(0, 9, {}), std::invalid_argument);
+  EXPECT_THROW(sched.heal(99, 9, util::to_bytes("x")), std::out_of_range);
+}
+
+TEST(Rekeying, ExposureWindow) {
+  constexpr Epoch kMax = std::numeric_limits<Epoch>::max();
+  EXPECT_EQ(GroupKeySchedule::exposure_window(5, 0),
+            (std::pair<Epoch, Epoch>{5, kMax}));
+  EXPECT_EQ(GroupKeySchedule::exposure_window(5, 12),
+            (std::pair<Epoch, Epoch>{5, 11}));
+  EXPECT_EQ(GroupKeySchedule::exposure_window(5, 5),
+            (std::pair<Epoch, Epoch>{5, kMax}));  // heal before capture: open
+}
+
+TEST(Rekeying, OutOfRangeGroup) {
+  auto dir = make_dir();
+  GroupKeySchedule sched(dir, 10);
+  EXPECT_THROW(sched.key_at(99, 0), std::out_of_range);
+  EXPECT_THROW(sched.last_heal(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace odtn::groups

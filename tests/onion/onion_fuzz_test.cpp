@@ -1,0 +1,106 @@
+// Robustness: the onion codec must never crash, leak plaintext, or accept
+// forged input — whatever bytes arrive on the wire.
+#include <gtest/gtest.h>
+
+#include "groups/group_directory.hpp"
+#include "groups/key_manager.hpp"
+#include "onion/onion.hpp"
+#include "util/rng.hpp"
+
+namespace odtn::onion {
+namespace {
+
+struct Fixture {
+  groups::GroupDirectory dir{20, 5};
+  groups::KeyManager keys{dir, 7};
+  OnionCodec codec;
+  crypto::Drbg drbg{std::uint64_t{99}};
+};
+
+TEST(OnionFuzz, RandomBytesNeverPeel) {
+  Fixture f;
+  util::Rng rng(1);
+  for (int trial = 0; trial < 300; ++trial) {
+    util::Bytes garbage(f.codec.wire_size());
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.below(256));
+    for (GroupId g = 0; g < f.dir.group_count(); ++g) {
+      EXPECT_FALSE(f.codec.peel(garbage, f.keys.group_key(g), f.drbg)
+                       .has_value());
+    }
+  }
+}
+
+TEST(OnionFuzz, RandomSizesNeverPeel) {
+  Fixture f;
+  util::Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    util::Bytes garbage(rng.below(2 * f.codec.wire_size()));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_FALSE(
+        f.codec.peel(garbage, f.keys.group_key(0), f.drbg).has_value());
+  }
+}
+
+TEST(OnionFuzz, BitflipSweepOnRealOnion) {
+  // Every single-bit corruption of the authenticated fragment must be
+  // rejected; corruption of the padding region must be tolerated.
+  Fixture f;
+  util::Bytes wire =
+      f.codec.build(util::to_bytes("payload"), 0, {1, 2}, f.keys, f.drbg);
+  std::size_t fragment_len = f.codec.fragment_size(2);  // 2 wraps remain
+
+  util::Rng rng(3);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::size_t byte = rng.below(wire.size());
+    util::Bytes tampered = wire;
+    tampered[byte] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    auto peeled = f.codec.peel(tampered, f.keys.group_key(1), f.drbg);
+    if (byte < fragment_len) {
+      EXPECT_FALSE(peeled.has_value()) << "corrupt byte " << byte;
+    } else {
+      EXPECT_TRUE(peeled.has_value()) << "padding byte " << byte;
+    }
+  }
+}
+
+TEST(OnionFuzz, TruncatedAndExtendedWires) {
+  Fixture f;
+  util::Bytes wire =
+      f.codec.build(util::to_bytes("p"), 0, {1}, f.keys, f.drbg);
+  for (std::size_t len : {0u, 1u, 12u, 27u, 28u, 100u}) {
+    util::Bytes cut(wire.begin(), wire.begin() + std::min(len, wire.size()));
+    EXPECT_FALSE(f.codec.peel(cut, f.keys.group_key(1), f.drbg).has_value());
+  }
+}
+
+TEST(OnionFuzz, ReplayedPacketStillPeelsButProducesFreshPadding) {
+  // Peeling the same wire twice must give identical inner fragments but
+  // different (re-randomized) padding — the unlinkability property.
+  Fixture f;
+  util::Bytes wire =
+      f.codec.build(util::to_bytes("p"), 0, {1, 2}, f.keys, f.drbg);
+  auto p1 = f.codec.peel(wire, f.keys.group_key(1), f.drbg);
+  auto p2 = f.codec.peel(wire, f.keys.group_key(1), f.drbg);
+  ASSERT_TRUE(p1.has_value());
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_NE(p1->next_wire, p2->next_wire);  // padding differs
+  std::size_t frag = f.codec.fragment_size(1);
+  util::Bytes f1(p1->next_wire.begin(), p1->next_wire.begin() + frag);
+  util::Bytes f2(p2->next_wire.begin(), p2->next_wire.begin() + frag);
+  EXPECT_EQ(f1, f2);  // authenticated fragment identical
+}
+
+TEST(OnionFuzz, CrossCodecConfigsRejected) {
+  // A packet built under one codec geometry must not peel under another.
+  Fixture f;
+  OnionConfig other;
+  other.payload_size = 128;
+  other.max_layers = 6;
+  OnionCodec small(other);
+  util::Bytes wire =
+      f.codec.build(util::to_bytes("p"), 0, {1}, f.keys, f.drbg);
+  EXPECT_FALSE(small.peel(wire, f.keys.group_key(1), f.drbg).has_value());
+}
+
+}  // namespace
+}  // namespace odtn::onion

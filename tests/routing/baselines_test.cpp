@@ -1,0 +1,227 @@
+#include "routing/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace odtn::routing {
+namespace {
+
+struct Fixture {
+  Fixture(std::uint64_t seed = 1)
+      : rng(seed),
+        graph(graph::random_contact_graph(20, rng, 10.0, 60.0)),
+        contacts(graph, rng) {}
+
+  util::Rng rng;
+  graph::ContactGraph graph;
+  sim::PoissonContactModel contacts;
+};
+
+MessageSpec spec_for(NodeId src, NodeId dst, double ttl, std::size_t l = 1) {
+  MessageSpec s;
+  s.src = src;
+  s.dst = dst;
+  s.ttl = ttl;
+  s.copies = l;
+  return s;
+}
+
+TEST(DirectDelivery, SingleTransmissionOnSuccess) {
+  Fixture f;
+  DirectDelivery protocol;
+  auto r = protocol.route(f.contacts, spec_for(0, 19, 1e7));
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.transmissions, 1u);
+  EXPECT_GT(r.delay, 0.0);
+}
+
+TEST(DirectDelivery, FailsBeyondDeadline) {
+  Fixture f;
+  DirectDelivery protocol;
+  auto r = protocol.route(f.contacts, spec_for(0, 19, 1e-9));
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.transmissions, 0u);
+}
+
+TEST(DirectDelivery, DelayMatchesPairRate) {
+  Fixture f;
+  DirectDelivery protocol;
+  util::RunningStats delays;
+  for (int i = 0; i < 3000; ++i) {
+    auto r = protocol.route(f.contacts, spec_for(0, 19, 1e9));
+    ASSERT_TRUE(r.delivered);
+    delays.add(r.delay);
+  }
+  EXPECT_NEAR(delays.mean(), 1.0 / f.graph.rate(0, 19),
+              0.1 / f.graph.rate(0, 19));
+}
+
+TEST(SprayAndWait, CostAtMost2LMinus1) {
+  Fixture f;
+  SprayAndWaitRouting protocol;
+  for (std::size_t l : {1u, 2u, 5u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      auto r = protocol.route(f.contacts, spec_for(0, 19, 1e7, l));
+      EXPECT_LE(r.transmissions, 2 * l - 1) << "L=" << l;
+      EXPECT_TRUE(r.delivered);
+    }
+  }
+}
+
+TEST(SprayAndWait, MoreCopiesFasterDelivery) {
+  Fixture f;
+  SprayAndWaitRouting protocol;
+  util::RunningStats d1, d8;
+  for (int trial = 0; trial < 400; ++trial) {
+    d1.add(protocol.route(f.contacts, spec_for(0, 19, 1e9, 1)).delay);
+    d8.add(protocol.route(f.contacts, spec_for(0, 19, 1e9, 8)).delay);
+  }
+  EXPECT_LT(d8.mean(), d1.mean());
+}
+
+TEST(SprayAndWait, SingleCopyEqualsDirectDelivery) {
+  Fixture f;
+  SprayAndWaitRouting spray;
+  util::RunningStats ds, dd;
+  DirectDelivery direct;
+  for (int trial = 0; trial < 2000; ++trial) {
+    ds.add(spray.route(f.contacts, spec_for(0, 19, 1e9, 1)).delay);
+    dd.add(direct.route(f.contacts, spec_for(0, 19, 1e9)).delay);
+  }
+  EXPECT_NEAR(ds.mean(), dd.mean(), 0.15 * dd.mean());
+}
+
+TEST(SprayAndWait, ZeroCopiesRejected) {
+  Fixture f;
+  SprayAndWaitRouting protocol;
+  EXPECT_THROW(protocol.route(f.contacts, spec_for(0, 1, 10.0, 0)),
+               std::invalid_argument);
+}
+
+TEST(BinarySprayAndWait, CostAtMost2LMinus1) {
+  Fixture f;
+  BinarySprayAndWaitRouting protocol;
+  for (std::size_t l : {1u, 2u, 4u, 8u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      auto r = protocol.route(f.contacts, spec_for(0, 19, 1e7, l));
+      EXPECT_LE(r.transmissions, 2 * l - 1) << "L=" << l;
+      EXPECT_TRUE(r.delivered);
+    }
+  }
+}
+
+TEST(BinarySprayAndWait, SingleTicketEqualsDirectDelivery) {
+  Fixture f;
+  BinarySprayAndWaitRouting binary;
+  DirectDelivery direct;
+  util::RunningStats db, dd;
+  for (int trial = 0; trial < 1500; ++trial) {
+    db.add(binary.route(f.contacts, spec_for(0, 19, 1e9, 1)).delay);
+    dd.add(direct.route(f.contacts, spec_for(0, 19, 1e9)).delay);
+  }
+  EXPECT_NEAR(db.mean(), dd.mean(), 0.15 * dd.mean());
+}
+
+TEST(BinarySprayAndWait, SpraysFasterThanSourceMode) {
+  // The Spyropoulos result: binary splitting disseminates the L copies
+  // exponentially faster, so delivery delay is at most that of source
+  // spray (and typically lower for large L).
+  Fixture f;
+  BinarySprayAndWaitRouting binary;
+  SprayAndWaitRouting source;
+  util::RunningStats db, ds;
+  for (int trial = 0; trial < 600; ++trial) {
+    db.add(binary.route(f.contacts, spec_for(0, 19, 1e9, 12)).delay);
+    ds.add(source.route(f.contacts, spec_for(0, 19, 1e9, 12)).delay);
+  }
+  EXPECT_LT(db.mean(), ds.mean() * 1.05);
+}
+
+TEST(BinarySprayAndWait, MoreCopiesFaster) {
+  Fixture f;
+  BinarySprayAndWaitRouting protocol;
+  util::RunningStats d1, d8;
+  for (int trial = 0; trial < 400; ++trial) {
+    d1.add(protocol.route(f.contacts, spec_for(0, 19, 1e9, 1)).delay);
+    d8.add(protocol.route(f.contacts, spec_for(0, 19, 1e9, 8)).delay);
+  }
+  EXPECT_LT(d8.mean(), d1.mean());
+}
+
+TEST(BinarySprayAndWait, Validation) {
+  Fixture f;
+  BinarySprayAndWaitRouting protocol;
+  EXPECT_THROW(protocol.route(f.contacts, spec_for(0, 1, 10.0, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(protocol.route(f.contacts, spec_for(2, 2, 10.0, 2)),
+               std::invalid_argument);
+}
+
+TEST(Epidemic, AlwaysDeliversWithGenerousDeadline) {
+  Fixture f;
+  EpidemicRouting protocol;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto r = protocol.route(f.contacts, spec_for(0, 19, 1e7));
+    EXPECT_TRUE(r.delivered);
+  }
+}
+
+TEST(Epidemic, FasterThanDirectDelivery) {
+  Fixture f;
+  EpidemicRouting epidemic;
+  DirectDelivery direct;
+  util::RunningStats de, dd;
+  for (int trial = 0; trial < 300; ++trial) {
+    de.add(epidemic.route(f.contacts, spec_for(0, 19, 1e9)).delay);
+    dd.add(direct.route(f.contacts, spec_for(0, 19, 1e9)).delay);
+  }
+  EXPECT_LT(de.mean(), dd.mean() / 2.0);
+}
+
+TEST(Epidemic, TransmissionsBoundedByN) {
+  Fixture f;
+  EpidemicRouting protocol;
+  auto r = protocol.route(f.contacts, spec_for(0, 19, 1e9));
+  // At most n-1 infections.
+  EXPECT_LE(r.transmissions, 19u);
+  EXPECT_GE(r.transmissions, 1u);
+}
+
+TEST(Epidemic, CostExceedsOnionRoutingCost) {
+  // The flooding overhead the paper's ticket-based schemes avoid.
+  Fixture f;
+  EpidemicRouting protocol;
+  util::RunningStats cost;
+  for (int trial = 0; trial < 100; ++trial) {
+    cost.add(static_cast<double>(
+        protocol.route(f.contacts, spec_for(0, 19, 1e9)).transmissions));
+  }
+  EXPECT_GT(cost.mean(), 8.0);  // far above K+1 = 4 for default K
+}
+
+TEST(Epidemic, DeterministicTrace) {
+  trace::ContactTrace t(4, {{1.0, 0, 2}, {2.0, 2, 3}, {3.0, 3, 1}});
+  sim::TraceContactModel contacts(t);
+  EpidemicRouting protocol;
+  auto r = protocol.route(contacts, spec_for(0, 1, 100.0));
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.delay, 3.0);
+  EXPECT_EQ(r.transmissions, 3u);
+}
+
+TEST(Baselines, SelfRouteRejected) {
+  Fixture f;
+  DirectDelivery direct;
+  SprayAndWaitRouting spray;
+  EpidemicRouting epidemic;
+  EXPECT_THROW(direct.route(f.contacts, spec_for(3, 3, 10.0)),
+               std::invalid_argument);
+  EXPECT_THROW(spray.route(f.contacts, spec_for(3, 3, 10.0)),
+               std::invalid_argument);
+  EXPECT_THROW(epidemic.route(f.contacts, spec_for(3, 3, 10.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odtn::routing

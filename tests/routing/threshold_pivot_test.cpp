@@ -1,0 +1,141 @@
+#include "routing/threshold_pivot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/onion_routing.hpp"
+#include "util/stats.hpp"
+
+namespace odtn::routing {
+namespace {
+
+struct Fixture {
+  Fixture(std::size_t n = 30, std::size_t g = 5, std::uint64_t seed = 1)
+      : rng(seed),
+        graph(graph::random_contact_graph(n, rng, 10.0, 60.0)),
+        dir(n, g),
+        keys(dir, seed),
+        contacts(graph, rng) {}
+
+  util::Rng rng;
+  graph::ContactGraph graph;
+  groups::GroupDirectory dir;
+  groups::KeyManager keys;
+  sim::PoissonContactModel contacts;
+};
+
+MessageSpec spec_for(NodeId src, NodeId dst, double ttl) {
+  MessageSpec s;
+  s.src = src;
+  s.dst = dst;
+  s.ttl = ttl;
+  return s;
+}
+
+TEST(ThresholdPivot, DeliversWithGenerousDeadline) {
+  Fixture f;
+  ThresholdPivotRouting protocol(f.dir, f.keys);
+  auto r = protocol.route(f.contacts, spec_for(0, 29, 1e7), f.rng);
+  ASSERT_TRUE(r.delivered);
+  EXPECT_GE(r.shares_at_pivot, protocol.options().threshold);
+  EXPECT_NE(r.pivot, 0u);
+  EXPECT_NE(r.pivot, 29u);
+  EXPECT_GT(r.delay, 0.0);
+}
+
+TEST(ThresholdPivot, TransmissionsBounded) {
+  // Each share: at most 2 transmissions (src->relay->pivot); the pivot
+  // stops collecting at tau shares, then 1 transmission to dst.
+  Fixture f;
+  TpsOptions opt;
+  opt.share_count = 5;
+  opt.threshold = 3;
+  ThresholdPivotRouting protocol(f.dir, f.keys, opt);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto r = protocol.route(f.contacts, spec_for(0, 29, 1e7), f.rng);
+    EXPECT_LE(r.transmissions, 2 * 5 + 1u);
+  }
+}
+
+TEST(ThresholdPivot, RealCryptoReconstructsPayload) {
+  Fixture f;
+  ThresholdPivotRouting protocol(f.dir, f.keys, {},
+                                 CryptoMode::kReal);
+  auto spec = spec_for(0, 29, 1e7);
+  spec.payload = util::to_bytes("split into five, reborn from three");
+  auto r = protocol.route(f.contacts, spec, f.rng);
+  ASSERT_TRUE(r.delivered);
+  EXPECT_TRUE(r.crypto_verified);
+}
+
+TEST(ThresholdPivot, FailsWithTinyDeadline) {
+  Fixture f;
+  ThresholdPivotRouting protocol(f.dir, f.keys);
+  auto r = protocol.route(f.contacts, spec_for(0, 29, 1e-9), f.rng);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.shares_at_pivot, 0u);
+}
+
+TEST(ThresholdPivot, FasterThanDeepOnionPath) {
+  // The structural advantage TPS trades anonymity for: shares travel in
+  // parallel over 2 hops, vs K+1 sequential onion hops.
+  Fixture f;
+  ThresholdPivotRouting tps(f.dir, f.keys);
+  onion::OnionCodec codec;
+  OnionContext ctx{&f.dir, &f.keys, &codec, CryptoMode::kNone};
+  SingleCopyOnionRouting onion(ctx);
+
+  util::RunningStats tps_delay, onion_delay;
+  for (int trial = 0; trial < 200; ++trial) {
+    auto rt = tps.route(f.contacts, spec_for(0, 29, 1e7), f.rng);
+    MessageSpec os = spec_for(0, 29, 1e7);
+    os.num_relays = 5;
+    auto ro = onion.route(f.contacts, os, f.rng);
+    if (rt.delivered) tps_delay.add(rt.delay);
+    if (ro.delivered) onion_delay.add(ro.delay);
+  }
+  EXPECT_LT(tps_delay.mean(), onion_delay.mean());
+}
+
+TEST(ThresholdPivot, HigherThresholdSlower) {
+  Fixture f;
+  TpsOptions loose{5, 1}, strict{5, 5};
+  ThresholdPivotRouting p_loose(f.dir, f.keys, loose);
+  ThresholdPivotRouting p_strict(f.dir, f.keys, strict);
+  util::RunningStats d_loose, d_strict;
+  for (int trial = 0; trial < 200; ++trial) {
+    auto rl = p_loose.route(f.contacts, spec_for(0, 29, 1e7), f.rng);
+    auto rs = p_strict.route(f.contacts, spec_for(0, 29, 1e7), f.rng);
+    if (rl.delivered) d_loose.add(rl.delay);
+    if (rs.delivered) d_strict.add(rs.delay);
+  }
+  EXPECT_LT(d_loose.mean(), d_strict.mean());
+}
+
+TEST(ThresholdPivot, ShareRelaysRecorded) {
+  Fixture f;
+  ThresholdPivotRouting protocol(f.dir, f.keys);
+  auto r = protocol.route(f.contacts, spec_for(0, 29, 1e7), f.rng);
+  ASSERT_TRUE(r.delivered);
+  std::size_t moved = 0;
+  for (NodeId relay : r.share_relays) {
+    if (relay != kInvalidNode) {
+      ++moved;
+      EXPECT_NE(relay, 0u);
+    }
+  }
+  EXPECT_GE(moved, protocol.options().threshold);
+}
+
+TEST(ThresholdPivot, Validation) {
+  Fixture f;
+  EXPECT_THROW(ThresholdPivotRouting(f.dir, f.keys, TpsOptions{3, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(ThresholdPivotRouting(f.dir, f.keys, TpsOptions{3, 4}),
+               std::invalid_argument);
+  ThresholdPivotRouting protocol(f.dir, f.keys);
+  EXPECT_THROW(protocol.route(f.contacts, spec_for(3, 3, 10.0), f.rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odtn::routing

@@ -1,0 +1,161 @@
+#include "sim/contact_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace odtn::sim {
+namespace {
+
+TEST(PoissonContactModel, FirstContactTimeIsExponential) {
+  graph::ContactGraph g(3);
+  g.set_rate(0, 1, 0.1);
+  util::Rng rng(1);
+  PoissonContactModel model(g, rng);
+
+  util::RunningStats delays;
+  for (int i = 0; i < 20000; ++i) {
+    auto c = model.first_contact(0, {1}, 100.0, kTimeInfinity);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_GE(c->time, 100.0);
+    delays.add(c->time - 100.0);
+  }
+  EXPECT_NEAR(delays.mean(), 10.0, 0.3);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(delays.stddev(), 10.0, 0.5);
+}
+
+TEST(PoissonContactModel, AnycastRateIsSumOfRates) {
+  // First contact with any of a set: rate = sum -> mean delay 1/sum.
+  graph::ContactGraph g(4);
+  g.set_rate(0, 1, 0.1);
+  g.set_rate(0, 2, 0.2);
+  g.set_rate(0, 3, 0.3);
+  util::Rng rng(2);
+  PoissonContactModel model(g, rng);
+
+  util::RunningStats delays;
+  int peer_counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 30000; ++i) {
+    auto c = model.first_contact(0, {1, 2, 3}, 0.0, kTimeInfinity);
+    ASSERT_TRUE(c.has_value());
+    delays.add(c->time);
+    peer_counts[c->b]++;
+  }
+  EXPECT_NEAR(delays.mean(), 1.0 / 0.6, 0.05);
+  // Peer selected proportionally to its rate.
+  EXPECT_NEAR(peer_counts[1] / 30000.0, 1.0 / 6.0, 0.02);
+  EXPECT_NEAR(peer_counts[2] / 30000.0, 2.0 / 6.0, 0.02);
+  EXPECT_NEAR(peer_counts[3] / 30000.0, 3.0 / 6.0, 0.02);
+}
+
+TEST(PoissonContactModel, HorizonRespected) {
+  graph::ContactGraph g(2);
+  g.set_rate(0, 1, 0.001);  // mean 1000
+  util::Rng rng(3);
+  PoissonContactModel model(g, rng);
+  int hits = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (model.first_contact(0, {1}, 0.0, 1.0).has_value()) ++hits;
+  }
+  // P(contact within 1) = 1 - e^-0.001 ~ 0.001.
+  EXPECT_LT(hits, 25);
+}
+
+TEST(PoissonContactModel, NoContactForZeroRate) {
+  graph::ContactGraph g(3);
+  util::Rng rng(4);
+  PoissonContactModel model(g, rng);
+  EXPECT_FALSE(model.first_contact(0, {1, 2}, 0.0, 1e9).has_value());
+}
+
+TEST(PoissonContactModel, EmptyWindowOrTargets) {
+  graph::ContactGraph g(2);
+  g.set_rate(0, 1, 1.0);
+  util::Rng rng(5);
+  PoissonContactModel model(g, rng);
+  EXPECT_FALSE(model.first_contact(0, {1}, 10.0, 10.0).has_value());
+  EXPECT_FALSE(model.first_contact(0, {}, 0.0, 100.0).has_value());
+  EXPECT_FALSE(model.first_contact(0, {0}, 0.0, 100.0).has_value());
+}
+
+TEST(PoissonContactModel, OverlappingSetsCountPairsOnce) {
+  // from = {0,1}, to = {0,1}: only the (0,1) pair exists; the contact rate
+  // must be 1x, not 2x.
+  graph::ContactGraph g(2);
+  g.set_rate(0, 1, 0.5);
+  util::Rng rng(6);
+  PoissonContactModel model(g, rng);
+  util::RunningStats delays;
+  for (int i = 0; i < 20000; ++i) {
+    auto c = model.first_cross_contact({0, 1}, {0, 1}, 0.0, kTimeInfinity);
+    ASSERT_TRUE(c.has_value());
+    delays.add(c->time);
+  }
+  EXPECT_NEAR(delays.mean(), 2.0, 0.06);
+}
+
+TEST(PoissonContactModel, CrossContactIdentifiesSides) {
+  graph::ContactGraph g(4);
+  g.set_rate(0, 2, 1.0);
+  g.set_rate(1, 3, 1.0);
+  util::Rng rng(7);
+  PoissonContactModel model(g, rng);
+  for (int i = 0; i < 100; ++i) {
+    auto c = model.first_cross_contact({0, 1}, {2, 3}, 0.0, kTimeInfinity);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_TRUE(c->a == 0 || c->a == 1);
+    EXPECT_TRUE(c->b == 2 || c->b == 3);
+    // Only pairs (0,2) and (1,3) have rate.
+    EXPECT_TRUE((c->a == 0 && c->b == 2) || (c->a == 1 && c->b == 3));
+  }
+}
+
+TEST(TraceContactModel, ReplaysEventsInOrder) {
+  trace::ContactTrace t(3, {{10.0, 0, 1}, {20.0, 1, 2}, {30.0, 0, 1}});
+  TraceContactModel model(t);
+  auto c = model.first_contact(0, {1}, 0.0, 100.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->time, 10.0);
+  c = model.first_contact(0, {1}, 10.5, 100.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->time, 30.0);
+}
+
+TEST(TraceContactModel, OrientationNormalized) {
+  trace::ContactTrace t(3, {{10.0, 1, 0}});
+  TraceContactModel model(t);
+  auto c = model.first_contact(0, {1}, 0.0, 100.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->a, 0u);
+  EXPECT_EQ(c->b, 1u);
+}
+
+TEST(TraceContactModel, HorizonAndAfterBoundaries) {
+  trace::ContactTrace t(2, {{10.0, 0, 1}});
+  TraceContactModel model(t);
+  // after inclusive.
+  EXPECT_TRUE(model.first_contact(0, {1}, 10.0, 11.0).has_value());
+  // horizon exclusive.
+  EXPECT_FALSE(model.first_contact(0, {1}, 0.0, 10.0).has_value());
+  EXPECT_FALSE(model.first_contact(0, {1}, 10.5, 100.0).has_value());
+}
+
+TEST(TraceContactModel, CrossContactSets) {
+  trace::ContactTrace t(4, {{5.0, 2, 3}, {10.0, 0, 3}, {15.0, 1, 2}});
+  TraceContactModel model(t);
+  auto c = model.first_cross_contact({0, 1}, {2, 3}, 0.0, 100.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->time, 10.0);
+  EXPECT_EQ(c->a, 0u);
+  EXPECT_EQ(c->b, 3u);
+}
+
+TEST(TraceContactModel, NodeCount) {
+  trace::ContactTrace t(7, {});
+  TraceContactModel model(t);
+  EXPECT_EQ(model.node_count(), 7u);
+}
+
+}  // namespace
+}  // namespace odtn::sim

@@ -1,0 +1,123 @@
+#include "trace/contact_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace odtn::trace {
+namespace {
+
+std::vector<ContactEvent> sample_events() {
+  return {{30.0, 0, 1}, {10.0, 1, 2}, {20.0, 0, 2}, {40.0, 1, 2}};
+}
+
+TEST(ContactTrace, EventsSortedByTime) {
+  ContactTrace t(3, sample_events());
+  ASSERT_EQ(t.event_count(), 4u);
+  for (std::size_t i = 1; i < t.events().size(); ++i) {
+    EXPECT_LE(t.events()[i - 1].time, t.events()[i].time);
+  }
+  EXPECT_EQ(t.start_time(), 10.0);
+  EXPECT_EQ(t.end_time(), 40.0);
+}
+
+TEST(ContactTrace, Validation) {
+  EXPECT_THROW(ContactTrace(1, {}), std::invalid_argument);
+  EXPECT_THROW(ContactTrace(3, {{1.0, 0, 3}}), std::invalid_argument);
+  EXPECT_THROW(ContactTrace(3, {{1.0, 2, 2}}), std::invalid_argument);
+}
+
+TEST(ContactTrace, EmptyTraceTimes) {
+  ContactTrace t(2, {});
+  EXPECT_EQ(t.start_time(), 0.0);
+  EXPECT_EQ(t.end_time(), 0.0);
+  EXPECT_EQ(t.event_count(), 0u);
+}
+
+TEST(ContactTrace, ContactsOfIncludesBothDirections) {
+  ContactTrace t(3, sample_events());
+  const auto& c1 = t.contacts_of(1);
+  ASSERT_EQ(c1.size(), 3u);
+  EXPECT_EQ(c1[0].time, 10.0);
+  EXPECT_EQ(c1[0].peer, 2u);
+  EXPECT_EQ(c1[1].time, 30.0);
+  EXPECT_EQ(c1[1].peer, 0u);
+  EXPECT_THROW(t.contacts_of(5), std::out_of_range);
+}
+
+TEST(ContactTrace, FirstContactRespectsWindowAndCandidates) {
+  ContactTrace t(3, sample_events());
+  auto c = t.first_contact(0, {1, 2}, 0.0, 100.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->time, 20.0);
+  EXPECT_EQ(c->peer, 2u);
+
+  c = t.first_contact(0, {1}, 0.0, 100.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->time, 30.0);
+
+  // `after` is inclusive, horizon exclusive.
+  c = t.first_contact(0, {2}, 20.0, 100.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->time, 20.0);
+  EXPECT_FALSE(t.first_contact(0, {2}, 20.5, 100.0).has_value());
+  EXPECT_FALSE(t.first_contact(0, {1}, 0.0, 30.0).has_value());
+}
+
+TEST(ContactTrace, EstimateRatesMatchesCounts) {
+  // duration = 40 - 10 = 30; pair (1,2) has 2 contacts -> 1/15.
+  ContactTrace t(3, sample_events());
+  auto g = t.estimate_rates();
+  EXPECT_DOUBLE_EQ(g.rate(1, 2), 2.0 / 30.0);
+  EXPECT_DOUBLE_EQ(g.rate(0, 1), 1.0 / 30.0);
+  EXPECT_DOUBLE_EQ(g.rate(0, 2), 1.0 / 30.0);
+}
+
+TEST(ContactTrace, EstimateRatesEmptyTrace) {
+  ContactTrace t(3, {});
+  auto g = t.estimate_rates();
+  EXPECT_EQ(g.total_rate(), 0.0);
+}
+
+TEST(ParseTrace, BasicFormat) {
+  auto t = parse_trace("10 0 1\n20.5 1 2\n", 3);
+  ASSERT_EQ(t.event_count(), 2u);
+  EXPECT_EQ(t.events()[1].time, 20.5);
+  EXPECT_EQ(t.events()[1].a, 1u);
+}
+
+TEST(ParseTrace, CommentsAndBlanksIgnored) {
+  auto t = parse_trace("# header\n\n10 0 1  # inline comment\n\n", 2);
+  EXPECT_EQ(t.event_count(), 1u);
+}
+
+TEST(ParseTrace, MalformedRejected) {
+  EXPECT_THROW(parse_trace("10 0\n", 2), std::invalid_argument);
+  EXPECT_THROW(parse_trace("10 -1 1\n", 2), std::invalid_argument);
+  EXPECT_THROW(parse_trace("10 0 5\n", 2), std::invalid_argument);
+}
+
+TEST(FormatTrace, RoundTrip) {
+  ContactTrace t(3, sample_events());
+  auto t2 = parse_trace(format_trace(t), 3);
+  EXPECT_EQ(t2.events(), t.events());
+}
+
+TEST(TraceFile, SaveAndLoad) {
+  ContactTrace t(3, sample_events());
+  std::string path =
+      (std::filesystem::temp_directory_path() / "odtn_trace_test.txt").string();
+  save_trace_file(t, path);
+  auto loaded = load_trace_file(path, 3);
+  EXPECT_EQ(loaded.events(), t.events());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trace_file("/nonexistent/odtn.txt", 3),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace odtn::trace

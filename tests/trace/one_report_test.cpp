@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "trace/contact_trace.hpp"
+
+namespace odtn::trace {
+namespace {
+
+TEST(OneReport, UpTransitionsBecomeEvents) {
+  auto t = parse_one_report(
+      "10.0 CONN 0 1 up\n"
+      "25.0 CONN 0 1 down\n"
+      "30.0 CONN 1 2 up\n",
+      3);
+  ASSERT_EQ(t.event_count(), 2u);
+  EXPECT_EQ(t.events()[0].time, 10.0);
+  EXPECT_EQ(t.events()[0].a, 0u);
+  EXPECT_EQ(t.events()[1].time, 30.0);
+}
+
+TEST(OneReport, NonConnLinesIgnored) {
+  auto t = parse_one_report(
+      "# Scenario: test\n"
+      "10.0 CONN 0 1 up\n"
+      "12.0 M 0 [100, 200]\n"
+      "15.0 DELIVERED M3 0 1\n",
+      2);
+  EXPECT_EQ(t.event_count(), 1u);
+}
+
+TEST(OneReport, OutOfRangeIdsSkipped) {
+  auto t = parse_one_report("1.0 CONN 0 7 up\n2.0 CONN 0 1 up\n", 2);
+  EXPECT_EQ(t.event_count(), 1u);
+}
+
+TEST(OneReport, MalformedConnRejected) {
+  EXPECT_THROW(parse_one_report("1.0 CONN 0 up\n", 3),
+               std::invalid_argument);
+  EXPECT_THROW(parse_one_report("1.0 CONN 0 1 sideways\n", 3),
+               std::invalid_argument);
+  EXPECT_THROW(parse_one_report("1.0 CONN -1 1 up\n", 3),
+               std::invalid_argument);
+}
+
+TEST(OneReport, EmptyInput) {
+  EXPECT_EQ(parse_one_report("", 3).event_count(), 0u);
+}
+
+TEST(OneReport, RatesEstimableFromParsedReport) {
+  auto t = parse_one_report(
+      "0 CONN 0 1 up\n100 CONN 0 1 down\n200 CONN 0 1 up\n", 2);
+  auto rates = t.estimate_rates();
+  EXPECT_DOUBLE_EQ(rates.rate(0, 1), 2.0 / 200.0);
+}
+
+}  // namespace
+}  // namespace odtn::trace

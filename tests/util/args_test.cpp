@@ -1,0 +1,83 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace odtn::util {
+namespace {
+
+Args make_args(std::vector<std::string> argv) {
+  static std::vector<std::vector<char>> storage;
+  storage.clear();
+  std::vector<char*> ptrs;
+  for (auto& s : argv) {
+    storage.emplace_back(s.begin(), s.end());
+    storage.back().push_back('\0');
+    ptrs.push_back(storage.back().data());
+  }
+  return Args(static_cast<int>(ptrs.size()), ptrs.data());
+}
+
+TEST(Args, EqualsForm) {
+  Args a = make_args({"prog", "--runs=500", "--seed=7"});
+  EXPECT_EQ(a.get_int("runs", 100), 500);
+  EXPECT_EQ(a.get_int("seed", 1), 7);
+}
+
+TEST(Args, SpaceForm) {
+  Args a = make_args({"prog", "--runs", "250"});
+  EXPECT_EQ(a.get_int("runs", 100), 250);
+}
+
+TEST(Args, BareFlagIsTrue) {
+  Args a = make_args({"prog", "--verbose"});
+  EXPECT_TRUE(a.get_bool("verbose", false));
+  EXPECT_FALSE(a.get_bool("quiet", false));
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  Args a = make_args({"prog"});
+  EXPECT_EQ(a.get("name", "dflt"), "dflt");
+  EXPECT_EQ(a.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(a.get_double("x", 2.5), 2.5);
+}
+
+TEST(Args, DoubleParsing) {
+  Args a = make_args({"prog", "--rate=0.125"});
+  EXPECT_DOUBLE_EQ(a.get_double("rate", 0), 0.125);
+}
+
+TEST(Args, Positional) {
+  Args a = make_args({"prog", "input.txt", "--k=3", "output.txt"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "input.txt");
+  EXPECT_EQ(a.positional()[1], "output.txt");
+  EXPECT_EQ(a.get_int("k", 0), 3);
+}
+
+TEST(Args, BoolSpellings) {
+  Args a = make_args({"prog", "--a=true", "--b=1", "--c=yes", "--d=false",
+                      "--e=0"});
+  EXPECT_TRUE(a.get_bool("a", false));
+  EXPECT_TRUE(a.get_bool("b", false));
+  EXPECT_TRUE(a.get_bool("c", false));
+  EXPECT_FALSE(a.get_bool("d", true));
+  EXPECT_FALSE(a.get_bool("e", true));
+}
+
+TEST(Args, HasAndProgram) {
+  Args a = make_args({"my_bench", "--x=1"});
+  EXPECT_TRUE(a.has("x"));
+  EXPECT_FALSE(a.has("y"));
+  EXPECT_EQ(a.program(), "my_bench");
+}
+
+TEST(Args, FlagFollowedByFlagDoesNotConsume) {
+  Args a = make_args({"prog", "--flag", "--runs=5"});
+  EXPECT_TRUE(a.get_bool("flag", false));
+  EXPECT_EQ(a.get_int("runs", 0), 5);
+}
+
+}  // namespace
+}  // namespace odtn::util

@@ -1,0 +1,147 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace odtn::util {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(4);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossRange) {
+  Rng rng(5);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) counts[rng.below(7)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 7, 600);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.range(-2, 2));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{-2, -1, 0, 1, 2}));
+  EXPECT_THROW(rng.range(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(8);
+  for (double rate : {0.1, 1.0, 5.0}) {
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.02 / rate);
+  }
+}
+
+TEST(Rng, ExponentialPositive) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.exponential(2.0), 0.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(10);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next() == child.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(12);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto s = rng.sample_without_replacement(20, 7);
+    EXPECT_EQ(s.size(), 7u);
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 7u);
+    for (auto i : s) EXPECT_LT(i, 20u);
+  }
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(13);
+  auto s = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(Rng, SampleRejectsKGreaterThanN) {
+  Rng rng(14);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, SampleIsUniform) {
+  // Each element of [0,10) should appear in a 3-sample about 30% of the time.
+  Rng rng(15);
+  std::array<int, 10> counts{};
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    for (auto i : rng.sample_without_replacement(10, 3)) counts[i]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, trials * 3 / 10, 400);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(16);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace odtn::util

@@ -1,0 +1,95 @@
+#include "util/run_length.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace odtn::util {
+namespace {
+
+TEST(RunLength, EmptyInput) {
+  EXPECT_TRUE(runs_of_ones({}).empty());
+  EXPECT_EQ(sum_squared_runs({}), 0u);
+  EXPECT_EQ(traceable_rate({}), 0.0);
+}
+
+TEST(RunLength, AllZeros) {
+  std::vector<bool> bits(5, false);
+  EXPECT_TRUE(runs_of_ones(bits).empty());
+  EXPECT_EQ(traceable_rate(bits), 0.0);
+}
+
+TEST(RunLength, AllOnes) {
+  std::vector<bool> bits(4, true);
+  EXPECT_EQ(runs_of_ones(bits), (std::vector<std::size_t>{4}));
+  EXPECT_EQ(sum_squared_runs(bits), 16u);
+  EXPECT_DOUBLE_EQ(traceable_rate(bits), 1.0);
+}
+
+TEST(RunLength, MixedRuns) {
+  // 0110111 -> runs {2, 3}
+  std::vector<bool> bits = {false, true, true, false, true, true, true};
+  EXPECT_EQ(runs_of_ones(bits), (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(sum_squared_runs(bits), 13u);
+}
+
+TEST(RunLength, PaperExampleScattered) {
+  // Paper Sec. II-C: path v1..v5 (eta=4), v1,v2,v4 compromised ->
+  // bits 1101 -> (2^2 + 1^2)/16 = 0.3125.
+  std::vector<bool> bits = {true, true, false, true};
+  EXPECT_DOUBLE_EQ(traceable_rate(bits), 0.3125);
+}
+
+TEST(RunLength, PaperExampleConsecutive) {
+  // v2,v3,v4 compromised -> bits 0111 -> 9/16 = 0.5625.
+  std::vector<bool> bits = {false, true, true, true};
+  EXPECT_DOUBLE_EQ(traceable_rate(bits), 0.5625);
+}
+
+TEST(RunLength, TrailingRunCounted) {
+  std::vector<bool> bits = {true, false, true, true};
+  EXPECT_EQ(runs_of_ones(bits), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(sum_squared_runs(bits), 5u);
+}
+
+TEST(RunLength, LeadingRunCounted) {
+  std::vector<bool> bits = {true, true, false, false};
+  EXPECT_EQ(sum_squared_runs(bits), 4u);
+}
+
+TEST(RunLength, SingleBit) {
+  EXPECT_DOUBLE_EQ(traceable_rate({true}), 1.0);
+  EXPECT_DOUBLE_EQ(traceable_rate({false}), 0.0);
+}
+
+TEST(RunLength, ConsecutiveBeatsScattered) {
+  // Same number of ones: consecutive placement discloses more (Eq. 1).
+  std::vector<bool> scattered = {true, false, true, false, true, false};
+  std::vector<bool> consecutive = {true, true, true, false, false, false};
+  EXPECT_GT(traceable_rate(consecutive), traceable_rate(scattered));
+}
+
+TEST(RunLength, SumSquaredMatchesRunsForRandomStrings) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<bool> bits(rng.below(30));
+    for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = rng.chance(0.4);
+    std::size_t expect = 0;
+    for (auto r : runs_of_ones(bits)) expect += r * r;
+    EXPECT_EQ(sum_squared_runs(bits), expect);
+  }
+}
+
+TEST(RunLength, TraceableRateBounds) {
+  Rng rng(78);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<bool> bits(1 + rng.below(20));
+    for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = rng.chance(0.5);
+    double p = traceable_rate(bits);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace odtn::util

@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace odtn::util {
+namespace {
+
+TEST(Table, BasicLayout) {
+  Table t({"T", "analysis", "sim"});
+  t.new_row();
+  t.cell(std::int64_t{60});
+  t.cell(0.12345, 3);
+  t.cell(0.2, 3);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.at(0, 0), "60");
+  EXPECT_EQ(t.at(0, 1), "0.123");
+  EXPECT_EQ(t.at(0, 2), "0.200");
+}
+
+TEST(Table, PrintContainsHeadersAndValues) {
+  Table t({"x", "y"});
+  t.new_row();
+  t.cell(std::string("1"));
+  t.cell(std::string("two"));
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("two"), std::string::npos);
+  EXPECT_NE(out.find("--"), std::string::npos);
+}
+
+TEST(Table, ColumnAlignment) {
+  Table t({"a", "b"});
+  t.new_row();
+  t.cell(std::string("longvalue"));
+  t.cell(std::string("x"));
+  std::ostringstream os;
+  t.print(os);
+  // Header row must be padded at least as wide as the longest cell.
+  std::string first_line = os.str().substr(0, os.str().find('\n'));
+  EXPECT_GE(first_line.size(), std::string("longvalue  x").size());
+}
+
+TEST(Table, CellOverflowThrows) {
+  Table t({"only"});
+  t.new_row();
+  t.cell(std::string("1"));
+  EXPECT_THROW(t.cell(std::string("2")), std::logic_error);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"h"});
+  EXPECT_THROW(t.cell(std::string("1")), std::logic_error);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, ShortRowPrintsBlank) {
+  Table t({"a", "b"});
+  t.new_row();
+  t.cell(std::string("1"));
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+}
+
+}  // namespace
+}  // namespace odtn::util
