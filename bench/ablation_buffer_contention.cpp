@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   std::size_t repeats = std::max<std::size_t>(1, base.runs / 20);
   bench::print_header("Ablation", "Delivery under buffer contention",
@@ -67,5 +68,6 @@ int main(int argc, char** argv) {
     table.cell(rej_1.mean(), 1);
   }
   table.print(std::cout);
+  bench::finish(base, args, timer);
   return 0;
 }

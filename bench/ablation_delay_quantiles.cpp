@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   bench::print_header("Ablation", "Delay quantiles: model vs simulation",
                       "n=100, K=3, g=5, L=1; one graph realization, many "
@@ -76,5 +77,6 @@ int main(int argc, char** argv) {
                "# median but needs a healthy margin at high percentiles — a "
                "limitation the paper's\n# mean-delivery comparisons cannot "
                "surface.\n";
+  bench::finish(base, args, timer);
   return 0;
 }

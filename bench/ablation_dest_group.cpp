@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   base.ttl = 1800.0;
   bench::print_header("Ablation", "Destination-group delivery on/off",
@@ -73,5 +74,6 @@ int main(int argc, char** argv) {
   std::cout << "# Group delivery hides the destination among g group "
                "members from the last relay;\n# the anycast entry into the "
                "group offsets much of the intra-group walk's delay.\n";
+  bench::finish(base, args, timer);
   return 0;
 }

@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   bench::print_header("Ablation", "History-based routing on community graphs",
                       "n=60, 3 communities (10x slowdown), K=3, g=5; "
@@ -90,5 +91,6 @@ int main(int argc, char** argv) {
   std::cout << "# PRoPHET approaches epidemic delivery with a fraction of "
                "the carriers; direct\n# delivery suffers across communities; "
                "onion routing pays its anonymity toll on top.\n";
+  bench::finish(base, args, timer);
   return 0;
 }

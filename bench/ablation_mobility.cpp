@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   bench::print_header("Ablation",
                       "Exponential-ICT assumption under random-waypoint mobility",
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
     cfg.num_relays = 3;
     cfg.ttl = deadline;
     cfg.trace_training_gap = 0.0;  // RWP has no diurnal gaps
-    auto r = core::run_trace_experiment(cfg, trace);
+    auto r = core::Experiment(cfg).run(core::TraceScenario{&trace});
     table.new_row();
     table.cell(static_cast<std::int64_t>(deadline));
     table.cell(r.ana_delivery.mean());
@@ -52,5 +53,6 @@ int main(int argc, char** argv) {
                "assumption still tracks simulated delivery on mobility-"
                "generated\n# traces, supporting the paper's use of Table II "
                "contact dynamics.\n";
+  bench::finish(base, args, timer);
   return 0;
 }

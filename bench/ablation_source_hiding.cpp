@@ -21,6 +21,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   bench::print_header("Ablation",
                       "Source-hiding schemes: onion vs TPS vs ALAR",
@@ -86,5 +87,6 @@ int main(int argc, char** argv) {
     table.cell(t_epi.mean(), 1);
   }
   table.print(std::cout);
+  bench::finish(base, args, timer);
   return 0;
 }

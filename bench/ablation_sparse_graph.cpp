@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   base.ttl = 900.0;
   bench::print_header("Ablation", "Model accuracy vs contact-graph density",
@@ -62,5 +63,6 @@ int main(int argc, char** argv) {
   std::cout << "# On sparse graphs the group-averaged hop rate (Eq. 4) "
                "overstates what the realized\n# holder can reach; the gap "
                "shrinks as the graph approaches the paper's dense regime.\n";
+  bench::finish(base, args, timer);
   return 0;
 }

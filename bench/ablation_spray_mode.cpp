@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   base.copies = 3;
   bench::print_header("Ablation", "Multi-copy spray strategy",
@@ -65,5 +66,6 @@ int main(int argc, char** argv) {
     table.cell(tx_spray.mean(), 2);
   }
   table.print(std::cout);
+  bench::finish(base, args, timer);
   return 0;
 }

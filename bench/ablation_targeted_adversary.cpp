@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   bench::print_header("Ablation", "Uniform vs targeted (top-rate) compromise",
                       "n=100 community graph (2 communities, 8x slowdown), "
@@ -79,5 +80,6 @@ int main(int argc, char** argv) {
                "independently of\n# connectivity, which caps what "
                "connectivity-based targeting can gain — a robustness\n# "
                "property of onion groups the paper does not discuss.\n";
+  bench::finish(base, args, timer);
   return 0;
 }

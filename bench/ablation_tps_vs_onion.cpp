@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   bench::print_header("Ablation", "TPS (tau=3 of s=5 shares) vs onion routing",
                       "n=100, g=5; onion K in {3,5}; x = deadline", base);
@@ -65,5 +66,6 @@ int main(int argc, char** argv) {
   std::cout << "# TPS buys delivery speed with parallel 2-hop shares, but "
                "reveals dst to the pivot;\n# onion routing never does. TPS "
                "also spends more transmissions per message.\n";
+  bench::finish(base, args, timer);
   return 0;
 }

@@ -1,6 +1,9 @@
 #include "common/bench_common.hpp"
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <stdexcept>
 
 namespace odtn::bench {
 
@@ -8,6 +11,7 @@ core::ExperimentConfig base_config(const util::Args& args) {
   core::ExperimentConfig cfg;
   cfg.runs = static_cast<std::size_t>(args.get_int("runs", 200));
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.threads = static_cast<std::size_t>(args.get_int("threads", 0));
   return cfg;
 }
 
@@ -17,7 +21,34 @@ void print_header(const std::string& figure_id, const std::string& title,
   std::cout << "# " << figure_id << ": " << title << "\n"
             << "# fixed: " << fixed_params << "\n"
             << "# runs/point: " << config.runs << ", seed: " << config.seed
-            << "\n";
+            << ", threads: ";
+  if (config.threads == 0) {
+    std::cout << "auto";
+  } else {
+    std::cout << config.threads;
+  }
+  std::cout << "\n";
+}
+
+void finish(const core::ExperimentConfig& config, const util::Args& args,
+            const WallTimer& timer) {
+  double wall = timer.seconds();
+  std::cout << "# wall_time_s: " << wall << "\n";
+
+  std::string path = args.get("json", "");
+  if (path.empty()) return;
+  std::string figure_id = args.program();
+  auto slash = figure_id.find_last_of('/');
+  if (slash != std::string::npos) figure_id = figure_id.substr(slash + 1);
+  std::ostringstream record;
+  record << "{\"figure_id\":\"" << figure_id << "\",\"runs\":" << config.runs
+         << ",\"seed\":" << config.seed << ",\"threads\":" << config.threads
+         << ",\"wall_time_s\":" << wall << "}";
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    throw std::runtime_error("bench: cannot open --json file: " + path);
+  }
+  out << record.str() << "\n";
 }
 
 const std::vector<double>& deadline_sweep() {

@@ -3,10 +3,15 @@
 // Every bench binary regenerates one figure of the paper: it prints one row
 // per x-value with analysis and simulation columns side by side — the same
 // series the figure plots. Common flags:
-//   --runs=N   simulation runs per point (default 200)
-//   --seed=S   experiment seed (default 1)
+//   --runs=N      simulation runs per point (default 200)
+//   --seed=S      experiment seed (default 1)
+//   --threads=T   worker threads per experiment (default 0 = all hardware
+//                 threads; results are bit-identical at every T)
+//   --json=FILE   append a one-line JSON record (figure id, parameters,
+//                 wall time) so perf is tracked run over run
 #pragma once
 
+#include <chrono>
 #include <string>
 
 #include "core/config.hpp"
@@ -16,13 +21,36 @@
 
 namespace odtn::bench {
 
-/// Builds the Table II default configuration, with --runs / --seed applied.
+/// Builds the Table II default configuration, with --runs / --seed /
+/// --threads applied.
 core::ExperimentConfig base_config(const util::Args& args);
 
 /// Prints the figure banner: id, title, and the fixed parameters.
 void print_header(const std::string& figure_id, const std::string& title,
                   const std::string& fixed_params,
                   const core::ExperimentConfig& config);
+
+/// Wall-clock stopwatch started at construction; benches create one first
+/// thing in main() and hand it to finish().
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints the closing `# wall_time_s:` line and, when --json=FILE was
+/// given, appends `{"figure_id":...,"runs":...,"seed":...,"threads":...,
+/// "wall_time_s":...}` to FILE (one JSON object per line; figure_id is the
+/// bench binary's name, e.g. "fig06_traceable_vs_compromised").
+void finish(const core::ExperimentConfig& config, const util::Args& args,
+            const WallTimer& timer);
 
 /// The deadline sweep (minutes) used by the delivery-rate figures.
 const std::vector<double>& deadline_sweep();

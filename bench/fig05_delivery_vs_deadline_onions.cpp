@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   bench::print_header("Figure 5", "Delivery rate w.r.t. deadline",
                       "n=100, g=5, L=1, K in {3,5,10}", base);
@@ -23,11 +24,12 @@ int main(int argc, char** argv) {
       auto cfg = base;
       cfg.num_relays = k;
       cfg.ttl = deadline;
-      auto r = core::run_random_graph_experiment(cfg);
+      auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
       table.cell(r.ana_delivery.mean());
       table.cell(r.sim_delivered.mean());
     }
   }
   table.print(std::cout);
+  bench::finish(base, args, timer);
   return 0;
 }

@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   base.ttl = 1e6;  // measure security on delivered paths
   bench::print_header("Figure 6", "Traceable rate w.r.t. compromised rate",
@@ -25,12 +26,13 @@ int main(int argc, char** argv) {
       auto cfg = base;
       cfg.num_relays = k;
       cfg.compromise_fraction = fraction;
-      auto r = core::run_random_graph_experiment(cfg);
-      table.cell(r.ana_traceable_paper);
-      table.cell(r.ana_traceable_exact);
+      auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
+      table.cell(r.ana_traceable_paper.mean());
+      table.cell(r.ana_traceable_exact.mean());
       table.cell(r.sim_traceable.mean());
     }
   }
   table.print(std::cout);
+  bench::finish(base, args, timer);
   return 0;
 }

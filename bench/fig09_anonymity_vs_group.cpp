@@ -8,6 +8,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   base.ttl = 1e6;
   bench::print_header("Figure 9", "Path anonymity w.r.t. group size",
@@ -23,11 +24,12 @@ int main(int argc, char** argv) {
       auto cfg = base;
       cfg.group_size = g;
       cfg.compromise_fraction = fraction;
-      auto r = core::run_random_graph_experiment(cfg);
-      table.cell(r.ana_anonymity);
+      auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
+      table.cell(r.ana_anonymity.mean());
       table.cell(r.sim_anonymity.mean());
     }
   }
   table.print(std::cout);
+  bench::finish(base, args, timer);
   return 0;
 }

@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   bench::print_header("Figure 10", "Delivery rate w.r.t. deadline (multi-copy)",
                       "n=100, K=3, g=5, L in {1,3,5}", base);
@@ -23,11 +24,12 @@ int main(int argc, char** argv) {
       auto cfg = base;
       cfg.copies = l;
       cfg.ttl = deadline;
-      auto r = core::run_random_graph_experiment(cfg);
+      auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
       table.cell(r.ana_delivery.mean());
       table.cell(r.sim_delivered.mean());
     }
   }
   table.print(std::cout);
+  bench::finish(base, args, timer);
   return 0;
 }

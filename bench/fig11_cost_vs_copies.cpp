@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   base.ttl = 1e6;  // cost is measured on completed forwarding processes
   bench::print_header("Figure 11", "Message transmissions w.r.t. copies",
@@ -25,15 +26,16 @@ int main(int argc, char** argv) {
       auto cfg = base;
       cfg.num_relays = k;
       cfg.copies = l;
-      auto r = core::run_random_graph_experiment(cfg);
+      auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
       if (first) {
-        table.cell(r.ana_cost_non_anonymous, 1);
+        table.cell(r.ana_cost_non_anonymous.mean(), 1);
         first = false;
       }
-      table.cell(r.ana_cost_bound, 1);
+      table.cell(r.ana_cost_bound.mean(), 1);
       table.cell(r.sim_transmissions.mean(), 2);
     }
   }
   table.print(std::cout);
+  bench::finish(base, args, timer);
   return 0;
 }

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   base.group_size = 1;
   base.num_relays = 3;
@@ -26,12 +27,13 @@ int main(int argc, char** argv) {
                           3600.0, 7200.0}) {
     auto cfg = base;
     cfg.ttl = deadline;
-    auto r = core::run_trace_experiment(cfg, trace);
+    auto r = core::Experiment(cfg).run(core::TraceScenario{&trace});
     table.new_row();
     table.cell(static_cast<std::int64_t>(deadline));
     table.cell(r.ana_delivery.mean());
     table.cell(r.sim_delivered.mean());
   }
   table.print(std::cout);
+  bench::finish(base, args, timer);
   return 0;
 }

@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   base.group_size = 5;
   base.num_relays = 3;
@@ -33,11 +34,12 @@ int main(int argc, char** argv) {
       auto cfg = base;
       cfg.copies = l;
       cfg.ttl = deadline;
-      auto r = core::run_trace_experiment(cfg, trace);
+      auto r = core::Experiment(cfg).run(core::TraceScenario{&trace});
       table.cell(r.ana_delivery.mean());
       table.cell(r.sim_delivered.mean());
     }
   }
   table.print(std::cout);
+  bench::finish(base, args, timer);
   return 0;
 }

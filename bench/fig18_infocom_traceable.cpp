@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   base.group_size = 5;
   base.num_relays = 3;
@@ -24,13 +25,14 @@ int main(int argc, char** argv) {
   for (double fraction : bench::compromise_sweep()) {
     auto cfg = base;
     cfg.compromise_fraction = fraction;
-    auto r = core::run_trace_experiment(cfg, trace);
+    auto r = core::Experiment(cfg).run(core::TraceScenario{&trace});
     table.new_row();
     table.cell(fraction, 2);
-    table.cell(r.ana_traceable_paper);
-    table.cell(r.ana_traceable_exact);
+    table.cell(r.ana_traceable_paper.mean());
+    table.cell(r.ana_traceable_exact.mean());
     table.cell(r.sim_traceable.mean());
   }
   table.print(std::cout);
+  bench::finish(base, args, timer);
   return 0;
 }

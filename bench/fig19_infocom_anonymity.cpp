@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace odtn;
   util::Args args(argc, argv);
+  bench::WallTimer timer;
   auto base = bench::base_config(args);
   base.group_size = 5;
   base.num_relays = 3;
@@ -30,11 +31,12 @@ int main(int argc, char** argv) {
       auto cfg = base;
       cfg.copies = l;
       cfg.compromise_fraction = fraction;
-      auto r = core::run_trace_experiment(cfg, trace);
-      table.cell(r.ana_anonymity);
+      auto r = core::Experiment(cfg).run(core::TraceScenario{&trace});
+      table.cell(r.ana_anonymity.mean());
       table.cell(r.sim_anonymity.mean());
     }
   }
   table.print(std::cout);
+  bench::finish(base, args, timer);
   return 0;
 }

@@ -125,7 +125,7 @@ void BM_ExperimentRun(benchmark::State& state) {
   core::ExperimentConfig cfg;
   cfg.runs = 10;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::run_random_graph_experiment(cfg));
+    benchmark::DoNotOptimize(core::Experiment(cfg).run(core::RandomGraphScenario{}));
   }
 }
 BENCHMARK(BM_ExperimentRun)->Unit(benchmark::kMillisecond);

@@ -177,10 +177,13 @@ bench/CMakeFiles/ablation_mobility.dir/ablation_mobility.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /root/repo/bench/common/bench_common.hpp /root/repo/src/core/config.hpp \
- /root/repo/src/routing/onion_routing.hpp /root/repo/src/crypto/drbg.hpp \
- /root/repo/src/util/bytes.hpp /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
+ /root/repo/bench/common/bench_common.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/core/config.hpp /root/repo/src/routing/onion_routing.hpp \
+ /root/repo/src/crypto/drbg.hpp /root/repo/src/util/bytes.hpp \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
@@ -200,10 +203,10 @@ bench/CMakeFiles/ablation_mobility.dir/ablation_mobility.cpp.o: \
  /root/repo/src/sim/contact_model.hpp \
  /root/repo/src/graph/contact_graph.hpp \
  /root/repo/src/trace/contact_trace.hpp \
- /root/repo/src/core/experiment.hpp /root/repo/src/util/stats.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/util/args.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/core/experiment.hpp /usr/include/c++/12/variant \
+ /root/repo/src/util/stats.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/util/args.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/table.hpp \
  /root/repo/src/mobility/random_waypoint.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \

@@ -154,7 +154,11 @@ bench/CMakeFiles/fig09_anonymity_vs_group.dir/fig09_anonymity_vs_group.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /root/repo/bench/common/bench_common.hpp /root/repo/src/core/config.hpp \
+ /root/repo/bench/common/bench_common.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/config.hpp \
  /root/repo/src/routing/onion_routing.hpp /root/repo/src/crypto/drbg.hpp \
  /root/repo/src/util/bytes.hpp /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
@@ -162,8 +166,8 @@ bench/CMakeFiles/fig09_anonymity_vs_group.dir/fig09_anonymity_vs_group.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/groups/group_directory.hpp /root/repo/src/util/ids.hpp \
- /usr/include/c++/12/limits /root/repo/src/util/rng.hpp \
- /root/repo/src/groups/key_manager.hpp /usr/include/c++/12/optional \
+ /root/repo/src/util/rng.hpp /root/repo/src/groups/key_manager.hpp \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -177,8 +181,8 @@ bench/CMakeFiles/fig09_anonymity_vs_group.dir/fig09_anonymity_vs_group.cpp.o: \
  /root/repo/src/sim/contact_model.hpp \
  /root/repo/src/graph/contact_graph.hpp \
  /root/repo/src/trace/contact_trace.hpp \
- /root/repo/src/core/experiment.hpp /root/repo/src/util/stats.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/util/args.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/core/experiment.hpp /usr/include/c++/12/variant \
+ /root/repo/src/util/stats.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/util/args.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/table.hpp

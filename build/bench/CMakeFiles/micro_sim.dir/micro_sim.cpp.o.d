@@ -185,6 +185,7 @@ bench/CMakeFiles/micro_sim.dir/micro_sim.cpp.o: \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/core/experiment.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/core/config.hpp /root/repo/src/routing/onion_routing.hpp \
  /root/repo/src/crypto/drbg.hpp /root/repo/src/util/bytes.hpp \
  /root/repo/src/groups/group_directory.hpp /root/repo/src/util/ids.hpp \

@@ -184,6 +184,7 @@ examples/CMakeFiles/network_load.dir/network_load.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/util/ids.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/sim/network_sim.hpp \
  /root/repo/src/groups/group_directory.hpp \
+ /root/repo/src/routing/types.hpp /root/repo/src/util/bytes.hpp \
  /root/repo/src/trace/contact_trace.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/trace/synthetic.hpp /root/repo/src/util/table.hpp

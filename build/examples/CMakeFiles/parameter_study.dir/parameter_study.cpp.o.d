@@ -156,6 +156,7 @@ examples/CMakeFiles/parameter_study.dir/parameter_study.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc /root/repo/src/core/experiment.hpp \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/core/config.hpp /root/repo/src/routing/onion_routing.hpp \
  /root/repo/src/crypto/drbg.hpp /root/repo/src/util/bytes.hpp \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \

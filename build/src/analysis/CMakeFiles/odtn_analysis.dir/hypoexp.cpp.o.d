@@ -158,4 +158,5 @@ src/analysis/CMakeFiles/odtn_analysis.dir/hypoexp.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc
+ /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/analysis/lgamma_safe.hpp /usr/include/c++/12/math.h

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/run_length.cpp" "src/util/CMakeFiles/odtn_util.dir/run_length.cpp.o" "gcc" "src/util/CMakeFiles/odtn_util.dir/run_length.cpp.o.d"
   "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/odtn_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/odtn_util.dir/stats.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/odtn_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/odtn_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/odtn_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/odtn_util.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

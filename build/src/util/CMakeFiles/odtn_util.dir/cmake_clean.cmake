@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/odtn_util.dir/stats.cpp.o.d"
   "CMakeFiles/odtn_util.dir/table.cpp.o"
   "CMakeFiles/odtn_util.dir/table.cpp.o.d"
+  "CMakeFiles/odtn_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/odtn_util.dir/thread_pool.cpp.o.d"
   "libodtn_util.a"
   "libodtn_util.pdb"
 )

@@ -129,6 +129,7 @@ tests/sim/CMakeFiles/network_sim_test.dir/network_sim_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/routing/types.hpp /root/repo/src/util/bytes.hpp \
  /root/repo/src/trace/contact_trace.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/graph/contact_graph.hpp \

@@ -7,6 +7,7 @@
 include("/root/repo/build/tests/util/bytes_test[1]_include.cmake")
 include("/root/repo/build/tests/util/rng_test[1]_include.cmake")
 include("/root/repo/build/tests/util/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util/thread_pool_test[1]_include.cmake")
 include("/root/repo/build/tests/util/run_length_test[1]_include.cmake")
 include("/root/repo/build/tests/util/args_test[1]_include.cmake")
 include("/root/repo/build/tests/util/table_test[1]_include.cmake")

@@ -161,6 +161,7 @@ tools/CMakeFiles/odtn.dir/odtn_cli.cpp.o: /root/repo/tools/odtn_cli.cpp \
  /root/repo/src/analysis/traceable.hpp /root/repo/src/core/experiment.hpp \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/core/config.hpp /root/repo/src/routing/onion_routing.hpp \
  /root/repo/src/crypto/drbg.hpp /root/repo/src/util/bytes.hpp \
  /root/repo/src/groups/group_directory.hpp /root/repo/src/util/ids.hpp \

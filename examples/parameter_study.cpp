@@ -33,15 +33,15 @@ int main(int argc, char** argv) {
         cfg.num_relays = k;
         cfg.group_size = g;
         cfg.copies = l;
-        auto r = core::run_random_graph_experiment(cfg);
+        auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
         table.new_row();
         table.cell(static_cast<std::int64_t>(k));
         table.cell(static_cast<std::int64_t>(g));
         table.cell(static_cast<std::int64_t>(l));
         table.cell(r.sim_delivered.mean(), 2);
-        table.cell(r.ana_anonymity, 3);
-        table.cell(r.ana_traceable_exact, 3);
-        table.cell(r.ana_cost_bound, 0);
+        table.cell(r.ana_anonymity.mean(), 3);
+        table.cell(r.ana_traceable_exact.mean(), 3);
+        table.cell(r.ana_cost_bound.mean(), 0);
       }
     }
   }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/lgamma_safe.hpp"
+
 namespace odtn::analysis {
 
 namespace {
@@ -62,9 +64,10 @@ double path_anonymity_exact(std::size_t eta, double c_o, std::size_t n,
   double nd = static_cast<double>(n);
   double ln_g = std::log(static_cast<double>(g));
   // ln(n!/(n-eta+c_o)!) via lgamma.
-  double h = std::lgamma(nd + 1.0) - std::lgamma(nd - eta + c_o + 1.0) +
-             c_o * ln_g;
-  double h_max = std::lgamma(nd + 1.0) - std::lgamma(nd - eta + 1.0);
+  double h = detail::lgamma_safe(nd + 1.0) -
+             detail::lgamma_safe(nd - eta + c_o + 1.0) + c_o * ln_g;
+  double h_max =
+      detail::lgamma_safe(nd + 1.0) - detail::lgamma_safe(nd - eta + 1.0);
   return std::clamp(h / h_max, 0.0, 1.0);
 }
 

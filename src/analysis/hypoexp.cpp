@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/lgamma_safe.hpp"
+
 namespace odtn::analysis {
 
 namespace {
@@ -22,7 +24,7 @@ void validate(const std::vector<double>& rates) {
 // log of the Poisson pmf, for underflow-free weights at large x.
 double log_poisson(double x, std::size_t k) {
   return -x + static_cast<double>(k) * std::log(x) -
-         std::lgamma(static_cast<double>(k) + 1.0);
+         detail::lgamma_safe(static_cast<double>(k) + 1.0);
 }
 
 }  // namespace

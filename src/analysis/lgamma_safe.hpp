@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cmath>
+
+#include <math.h>
+
+namespace odtn::analysis::detail {
+
+// glibc's lgamma writes the process-global `signgam`, which is a data race
+// when the experiment engine evaluates analytical models on worker threads.
+// Every caller in this library passes a positive argument, so the sign is
+// irrelevant; use the reentrant form where the platform provides it.
+inline double lgamma_safe(double x) {
+#if defined(__GLIBC__) || defined(__linux__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace odtn::analysis::detail

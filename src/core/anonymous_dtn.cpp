@@ -74,13 +74,9 @@ routing::DeliveryResult AnonymousDtn::send(NodeId src, NodeId dst,
   ctx.codec = codec_.get();
   ctx.crypto = routing::CryptoMode::kReal;
 
-  routing::MessageSpec spec;
+  routing::MessageSpec spec = options;  // the shared parameter block
   spec.src = src;
   spec.dst = dst;
-  spec.start = options.start;
-  spec.ttl = options.ttl;
-  spec.num_relays = options.num_relays;
-  spec.copies = options.copies;
   spec.payload = payload;
 
   if (options.copies == 1) {

@@ -22,18 +22,18 @@
 #include "routing/baselines.hpp"
 #include "routing/onion_routing.hpp"
 #include "routing/threshold_pivot.hpp"
+#include "routing/types.hpp"
 #include "sim/contact_model.hpp"
 #include "trace/contact_trace.hpp"
 #include "util/rng.hpp"
 
 namespace odtn::core {
 
-/// Per-message options for AnonymousDtn::send.
-struct SendOptions {
-  std::size_t num_relays = 3;  // K
-  std::size_t copies = 1;      // L
-  Time ttl = 1800.0;           // T
-  Time start = 0.0;
+/// Per-message options for AnonymousDtn::send. The shared message
+/// parameters (num_relays K, copies L, ttl T, start, ...) come from
+/// routing::MessageSpec; src, dst and payload are arguments of send()
+/// itself and overwrite whatever the spec base holds.
+struct SendOptions : routing::MessageSpec {
   routing::SprayMode spray = routing::SprayMode::kSprayAndWait;
 };
 

@@ -34,9 +34,10 @@ struct ExperimentConfig {
   // Harness.
   std::size_t runs = 100;
   std::uint64_t seed = 1;
-  /// Worker threads for run_random_graph_experiment. Runs are split into
-  /// one shard per thread, each with a seed derived from (seed, shard), so
-  /// results are deterministic for a fixed (seed, threads) pair.
+  /// Worker threads for the experiment engine (0 = all hardware threads).
+  /// Each run draws from an RNG seeded with derive_seed(seed, run_index)
+  /// and outcomes fold in run order, so results are bit-identical at every
+  /// thread count — `threads` only changes wall-clock time.
   std::size_t threads = 1;
   routing::CryptoMode crypto = routing::CryptoMode::kNone;
   routing::SprayMode spray = routing::SprayMode::kSprayAndWait;

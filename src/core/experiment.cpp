@@ -1,8 +1,8 @@
 #include "core/experiment.hpp"
 
-#include <algorithm>
+#include <chrono>
 #include <stdexcept>
-#include <thread>
+#include <vector>
 
 #include "adversary/adversary.hpp"
 #include "analysis/anonymity.hpp"
@@ -15,24 +15,48 @@
 #include "onion/onion.hpp"
 #include "routing/onion_routing.hpp"
 #include "sim/contact_model.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace odtn::core {
 
+void ExperimentResult::merge(const ExperimentResult& other) {
+  sim_delivered.merge(other.sim_delivered);
+  sim_delay.merge(other.sim_delay);
+  sim_transmissions.merge(other.sim_transmissions);
+  sim_traceable.merge(other.sim_traceable);
+  sim_anonymity.merge(other.sim_anonymity);
+  ana_delivery.merge(other.ana_delivery);
+  ana_traceable_paper.merge(other.ana_traceable_paper);
+  ana_traceable_exact.merge(other.ana_traceable_exact);
+  ana_anonymity.merge(other.ana_anonymity);
+  ana_cost_bound.merge(other.ana_cost_bound);
+  ana_cost_non_anonymous.merge(other.ana_cost_non_anonymous);
+  delivered_runs += other.delivered_runs;
+}
+
 namespace {
 
-struct RunContext {
-  const ExperimentConfig* cfg;
-  ExperimentResult* out;
-  util::Rng* rng;
+// Everything one realization contributes to the result. Workers fill these
+// into a per-run slot; the engine folds the slots in run-index order on a
+// single thread, which keeps the floating-point accumulation independent
+// of how runs were scheduled.
+struct RunOutcome {
+  bool delivered = false;
+  double transmissions = 0.0;
+  double delay = 0.0;       // delivered only
+  double traceable = 0.0;   // delivered only
+  double anonymity = 0.0;   // delivered only
+  double ana_delivery = 0.0;
 };
 
-// Shared per-run body once a contact model, graph-for-analysis, endpoints
-// and start time are fixed.
-void run_once(RunContext& rc, sim::ContactModel& contacts,
-              const graph::ContactGraph& analysis_graph, NodeId src,
-              NodeId dst, Time start) {
-  const ExperimentConfig& cfg = *rc.cfg;
-  util::Rng& rng = *rc.rng;
+// Shared per-realization kernel, once a contact model, graph-for-analysis,
+// endpoints and start time are fixed. Every random draw comes from `rng`,
+// which the engine seeds from (config.seed, run index).
+RunOutcome run_once(const ExperimentConfig& cfg, sim::ContactModel& contacts,
+                    const graph::ContactGraph& analysis_graph, NodeId src,
+                    NodeId dst, Time start, util::Rng& rng) {
+  RunOutcome out;
   std::size_t n = contacts.node_count();
 
   groups::GroupDirectory directory(n, cfg.group_size, &rng);
@@ -70,150 +94,172 @@ void run_once(RunContext& rc, sim::ContactModel& contacts,
     result = protocol.route(contacts, spec, rng, &relay_groups);
   }
 
-  rc.out->sim_delivered.add(result.delivered ? 1.0 : 0.0);
-  rc.out->sim_transmissions.add(static_cast<double>(result.transmissions));
+  out.transmissions = static_cast<double>(result.transmissions);
   if (result.delivered) {
-    ++rc.out->delivered_runs;
-    rc.out->sim_delay.add(result.delay);
+    out.delivered = true;
+    out.delay = result.delay;
 
     adversary::CompromiseModel compromise =
         adversary::CompromiseModel::from_fraction(n, cfg.compromise_fraction,
                                                   rng);
-    rc.out->sim_traceable.add(
-        adversary::measured_traceable_rate(src, result.relay_path, compromise));
-    rc.out->sim_anonymity.add(adversary::measured_path_anonymity(
-        src, result.relays_per_hop, compromise, n, cfg.group_size));
+    out.traceable =
+        adversary::measured_traceable_rate(src, result.relay_path, compromise);
+    out.anonymity = adversary::measured_path_anonymity(
+        src, result.relays_per_hop, compromise, n, cfg.group_size);
   }
 
   // Analysis on the same realization.
   auto rates = analysis::opportunistic_onion_rates(analysis_graph, src, dst,
                                                    directory, relay_groups);
-  rc.out->ana_delivery.add(
-      analysis::delivery_rate(rates, cfg.ttl, cfg.copies));
+  out.ana_delivery = analysis::delivery_rate(rates, cfg.ttl, cfg.copies);
+  return out;
 }
 
-void finish_analysis(const ExperimentConfig& cfg, std::size_t n,
-                     ExperimentResult& out) {
+// Closed-form metrics that depend only on the configuration (and node
+// count), not on the realization; each run contributes one (identical)
+// sample so the analysis side merges like every other accumulator.
+struct AnalysisConstants {
+  double traceable_paper;
+  double traceable_exact;
+  double anonymity;
+  double cost_bound;
+  double cost_non_anonymous;
+};
+
+AnalysisConstants analysis_constants(const ExperimentConfig& cfg,
+                                     std::size_t n) {
   std::size_t eta = cfg.num_relays + 1;
   double p = cfg.compromise_fraction;
-  out.ana_traceable_paper = analysis::traceable_rate_paper(eta, p);
-  out.ana_traceable_exact = analysis::traceable_rate_exact(eta, p);
-  out.ana_anonymity =
+  AnalysisConstants k;
+  k.traceable_paper = analysis::traceable_rate_paper(eta, p);
+  k.traceable_exact = analysis::traceable_rate_exact(eta, p);
+  k.anonymity =
       analysis::path_anonymity_model(eta, p, n, cfg.group_size, cfg.copies);
-  out.ana_cost_bound =
+  k.cost_bound =
       cfg.copies == 1
           ? static_cast<double>(analysis::single_copy_cost(cfg.num_relays))
           : static_cast<double>(
                 analysis::multi_copy_cost_bound(cfg.num_relays, cfg.copies));
-  out.ana_cost_non_anonymous =
+  k.cost_non_anonymous =
       static_cast<double>(analysis::non_anonymous_cost(cfg.copies));
+  return k;
+}
+
+// Shards `config.runs` calls of `body(run, rng)` across the worker pool and
+// folds the outcomes deterministically. `body` must derive all randomness
+// from the passed rng (seeded per run) and must not touch shared state.
+template <typename RunBody>
+ExperimentResult run_engine(const ExperimentConfig& config, std::size_t n,
+                            const RunBody& body) {
+  if (config.runs == 0) {
+    throw std::invalid_argument("experiment: runs must be >= 1");
+  }
+  auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<RunOutcome> outcomes(config.runs);
+  util::parallel_for(config.runs, config.threads, [&](std::size_t run) {
+    util::Rng rng(util::derive_seed(config.seed, run));
+    outcomes[run] = body(run, rng);
+  });
+
+  ExperimentResult out;
+  AnalysisConstants k = analysis_constants(config, n);
+  for (const RunOutcome& o : outcomes) {
+    out.sim_delivered.add(o.delivered ? 1.0 : 0.0);
+    out.sim_transmissions.add(o.transmissions);
+    if (o.delivered) {
+      ++out.delivered_runs;
+      out.sim_delay.add(o.delay);
+      out.sim_traceable.add(o.traceable);
+      out.sim_anonymity.add(o.anonymity);
+    }
+    out.ana_delivery.add(o.ana_delivery);
+    out.ana_traceable_paper.add(k.traceable_paper);
+    out.ana_traceable_exact.add(k.traceable_exact);
+    out.ana_anonymity.add(k.anonymity);
+    out.ana_cost_bound.add(k.cost_bound);
+    out.ana_cost_non_anonymous.add(k.cost_non_anonymous);
+  }
+  out.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+// Picks (src, dst) uniformly among distinct pairs.
+void pick_endpoints(util::Rng& rng, std::size_t n, NodeId& src, NodeId& dst) {
+  src = static_cast<NodeId>(rng.below(n));
+  dst = static_cast<NodeId>(rng.below(n - 1));
+  if (dst >= src) ++dst;
 }
 
 }  // namespace
 
-namespace {
+ExperimentResult Experiment::run(const Scenario& scenario) const {
+  return std::visit(
+      [this](const auto& s) -> ExperimentResult {
+        using S = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<S, RandomGraphScenario>) {
+          return run_random_graph(s);
+        } else {
+          return run_trace(s);
+        }
+      },
+      scenario);
+}
 
-// One shard of random-graph runs with its own RNG stream.
-ExperimentResult run_random_graph_shard(const ExperimentConfig& config,
-                                        std::uint64_t seed,
-                                        std::size_t runs) {
-  ExperimentResult out;
-  util::Rng rng(seed);
-  RunContext rc{&config, &out, &rng};
-
-  for (std::size_t run = 0; run < runs; ++run) {
+ExperimentResult Experiment::run_random_graph(
+    const RandomGraphScenario&) const {
+  const ExperimentConfig& cfg = config_;
+  return run_engine(cfg, cfg.nodes, [&](std::size_t, util::Rng& rng) {
     graph::ContactGraph graph = graph::random_contact_graph(
-        config.nodes, rng, config.min_ict, config.max_ict);
+        cfg.nodes, rng, cfg.min_ict, cfg.max_ict);
     sim::PoissonContactModel contacts(graph, rng);
 
-    NodeId src = static_cast<NodeId>(rng.below(config.nodes));
-    NodeId dst = static_cast<NodeId>(rng.below(config.nodes - 1));
-    if (dst >= src) ++dst;
-
-    run_once(rc, contacts, graph, src, dst, /*start=*/0.0);
-  }
-  return out;
+    NodeId src, dst;
+    pick_endpoints(rng, cfg.nodes, src, dst);
+    return run_once(cfg, contacts, graph, src, dst, /*start=*/0.0, rng);
+  });
 }
 
-void merge_results(ExperimentResult& into, const ExperimentResult& from) {
-  into.sim_delivered.merge(from.sim_delivered);
-  into.sim_delay.merge(from.sim_delay);
-  into.sim_transmissions.merge(from.sim_transmissions);
-  into.sim_traceable.merge(from.sim_traceable);
-  into.sim_anonymity.merge(from.sim_anonymity);
-  into.ana_delivery.merge(from.ana_delivery);
-  into.delivered_runs += from.delivered_runs;
-}
-
-}  // namespace
-
-ExperimentResult run_random_graph_experiment(const ExperimentConfig& config) {
-  if (config.runs == 0) {
-    throw std::invalid_argument("experiment: runs must be >= 1");
+ExperimentResult Experiment::run_trace(const TraceScenario& scenario) const {
+  if (scenario.trace == nullptr) {
+    throw std::invalid_argument("experiment: TraceScenario.trace is null");
   }
-  std::size_t threads = std::max<std::size_t>(1, config.threads);
-  threads = std::min(threads, config.runs);
+  const ExperimentConfig& cfg = config_;
+  const trace::ContactTrace& trace = *scenario.trace;
 
-  ExperimentResult out;
-  if (threads == 1) {
-    out = run_random_graph_shard(config, config.seed, config.runs);
-  } else {
-    std::vector<ExperimentResult> shards(threads);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    std::size_t base = config.runs / threads;
-    std::size_t extra = config.runs % threads;
-    for (std::size_t t = 0; t < threads; ++t) {
-      std::size_t shard_runs = base + (t < extra ? 1 : 0);
-      std::uint64_t shard_seed =
-          config.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1));
-      workers.emplace_back([&, t, shard_runs, shard_seed] {
-        shards[t] = run_random_graph_shard(config, shard_seed, shard_runs);
-      });
-    }
-    for (auto& w : workers) w.join();
-    for (const auto& shard : shards) merge_results(out, shard);
-  }
-  finish_analysis(config, config.nodes, out);
-  return out;
-}
-
-ExperimentResult run_trace_experiment(const ExperimentConfig& config,
-                                      const trace::ContactTrace& trace) {
-  if (config.runs == 0) {
-    throw std::invalid_argument("experiment: runs must be >= 1");
-  }
-  ExperimentResult out;
-  util::Rng rng(config.seed);
-  RunContext rc{&config, &out, &rng};
-
-  sim::TraceContactModel contacts(trace);
+  // Rates are trained once and shared read-only across workers.
   graph::ContactGraph trained =
-      config.trace_training_gap > 0.0
-          ? trace.estimate_rates_active(config.trace_training_gap)
+      cfg.trace_training_gap > 0.0
+          ? trace.estimate_rates_active(cfg.trace_training_gap)
           : trace.estimate_rates();
 
-  for (std::size_t run = 0; run < config.runs; ++run) {
-    NodeId src = static_cast<NodeId>(rng.below(trace.node_count()));
-    NodeId dst = static_cast<NodeId>(rng.below(trace.node_count() - 1));
-    if (dst >= src) ++dst;
+  return run_engine(cfg, trace.node_count(), [&](std::size_t,
+                                                 util::Rng& rng) {
+    NodeId src, dst;
+    pick_endpoints(rng, trace.node_count(), src, dst);
 
     // Start at one of the source's contact events ("a source node initiates
     // a message transmission at any time after it has a contact").
     const auto& events = trace.contacts_of(src);
     if (events.empty()) {
-      // Isolated node: count as a failed run.
-      out.sim_delivered.add(0.0);
-      out.sim_transmissions.add(0.0);
-      out.ana_delivery.add(0.0);
-      continue;
+      return RunOutcome{};  // isolated node: a failed run
     }
     Time start = events[rng.below(events.size())].time;
 
-    run_once(rc, contacts, trained, src, dst, start);
-  }
-  finish_analysis(config, trace.node_count(), out);
-  return out;
+    sim::TraceContactModel contacts(trace);
+    return run_once(cfg, contacts, trained, src, dst, start, rng);
+  });
+}
+
+ExperimentResult run_random_graph_experiment(const ExperimentConfig& config) {
+  return Experiment(config).run(RandomGraphScenario{});
+}
+
+ExperimentResult run_trace_experiment(const ExperimentConfig& config,
+                                      const trace::ContactTrace& trace) {
+  return Experiment(config).run(TraceScenario{&trace});
 }
 
 }  // namespace odtn::core

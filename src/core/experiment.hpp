@@ -1,4 +1,4 @@
-// Experiment runner: repeated protocol runs vs. the analytical models.
+// Experiment engine: repeated protocol runs vs. the analytical models.
 //
 // This is the engine behind every figure-reproduction bench. Each run draws
 // a fresh realization (contact graph or trace start time, endpoints, relay
@@ -6,9 +6,17 @@
 // paper's metrics on the realized paths, and evaluates the analytical
 // models on the *same* realization — exactly how the paper compares
 // "Analysis" and "Simulation" curves.
+//
+// Realizations are independent, so the engine shards them across a worker
+// pool (config.threads). Run i draws every random quantity from an RNG
+// seeded with util::derive_seed(config.seed, i), and per-run samples are
+// folded into the result in run-index order on one thread — so results are
+// *bit-identical* at every thread count, and an experiment is reproducible
+// from (config, scenario) alone.
 #pragma once
 
 #include <optional>
+#include <variant>
 
 #include "core/config.hpp"
 #include "trace/contact_trace.hpp"
@@ -16,6 +24,9 @@
 
 namespace odtn::core {
 
+// Every metric — simulation and analysis side — is a mergeable accumulator,
+// so sharded results combine uniformly (RunningStats::merge) and expose the
+// spread across realizations, not just the mean.
 struct ExperimentResult {
   // Simulation side (means over runs).
   util::RunningStats sim_delivered;      // 1 if delivered within T else 0
@@ -24,27 +35,76 @@ struct ExperimentResult {
   util::RunningStats sim_traceable;      // delivered runs only
   util::RunningStats sim_anonymity;      // delivered runs only
 
-  // Analysis side (model evaluated per realization, averaged).
+  // Analysis side (model evaluated per realization, averaged). The security
+  // and cost models depend only on (K, g, L, c/n, n), so their per-run
+  // samples coincide; keeping them as accumulators makes shard merging
+  // uniform instead of silently averaging bare doubles with wrong weights.
   util::RunningStats ana_delivery;
-  double ana_traceable_paper = 0.0;
-  double ana_traceable_exact = 0.0;
-  double ana_anonymity = 0.0;
-  double ana_cost_bound = 0.0;
-  double ana_cost_non_anonymous = 0.0;
+  util::RunningStats ana_traceable_paper;
+  util::RunningStats ana_traceable_exact;
+  util::RunningStats ana_anonymity;
+  util::RunningStats ana_cost_bound;
+  util::RunningStats ana_cost_non_anonymous;
 
   std::size_t delivered_runs = 0;
+
+  /// Wall-clock seconds the engine spent producing this result (not merged;
+  /// measured per engine invocation).
+  double wall_time_s = 0.0;
+
+  /// Folds another shard in: every accumulator merges, delivered_runs adds.
+  void merge(const ExperimentResult& other);
 };
 
-/// Runs `config.runs` independent realizations on random contact graphs
-/// (Sec. V-A "Random graphs"). Each run: fresh graph, random (src, dst),
-/// random relay groups, random compromise set.
+/// Random-contact-graph experiments (Sec. V-A "Random graphs"). Each run:
+/// fresh graph, random (src, dst), random relay groups, random compromise
+/// set. Graph parameters come from the ExperimentConfig (nodes, min_ict,
+/// max_ict).
+struct RandomGraphScenario {};
+
+/// Experiments against a fixed contact trace (Sec. V-D/V-E). Per run:
+/// random (src, dst), a start time sampled from the source's contact events
+/// (the paper starts transmissions "after the source has a contact", i.e.
+/// during business hours), random relay groups and compromise set. The
+/// analysis side is trained on rates estimated from the trace. The trace
+/// must outlive the run() call.
+struct TraceScenario {
+  const trace::ContactTrace* trace = nullptr;
+};
+
+/// What an Experiment runs on: one of the two realization sources above.
+using Scenario = std::variant<RandomGraphScenario, TraceScenario>;
+
+/// The unified entry point:
+///
+///   core::Experiment exp(config);
+///   auto r = exp.run(core::RandomGraphScenario{});
+///   auto t = exp.run(core::TraceScenario{&trace});
+///
+/// run() executes config.runs independent realizations of the scenario,
+/// sharded over config.threads workers (0 = all hardware threads), and is
+/// bit-identical across thread counts.
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config) : config_(config) {}
+
+  const ExperimentConfig& config() const { return config_; }
+
+  ExperimentResult run(const Scenario& scenario) const;
+
+ private:
+  ExperimentResult run_random_graph(const RandomGraphScenario& s) const;
+  ExperimentResult run_trace(const TraceScenario& s) const;
+
+  ExperimentConfig config_;
+};
+
+/// Deprecated wrapper around Experiment::run(RandomGraphScenario{}).
+[[deprecated("use core::Experiment(config).run(RandomGraphScenario{})")]]
 ExperimentResult run_random_graph_experiment(const ExperimentConfig& config);
 
-/// Runs against a fixed contact trace (Sec. V-D/V-E). Per run: random
-/// (src, dst), a start time sampled from the source's contact events (the
-/// paper starts transmissions "after the source has a contact", i.e.
-/// during business hours), random relay groups and compromise set. The
-/// analysis side is trained on rates estimated from the trace.
+/// Deprecated wrapper around Experiment::run(TraceScenario{&trace}).
+[[deprecated("use core::Experiment(config).run(TraceScenario{&trace})")]]
 ExperimentResult run_trace_experiment(const ExperimentConfig& config,
                                       const trace::ContactTrace& trace);
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "groups/group_directory.hpp"
+#include "routing/types.hpp"
 #include "trace/contact_trace.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
@@ -39,14 +40,11 @@ struct NetworkSimConfig {
   BufferPolicy policy = BufferPolicy::kRejectNew;
 };
 
-struct InjectedMessage {
-  NodeId src = 0;
-  NodeId dst = 1;
-  Time start = 0.0;
-  Time ttl = 1800.0;
-  std::size_t num_relays = 3;  // K
-  std::size_t copies = 1;      // L (tickets at the source)
-};
+/// Messages share the routing-layer parameter block (src, dst, start, ttl,
+/// K, L) instead of redeclaring it. The onion-specific fields of
+/// MessageSpec (payload, destination_group_delivery) are ignored here: the
+/// network simulator models forwarding decisions, not ciphertext.
+using InjectedMessage = routing::MessageSpec;
 
 struct MessageOutcome {
   bool delivered = false;

@@ -30,6 +30,17 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Derives the seed of independent stream `stream` from a base seed: the
+/// canonical SplitMix64 split, i.e. element `stream` of the SplitMix64
+/// sequence started at `base`. The experiment engine seeds run `i` with
+/// `derive_seed(config.seed, i)`, which makes every run's randomness a
+/// function of (base seed, run index) alone — independent of thread count,
+/// scheduling, and the outcome of other runs.
+inline std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  SplitMix64 sm(base + 0x9e3779b97f4a7c15ULL * stream);
+  return sm.next();
+}
+
 /// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, 256-bit state.
 /// Satisfies the C++ UniformRandomBitGenerator requirements.
 class Rng {

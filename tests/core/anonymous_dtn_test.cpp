@@ -34,7 +34,9 @@ TEST(AnonymousDtn, OverExplicitGraph) {
   util::Rng rng(3);
   auto g = graph::random_contact_graph(30, rng, 5.0, 50.0);
   auto net = AnonymousDtn::over_graph(std::move(g), 5, 3);
-  auto r = net.send(1, 20, util::to_bytes("x"), {.ttl = 1e7});
+  SendOptions patient;
+  patient.ttl = 1e7;
+  auto r = net.send(1, 20, util::to_bytes("x"), patient);
   EXPECT_TRUE(r.delivered);
 }
 
@@ -145,7 +147,9 @@ TEST(AnonymousDtn, DestinationGroupDeliveryViaFacade) {
 
 TEST(AnonymousDtn, UndeliveredWithinTinyTtl) {
   auto net = AnonymousDtn::over_random_graph(30, 5, 9);
-  auto r = net.send(0, 29, util::to_bytes("x"), {.ttl = 1e-9});
+  SendOptions hopeless;
+  hopeless.ttl = 1e-9;
+  auto r = net.send(0, 29, util::to_bytes("x"), hopeless);
   EXPECT_FALSE(r.delivered);
   EXPECT_FALSE(r.crypto_verified);
 }

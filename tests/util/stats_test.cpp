@@ -71,6 +71,49 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_EQ(empty.mean(), 1.5);
 }
 
+TEST(RunningStats, MergeOfSingletonShardsEqualsSequential) {
+  // The extreme sharding case: every shard holds one element.
+  RunningStats all, merged;
+  for (double x : {1.0, -4.0, 2.5, 0.0, 9.75}) {
+    all.add(x);
+    RunningStats shard;
+    shard.add(x);
+    merged.merge(shard);
+  }
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(merged.min(), all.min());
+  EXPECT_EQ(merged.max(), all.max());
+}
+
+TEST(RunningStats, MergeManyShardsEqualsSinglePass) {
+  // Parallel-variance merge across 7 uneven shards must agree with the
+  // single accumulator over the concatenated stream.
+  RunningStats all;
+  std::vector<RunningStats> shards(7);
+  for (int i = 0; i < 500; ++i) {
+    double x = std::cos(i) * 100 + i * 0.01;
+    all.add(x);
+    shards[(i * i) % 7].add(x);
+  }
+  RunningStats merged;
+  for (const auto& s : shards) merged.merge(s);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-8);
+  EXPECT_EQ(merged.min(), all.min());
+  EXPECT_EQ(merged.max(), all.max());
+}
+
+TEST(RunningStats, MergeBothEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
 TEST(RunningStats, Ci95ShrinksWithSamples) {
   RunningStats small, large;
   for (int i = 0; i < 10; ++i) small.add(i % 3);

@@ -34,8 +34,11 @@ int usage() {
       "                 [--nodes=100 --horizon=3600] [--out=trace.txt]\n"
       "  odtn rates     --trace=FILE --nodes=N [--active-gap=1800]\n"
       "  odtn model     [--n=100 --g=5 --K=3 --L=1 --T=1800 --compromised=0.1]\n"
-      "  odtn simulate  [--runs=200 --seed=1 --n=100 --g=5 --K=3 --L=1\n"
-      "                  --T=1800 --compromised=0.1]\n";
+      "  odtn simulate  [--runs=200 --seed=1 --threads=0 --n=100 --g=5\n"
+      "                  --K=3 --L=1 --T=1800 --compromised=0.1]\n"
+      "\n"
+      "simulate shards runs over --threads workers (0 = all hardware\n"
+      "threads); results are bit-identical at every thread count.\n";
   return 2;
 }
 
@@ -125,7 +128,8 @@ int cmd_model(const util::Args& args) {
   cfg.ttl = ttl;
   cfg.compromise_fraction = p;
   cfg.runs = 200;
-  auto r = core::run_random_graph_experiment(cfg);
+  cfg.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
 
   util::Table table({"metric", "value", "source"});
   table.new_row();
@@ -169,7 +173,8 @@ int cmd_simulate(const util::Args& args) {
   cfg.compromise_fraction = args.get_double("compromised", 0.1);
   cfg.runs = static_cast<std::size_t>(args.get_int("runs", 200));
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  auto r = core::run_random_graph_experiment(cfg);
+  cfg.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
 
   util::Table table({"metric", "analysis", "simulation"});
   table.new_row();
@@ -178,21 +183,22 @@ int cmd_simulate(const util::Args& args) {
   table.cell(r.sim_delivered.mean());
   table.new_row();
   table.cell(std::string("traceable_rate"));
-  table.cell(r.ana_traceable_exact);
+  table.cell(r.ana_traceable_exact.mean());
   table.cell(r.sim_traceable.mean());
   table.new_row();
   table.cell(std::string("path_anonymity"));
-  table.cell(r.ana_anonymity);
+  table.cell(r.ana_anonymity.mean());
   table.cell(r.sim_anonymity.mean());
   table.new_row();
   table.cell(std::string("transmissions"));
-  table.cell(r.ana_cost_bound, 1);
+  table.cell(r.ana_cost_bound.mean(), 1);
   table.cell(r.sim_transmissions.mean(), 2);
   table.print(std::cout);
   std::cout << "# delivered " << r.delivered_runs << "/" << cfg.runs
             << " runs; mean delay "
             << r.sim_delay.mean() << " +/- " << r.sim_delay.ci95_halfwidth()
-            << "\n";
+            << "\n"
+            << "# wall_time_s: " << r.wall_time_s << "\n";
   return 0;
 }
 
