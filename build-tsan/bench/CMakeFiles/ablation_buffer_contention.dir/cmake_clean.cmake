@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer_contention.dir/ablation_buffer_contention.cpp.o"
+  "CMakeFiles/ablation_buffer_contention.dir/ablation_buffer_contention.cpp.o.d"
+  "ablation_buffer_contention"
+  "ablation_buffer_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

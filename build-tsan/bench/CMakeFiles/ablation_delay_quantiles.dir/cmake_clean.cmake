@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delay_quantiles.dir/ablation_delay_quantiles.cpp.o"
+  "CMakeFiles/ablation_delay_quantiles.dir/ablation_delay_quantiles.cpp.o.d"
+  "ablation_delay_quantiles"
+  "ablation_delay_quantiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delay_quantiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dest_group.dir/ablation_dest_group.cpp.o"
+  "CMakeFiles/ablation_dest_group.dir/ablation_dest_group.cpp.o.d"
+  "ablation_dest_group"
+  "ablation_dest_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dest_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

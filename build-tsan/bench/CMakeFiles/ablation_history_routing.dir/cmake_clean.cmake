@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_history_routing.dir/ablation_history_routing.cpp.o"
+  "CMakeFiles/ablation_history_routing.dir/ablation_history_routing.cpp.o.d"
+  "ablation_history_routing"
+  "ablation_history_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_history_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

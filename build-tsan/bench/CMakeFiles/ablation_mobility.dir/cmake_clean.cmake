@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mobility.dir/ablation_mobility.cpp.o"
+  "CMakeFiles/ablation_mobility.dir/ablation_mobility.cpp.o.d"
+  "ablation_mobility"
+  "ablation_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

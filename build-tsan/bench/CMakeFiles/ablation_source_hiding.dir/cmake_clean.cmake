@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_source_hiding.dir/ablation_source_hiding.cpp.o"
+  "CMakeFiles/ablation_source_hiding.dir/ablation_source_hiding.cpp.o.d"
+  "ablation_source_hiding"
+  "ablation_source_hiding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_source_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

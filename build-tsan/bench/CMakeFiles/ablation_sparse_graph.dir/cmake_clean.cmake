@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sparse_graph.dir/ablation_sparse_graph.cpp.o"
+  "CMakeFiles/ablation_sparse_graph.dir/ablation_sparse_graph.cpp.o.d"
+  "ablation_sparse_graph"
+  "ablation_sparse_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparse_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spray_mode.dir/ablation_spray_mode.cpp.o"
+  "CMakeFiles/ablation_spray_mode.dir/ablation_spray_mode.cpp.o.d"
+  "ablation_spray_mode"
+  "ablation_spray_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spray_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

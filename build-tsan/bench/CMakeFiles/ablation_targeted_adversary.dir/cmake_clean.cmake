@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_targeted_adversary.dir/ablation_targeted_adversary.cpp.o"
+  "CMakeFiles/ablation_targeted_adversary.dir/ablation_targeted_adversary.cpp.o.d"
+  "ablation_targeted_adversary"
+  "ablation_targeted_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_targeted_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

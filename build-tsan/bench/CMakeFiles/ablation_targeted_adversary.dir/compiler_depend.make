@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_targeted_adversary.
+# This may be replaced when dependencies are built.

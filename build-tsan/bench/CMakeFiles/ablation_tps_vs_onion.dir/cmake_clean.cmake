@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tps_vs_onion.dir/ablation_tps_vs_onion.cpp.o"
+  "CMakeFiles/ablation_tps_vs_onion.dir/ablation_tps_vs_onion.cpp.o.d"
+  "ablation_tps_vs_onion"
+  "ablation_tps_vs_onion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tps_vs_onion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_tps_vs_onion.
+# This may be replaced when dependencies are built.

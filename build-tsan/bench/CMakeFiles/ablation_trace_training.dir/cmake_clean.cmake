@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trace_training.dir/ablation_trace_training.cpp.o"
+  "CMakeFiles/ablation_trace_training.dir/ablation_trace_training.cpp.o.d"
+  "ablation_trace_training"
+  "ablation_trace_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trace_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_delivery_vs_deadline_group.dir/fig04_delivery_vs_deadline_group.cpp.o"
+  "CMakeFiles/fig04_delivery_vs_deadline_group.dir/fig04_delivery_vs_deadline_group.cpp.o.d"
+  "fig04_delivery_vs_deadline_group"
+  "fig04_delivery_vs_deadline_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_delivery_vs_deadline_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

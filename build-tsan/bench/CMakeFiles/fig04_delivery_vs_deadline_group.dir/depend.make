@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_delivery_vs_deadline_group.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_delivery_vs_deadline_onions.dir/fig05_delivery_vs_deadline_onions.cpp.o"
+  "CMakeFiles/fig05_delivery_vs_deadline_onions.dir/fig05_delivery_vs_deadline_onions.cpp.o.d"
+  "fig05_delivery_vs_deadline_onions"
+  "fig05_delivery_vs_deadline_onions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_delivery_vs_deadline_onions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_delivery_vs_deadline_onions.
+# This may be replaced when dependencies are built.

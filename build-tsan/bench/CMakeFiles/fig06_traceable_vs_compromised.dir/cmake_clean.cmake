@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_traceable_vs_compromised.dir/fig06_traceable_vs_compromised.cpp.o"
+  "CMakeFiles/fig06_traceable_vs_compromised.dir/fig06_traceable_vs_compromised.cpp.o.d"
+  "fig06_traceable_vs_compromised"
+  "fig06_traceable_vs_compromised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_traceable_vs_compromised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

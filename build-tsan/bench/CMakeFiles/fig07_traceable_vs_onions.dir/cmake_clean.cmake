@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_traceable_vs_onions.dir/fig07_traceable_vs_onions.cpp.o"
+  "CMakeFiles/fig07_traceable_vs_onions.dir/fig07_traceable_vs_onions.cpp.o.d"
+  "fig07_traceable_vs_onions"
+  "fig07_traceable_vs_onions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_traceable_vs_onions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_anonymity_vs_compromised.dir/fig08_anonymity_vs_compromised.cpp.o"
+  "CMakeFiles/fig08_anonymity_vs_compromised.dir/fig08_anonymity_vs_compromised.cpp.o.d"
+  "fig08_anonymity_vs_compromised"
+  "fig08_anonymity_vs_compromised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_anonymity_vs_compromised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

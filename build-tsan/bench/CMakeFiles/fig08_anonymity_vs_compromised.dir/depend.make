@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_anonymity_vs_compromised.
+# This may be replaced when dependencies are built.

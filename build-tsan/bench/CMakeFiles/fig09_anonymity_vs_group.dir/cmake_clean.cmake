@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_anonymity_vs_group.dir/fig09_anonymity_vs_group.cpp.o"
+  "CMakeFiles/fig09_anonymity_vs_group.dir/fig09_anonymity_vs_group.cpp.o.d"
+  "fig09_anonymity_vs_group"
+  "fig09_anonymity_vs_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_anonymity_vs_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_anonymity_vs_group.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_delivery_vs_deadline_copies.dir/fig10_delivery_vs_deadline_copies.cpp.o"
+  "CMakeFiles/fig10_delivery_vs_deadline_copies.dir/fig10_delivery_vs_deadline_copies.cpp.o.d"
+  "fig10_delivery_vs_deadline_copies"
+  "fig10_delivery_vs_deadline_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_delivery_vs_deadline_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

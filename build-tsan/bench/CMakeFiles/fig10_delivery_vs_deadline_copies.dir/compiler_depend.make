@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_delivery_vs_deadline_copies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cost_vs_copies.dir/fig11_cost_vs_copies.cpp.o"
+  "CMakeFiles/fig11_cost_vs_copies.dir/fig11_cost_vs_copies.cpp.o.d"
+  "fig11_cost_vs_copies"
+  "fig11_cost_vs_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cost_vs_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

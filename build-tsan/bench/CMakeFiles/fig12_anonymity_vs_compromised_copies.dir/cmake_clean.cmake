@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_anonymity_vs_compromised_copies.dir/fig12_anonymity_vs_compromised_copies.cpp.o"
+  "CMakeFiles/fig12_anonymity_vs_compromised_copies.dir/fig12_anonymity_vs_compromised_copies.cpp.o.d"
+  "fig12_anonymity_vs_compromised_copies"
+  "fig12_anonymity_vs_compromised_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_anonymity_vs_compromised_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

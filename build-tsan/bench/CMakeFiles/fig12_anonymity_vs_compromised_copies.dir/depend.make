@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_anonymity_vs_compromised_copies.
+# This may be replaced when dependencies are built.

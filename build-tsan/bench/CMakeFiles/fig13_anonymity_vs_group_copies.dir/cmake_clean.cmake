@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_anonymity_vs_group_copies.dir/fig13_anonymity_vs_group_copies.cpp.o"
+  "CMakeFiles/fig13_anonymity_vs_group_copies.dir/fig13_anonymity_vs_group_copies.cpp.o.d"
+  "fig13_anonymity_vs_group_copies"
+  "fig13_anonymity_vs_group_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_anonymity_vs_group_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

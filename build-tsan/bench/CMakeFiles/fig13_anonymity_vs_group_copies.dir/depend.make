@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_anonymity_vs_group_copies.
+# This may be replaced when dependencies are built.

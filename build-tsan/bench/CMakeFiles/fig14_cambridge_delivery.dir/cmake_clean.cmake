@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cambridge_delivery.dir/fig14_cambridge_delivery.cpp.o"
+  "CMakeFiles/fig14_cambridge_delivery.dir/fig14_cambridge_delivery.cpp.o.d"
+  "fig14_cambridge_delivery"
+  "fig14_cambridge_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cambridge_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

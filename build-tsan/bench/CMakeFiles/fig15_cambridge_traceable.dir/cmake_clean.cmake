@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cambridge_traceable.dir/fig15_cambridge_traceable.cpp.o"
+  "CMakeFiles/fig15_cambridge_traceable.dir/fig15_cambridge_traceable.cpp.o.d"
+  "fig15_cambridge_traceable"
+  "fig15_cambridge_traceable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cambridge_traceable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cambridge_anonymity.dir/fig16_cambridge_anonymity.cpp.o"
+  "CMakeFiles/fig16_cambridge_anonymity.dir/fig16_cambridge_anonymity.cpp.o.d"
+  "fig16_cambridge_anonymity"
+  "fig16_cambridge_anonymity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cambridge_anonymity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_infocom_delivery.dir/fig17_infocom_delivery.cpp.o"
+  "CMakeFiles/fig17_infocom_delivery.dir/fig17_infocom_delivery.cpp.o.d"
+  "fig17_infocom_delivery"
+  "fig17_infocom_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_infocom_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

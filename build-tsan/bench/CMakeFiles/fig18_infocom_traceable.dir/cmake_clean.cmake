@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_infocom_traceable.dir/fig18_infocom_traceable.cpp.o"
+  "CMakeFiles/fig18_infocom_traceable.dir/fig18_infocom_traceable.cpp.o.d"
+  "fig18_infocom_traceable"
+  "fig18_infocom_traceable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_infocom_traceable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

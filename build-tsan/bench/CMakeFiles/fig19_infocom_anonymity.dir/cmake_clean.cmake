@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_infocom_anonymity.dir/fig19_infocom_anonymity.cpp.o"
+  "CMakeFiles/fig19_infocom_anonymity.dir/fig19_infocom_anonymity.cpp.o.d"
+  "fig19_infocom_anonymity"
+  "fig19_infocom_anonymity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_infocom_anonymity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

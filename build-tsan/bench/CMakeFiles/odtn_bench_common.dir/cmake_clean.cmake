@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_bench_common.dir/common/bench_common.cpp.o"
+  "CMakeFiles/odtn_bench_common.dir/common/bench_common.cpp.o.d"
+  "libodtn_bench_common.a"
+  "libodtn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_rotation.dir/key_rotation.cpp.o"
+  "CMakeFiles/key_rotation.dir/key_rotation.cpp.o.d"
+  "key_rotation"
+  "key_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_load.dir/network_load.cpp.o"
+  "CMakeFiles/network_load.dir/network_load.cpp.o.d"
+  "network_load"
+  "network_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_study.dir/trace_study.cpp.o"
+  "CMakeFiles/trace_study.dir/trace_study.cpp.o.d"
+  "trace_study"
+  "trace_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-tsan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-tsan/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;odtn_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_battlefield "/root/repo/build-tsan/examples/battlefield")
+set_tests_properties(example_battlefield PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;odtn_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_study "/root/repo/build-tsan/examples/trace_study")
+set_tests_properties(example_trace_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;odtn_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_parameter_study "/root/repo/build-tsan/examples/parameter_study")
+set_tests_properties(example_parameter_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;odtn_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_network_load "/root/repo/build-tsan/examples/network_load")
+set_tests_properties(example_network_load PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;odtn_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_key_rotation "/root/repo/build-tsan/examples/key_rotation")
+set_tests_properties(example_key_rotation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;odtn_example;/root/repo/examples/CMakeLists.txt;0;")

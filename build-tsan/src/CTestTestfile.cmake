@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("bundle")
+subdirs("onion")
+subdirs("groups")
+subdirs("graph")
+subdirs("trace")
+subdirs("sim")
+subdirs("mobility")
+subdirs("routing")
+subdirs("adversary")
+subdirs("analysis")
+subdirs("core")

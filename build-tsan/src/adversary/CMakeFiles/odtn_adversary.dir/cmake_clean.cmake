@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_adversary.dir/adversary.cpp.o"
+  "CMakeFiles/odtn_adversary.dir/adversary.cpp.o.d"
+  "libodtn_adversary.a"
+  "libodtn_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/anonymity.cpp" "src/analysis/CMakeFiles/odtn_analysis.dir/anonymity.cpp.o" "gcc" "src/analysis/CMakeFiles/odtn_analysis.dir/anonymity.cpp.o.d"
+  "/root/repo/src/analysis/cost.cpp" "src/analysis/CMakeFiles/odtn_analysis.dir/cost.cpp.o" "gcc" "src/analysis/CMakeFiles/odtn_analysis.dir/cost.cpp.o.d"
+  "/root/repo/src/analysis/delivery.cpp" "src/analysis/CMakeFiles/odtn_analysis.dir/delivery.cpp.o" "gcc" "src/analysis/CMakeFiles/odtn_analysis.dir/delivery.cpp.o.d"
+  "/root/repo/src/analysis/goodness_of_fit.cpp" "src/analysis/CMakeFiles/odtn_analysis.dir/goodness_of_fit.cpp.o" "gcc" "src/analysis/CMakeFiles/odtn_analysis.dir/goodness_of_fit.cpp.o.d"
+  "/root/repo/src/analysis/hypoexp.cpp" "src/analysis/CMakeFiles/odtn_analysis.dir/hypoexp.cpp.o" "gcc" "src/analysis/CMakeFiles/odtn_analysis.dir/hypoexp.cpp.o.d"
+  "/root/repo/src/analysis/traceable.cpp" "src/analysis/CMakeFiles/odtn_analysis.dir/traceable.cpp.o" "gcc" "src/analysis/CMakeFiles/odtn_analysis.dir/traceable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/odtn_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/odtn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/groups/CMakeFiles/odtn_groups.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/odtn_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

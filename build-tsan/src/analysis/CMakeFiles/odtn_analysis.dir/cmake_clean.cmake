@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_analysis.dir/anonymity.cpp.o"
+  "CMakeFiles/odtn_analysis.dir/anonymity.cpp.o.d"
+  "CMakeFiles/odtn_analysis.dir/cost.cpp.o"
+  "CMakeFiles/odtn_analysis.dir/cost.cpp.o.d"
+  "CMakeFiles/odtn_analysis.dir/delivery.cpp.o"
+  "CMakeFiles/odtn_analysis.dir/delivery.cpp.o.d"
+  "CMakeFiles/odtn_analysis.dir/goodness_of_fit.cpp.o"
+  "CMakeFiles/odtn_analysis.dir/goodness_of_fit.cpp.o.d"
+  "CMakeFiles/odtn_analysis.dir/hypoexp.cpp.o"
+  "CMakeFiles/odtn_analysis.dir/hypoexp.cpp.o.d"
+  "CMakeFiles/odtn_analysis.dir/traceable.cpp.o"
+  "CMakeFiles/odtn_analysis.dir/traceable.cpp.o.d"
+  "libodtn_analysis.a"
+  "libodtn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_bundle.dir/bundle.cpp.o"
+  "CMakeFiles/odtn_bundle.dir/bundle.cpp.o.d"
+  "libodtn_bundle.a"
+  "libodtn_bundle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_bundle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libodtn_bundle.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_core.dir/anonymous_dtn.cpp.o"
+  "CMakeFiles/odtn_core.dir/anonymous_dtn.cpp.o.d"
+  "CMakeFiles/odtn_core.dir/experiment.cpp.o"
+  "CMakeFiles/odtn_core.dir/experiment.cpp.o.d"
+  "libodtn_core.a"
+  "libodtn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

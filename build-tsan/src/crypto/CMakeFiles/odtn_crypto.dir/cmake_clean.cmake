@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_crypto.dir/aead.cpp.o"
+  "CMakeFiles/odtn_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/odtn_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/odtn_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/odtn_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/odtn_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/odtn_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/odtn_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/odtn_crypto.dir/poly1305.cpp.o"
+  "CMakeFiles/odtn_crypto.dir/poly1305.cpp.o.d"
+  "CMakeFiles/odtn_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/odtn_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/odtn_crypto.dir/shamir.cpp.o"
+  "CMakeFiles/odtn_crypto.dir/shamir.cpp.o.d"
+  "CMakeFiles/odtn_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/odtn_crypto.dir/x25519.cpp.o.d"
+  "libodtn_crypto.a"
+  "libodtn_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

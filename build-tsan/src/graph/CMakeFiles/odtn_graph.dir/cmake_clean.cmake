@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_graph.dir/contact_graph.cpp.o"
+  "CMakeFiles/odtn_graph.dir/contact_graph.cpp.o.d"
+  "CMakeFiles/odtn_graph.dir/graph_io.cpp.o"
+  "CMakeFiles/odtn_graph.dir/graph_io.cpp.o.d"
+  "libodtn_graph.a"
+  "libodtn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

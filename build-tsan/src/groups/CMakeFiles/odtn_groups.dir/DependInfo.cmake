@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/groups/group_directory.cpp" "src/groups/CMakeFiles/odtn_groups.dir/group_directory.cpp.o" "gcc" "src/groups/CMakeFiles/odtn_groups.dir/group_directory.cpp.o.d"
+  "/root/repo/src/groups/key_manager.cpp" "src/groups/CMakeFiles/odtn_groups.dir/key_manager.cpp.o" "gcc" "src/groups/CMakeFiles/odtn_groups.dir/key_manager.cpp.o.d"
+  "/root/repo/src/groups/rekeying.cpp" "src/groups/CMakeFiles/odtn_groups.dir/rekeying.cpp.o" "gcc" "src/groups/CMakeFiles/odtn_groups.dir/rekeying.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/odtn_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/odtn_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_groups.dir/group_directory.cpp.o"
+  "CMakeFiles/odtn_groups.dir/group_directory.cpp.o.d"
+  "CMakeFiles/odtn_groups.dir/key_manager.cpp.o"
+  "CMakeFiles/odtn_groups.dir/key_manager.cpp.o.d"
+  "CMakeFiles/odtn_groups.dir/rekeying.cpp.o"
+  "CMakeFiles/odtn_groups.dir/rekeying.cpp.o.d"
+  "libodtn_groups.a"
+  "libodtn_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_mobility.dir/random_waypoint.cpp.o"
+  "CMakeFiles/odtn_mobility.dir/random_waypoint.cpp.o.d"
+  "libodtn_mobility.a"
+  "libodtn_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_onion.dir/onion.cpp.o"
+  "CMakeFiles/odtn_onion.dir/onion.cpp.o.d"
+  "libodtn_onion.a"
+  "libodtn_onion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_onion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/alar.cpp" "src/routing/CMakeFiles/odtn_routing.dir/alar.cpp.o" "gcc" "src/routing/CMakeFiles/odtn_routing.dir/alar.cpp.o.d"
+  "/root/repo/src/routing/baselines.cpp" "src/routing/CMakeFiles/odtn_routing.dir/baselines.cpp.o" "gcc" "src/routing/CMakeFiles/odtn_routing.dir/baselines.cpp.o.d"
+  "/root/repo/src/routing/onion_routing.cpp" "src/routing/CMakeFiles/odtn_routing.dir/onion_routing.cpp.o" "gcc" "src/routing/CMakeFiles/odtn_routing.dir/onion_routing.cpp.o.d"
+  "/root/repo/src/routing/prophet.cpp" "src/routing/CMakeFiles/odtn_routing.dir/prophet.cpp.o" "gcc" "src/routing/CMakeFiles/odtn_routing.dir/prophet.cpp.o.d"
+  "/root/repo/src/routing/threshold_pivot.cpp" "src/routing/CMakeFiles/odtn_routing.dir/threshold_pivot.cpp.o" "gcc" "src/routing/CMakeFiles/odtn_routing.dir/threshold_pivot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/odtn_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/odtn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/groups/CMakeFiles/odtn_groups.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/onion/CMakeFiles/odtn_onion.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/odtn_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/odtn_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/odtn_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

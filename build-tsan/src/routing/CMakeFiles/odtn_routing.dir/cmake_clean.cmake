@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_routing.dir/alar.cpp.o"
+  "CMakeFiles/odtn_routing.dir/alar.cpp.o.d"
+  "CMakeFiles/odtn_routing.dir/baselines.cpp.o"
+  "CMakeFiles/odtn_routing.dir/baselines.cpp.o.d"
+  "CMakeFiles/odtn_routing.dir/onion_routing.cpp.o"
+  "CMakeFiles/odtn_routing.dir/onion_routing.cpp.o.d"
+  "CMakeFiles/odtn_routing.dir/prophet.cpp.o"
+  "CMakeFiles/odtn_routing.dir/prophet.cpp.o.d"
+  "CMakeFiles/odtn_routing.dir/threshold_pivot.cpp.o"
+  "CMakeFiles/odtn_routing.dir/threshold_pivot.cpp.o.d"
+  "libodtn_routing.a"
+  "libodtn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_sim.dir/contact_model.cpp.o"
+  "CMakeFiles/odtn_sim.dir/contact_model.cpp.o.d"
+  "CMakeFiles/odtn_sim.dir/network_sim.cpp.o"
+  "CMakeFiles/odtn_sim.dir/network_sim.cpp.o.d"
+  "libodtn_sim.a"
+  "libodtn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

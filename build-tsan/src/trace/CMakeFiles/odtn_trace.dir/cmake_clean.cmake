@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_trace.dir/contact_trace.cpp.o"
+  "CMakeFiles/odtn_trace.dir/contact_trace.cpp.o.d"
+  "CMakeFiles/odtn_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/odtn_trace.dir/synthetic.cpp.o.d"
+  "libodtn_trace.a"
+  "libodtn_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

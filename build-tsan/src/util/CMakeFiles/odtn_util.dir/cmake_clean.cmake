@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn_util.dir/args.cpp.o"
+  "CMakeFiles/odtn_util.dir/args.cpp.o.d"
+  "CMakeFiles/odtn_util.dir/bytes.cpp.o"
+  "CMakeFiles/odtn_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/odtn_util.dir/rng.cpp.o"
+  "CMakeFiles/odtn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/odtn_util.dir/run_length.cpp.o"
+  "CMakeFiles/odtn_util.dir/run_length.cpp.o.d"
+  "CMakeFiles/odtn_util.dir/stats.cpp.o"
+  "CMakeFiles/odtn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/odtn_util.dir/table.cpp.o"
+  "CMakeFiles/odtn_util.dir/table.cpp.o.d"
+  "CMakeFiles/odtn_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/odtn_util.dir/thread_pool.cpp.o.d"
+  "libodtn_util.a"
+  "libodtn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

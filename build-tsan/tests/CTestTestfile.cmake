@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("graph")
+subdirs("groups")
+subdirs("bundle")
+subdirs("onion")
+subdirs("trace")
+subdirs("sim")
+subdirs("mobility")
+subdirs("routing")
+subdirs("adversary")
+subdirs("analysis")
+subdirs("core")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/anonymity_test.cpp" "tests/analysis/CMakeFiles/anonymity_test.dir/anonymity_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/anonymity_test.dir/anonymity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/odtn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/odtn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/groups/CMakeFiles/odtn_groups.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/odtn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/odtn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

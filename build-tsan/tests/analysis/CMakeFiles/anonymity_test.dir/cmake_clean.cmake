@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymity_test.dir/anonymity_test.cpp.o"
+  "CMakeFiles/anonymity_test.dir/anonymity_test.cpp.o.d"
+  "anonymity_test"
+  "anonymity_test.pdb"
+  "anonymity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

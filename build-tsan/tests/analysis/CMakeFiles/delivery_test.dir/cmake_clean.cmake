@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delivery_test.dir/delivery_test.cpp.o"
+  "CMakeFiles/delivery_test.dir/delivery_test.cpp.o.d"
+  "delivery_test"
+  "delivery_test.pdb"
+  "delivery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delivery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goodness_of_fit_test.dir/goodness_of_fit_test.cpp.o"
+  "CMakeFiles/goodness_of_fit_test.dir/goodness_of_fit_test.cpp.o.d"
+  "goodness_of_fit_test"
+  "goodness_of_fit_test.pdb"
+  "goodness_of_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goodness_of_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traceable_test.dir/traceable_test.cpp.o"
+  "CMakeFiles/traceable_test.dir/traceable_test.cpp.o.d"
+  "traceable_test"
+  "traceable_test.pdb"
+  "traceable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traceable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

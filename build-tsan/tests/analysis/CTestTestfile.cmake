@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/analysis
+# Build directory: /root/repo/build-tsan/tests/analysis
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/analysis/hypoexp_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analysis/delivery_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analysis/cost_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analysis/traceable_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analysis/anonymity_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analysis/goodness_of_fit_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bundle_test.dir/bundle_test.cpp.o"
+  "CMakeFiles/bundle_test.dir/bundle_test.cpp.o.d"
+  "bundle_test"
+  "bundle_test.pdb"
+  "bundle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bundle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onion_bundle_integration_test.dir/onion_bundle_integration_test.cpp.o"
+  "CMakeFiles/onion_bundle_integration_test.dir/onion_bundle_integration_test.cpp.o.d"
+  "onion_bundle_integration_test"
+  "onion_bundle_integration_test.pdb"
+  "onion_bundle_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onion_bundle_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/bundle
+# Build directory: /root/repo/build-tsan/tests/bundle
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/bundle/bundle_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/bundle/onion_bundle_integration_test[1]_include.cmake")

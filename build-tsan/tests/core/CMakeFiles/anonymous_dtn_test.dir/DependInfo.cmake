@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/anonymous_dtn_test.cpp" "tests/core/CMakeFiles/anonymous_dtn_test.dir/anonymous_dtn_test.cpp.o" "gcc" "tests/core/CMakeFiles/anonymous_dtn_test.dir/anonymous_dtn_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/odtn_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/adversary/CMakeFiles/odtn_adversary.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/routing/CMakeFiles/odtn_routing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/odtn_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/onion/CMakeFiles/odtn_onion.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/odtn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/groups/CMakeFiles/odtn_groups.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/odtn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mobility/CMakeFiles/odtn_mobility.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/odtn_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/odtn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/odtn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymous_dtn_test.dir/anonymous_dtn_test.cpp.o"
+  "CMakeFiles/anonymous_dtn_test.dir/anonymous_dtn_test.cpp.o.d"
+  "anonymous_dtn_test"
+  "anonymous_dtn_test.pdb"
+  "anonymous_dtn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymous_dtn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chacha20_test.dir/chacha20_test.cpp.o"
+  "CMakeFiles/chacha20_test.dir/chacha20_test.cpp.o.d"
+  "chacha20_test"
+  "chacha20_test.pdb"
+  "chacha20_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chacha20_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly1305_test.dir/poly1305_test.cpp.o"
+  "CMakeFiles/poly1305_test.dir/poly1305_test.cpp.o.d"
+  "poly1305_test"
+  "poly1305_test.pdb"
+  "poly1305_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly1305_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/crypto
+# Build directory: /root/repo/build-tsan/tests/crypto
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/crypto/sha256_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/crypto/hmac_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/crypto/chacha20_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/crypto/poly1305_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/crypto/aead_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/crypto/x25519_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/crypto/drbg_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/crypto/shamir_test[1]_include.cmake")

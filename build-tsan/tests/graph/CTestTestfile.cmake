@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/graph
+# Build directory: /root/repo/build-tsan/tests/graph
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/graph/contact_graph_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/graph/graph_io_test[1]_include.cmake")

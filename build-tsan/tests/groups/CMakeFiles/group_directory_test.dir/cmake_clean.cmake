@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_directory_test.dir/group_directory_test.cpp.o"
+  "CMakeFiles/group_directory_test.dir/group_directory_test.cpp.o.d"
+  "group_directory_test"
+  "group_directory_test.pdb"
+  "group_directory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

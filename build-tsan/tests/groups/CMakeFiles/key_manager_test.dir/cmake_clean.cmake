@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_manager_test.dir/key_manager_test.cpp.o"
+  "CMakeFiles/key_manager_test.dir/key_manager_test.cpp.o.d"
+  "key_manager_test"
+  "key_manager_test.pdb"
+  "key_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

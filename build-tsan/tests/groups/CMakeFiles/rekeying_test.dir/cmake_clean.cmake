@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rekeying_test.dir/rekeying_test.cpp.o"
+  "CMakeFiles/rekeying_test.dir/rekeying_test.cpp.o.d"
+  "rekeying_test"
+  "rekeying_test.pdb"
+  "rekeying_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rekeying_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

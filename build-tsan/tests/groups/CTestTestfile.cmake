@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/groups
+# Build directory: /root/repo/build-tsan/tests/groups
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/groups/group_directory_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/groups/key_manager_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/groups/rekeying_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_waypoint_test.dir/random_waypoint_test.cpp.o"
+  "CMakeFiles/random_waypoint_test.dir/random_waypoint_test.cpp.o.d"
+  "random_waypoint_test"
+  "random_waypoint_test.pdb"
+  "random_waypoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_waypoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mobility
+# Build directory: /root/repo/build-tsan/tests/mobility
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/mobility/random_waypoint_test[1]_include.cmake")

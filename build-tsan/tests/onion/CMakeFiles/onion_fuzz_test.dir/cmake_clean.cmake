@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onion_fuzz_test.dir/onion_fuzz_test.cpp.o"
+  "CMakeFiles/onion_fuzz_test.dir/onion_fuzz_test.cpp.o.d"
+  "onion_fuzz_test"
+  "onion_fuzz_test.pdb"
+  "onion_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onion_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onion_test.dir/onion_test.cpp.o"
+  "CMakeFiles/onion_test.dir/onion_test.cpp.o.d"
+  "onion_test"
+  "onion_test.pdb"
+  "onion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

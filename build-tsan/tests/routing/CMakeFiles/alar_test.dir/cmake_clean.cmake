@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alar_test.dir/alar_test.cpp.o"
+  "CMakeFiles/alar_test.dir/alar_test.cpp.o.d"
+  "alar_test"
+  "alar_test.pdb"
+  "alar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

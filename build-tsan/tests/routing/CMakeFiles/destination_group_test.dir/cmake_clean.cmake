@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/destination_group_test.dir/destination_group_test.cpp.o"
+  "CMakeFiles/destination_group_test.dir/destination_group_test.cpp.o.d"
+  "destination_group_test"
+  "destination_group_test.pdb"
+  "destination_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/destination_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

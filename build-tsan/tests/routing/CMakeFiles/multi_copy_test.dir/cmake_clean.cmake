@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_copy_test.dir/multi_copy_test.cpp.o"
+  "CMakeFiles/multi_copy_test.dir/multi_copy_test.cpp.o.d"
+  "multi_copy_test"
+  "multi_copy_test.pdb"
+  "multi_copy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prophet_test.dir/prophet_test.cpp.o"
+  "CMakeFiles/prophet_test.dir/prophet_test.cpp.o.d"
+  "prophet_test"
+  "prophet_test.pdb"
+  "prophet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prophet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_copy_test.dir/single_copy_test.cpp.o"
+  "CMakeFiles/single_copy_test.dir/single_copy_test.cpp.o.d"
+  "single_copy_test"
+  "single_copy_test.pdb"
+  "single_copy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_pivot_test.dir/threshold_pivot_test.cpp.o"
+  "CMakeFiles/threshold_pivot_test.dir/threshold_pivot_test.cpp.o.d"
+  "threshold_pivot_test"
+  "threshold_pivot_test.pdb"
+  "threshold_pivot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_pivot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

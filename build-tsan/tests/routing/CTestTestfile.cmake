@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/routing
+# Build directory: /root/repo/build-tsan/tests/routing
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/routing/single_copy_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/routing/multi_copy_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/routing/baselines_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/routing/threshold_pivot_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/routing/destination_group_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/routing/alar_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/routing/property_sweep_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/routing/prophet_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contact_model_test.dir/contact_model_test.cpp.o"
+  "CMakeFiles/contact_model_test.dir/contact_model_test.cpp.o.d"
+  "contact_model_test"
+  "contact_model_test.pdb"
+  "contact_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contact_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/contact_trace_test.cpp" "tests/trace/CMakeFiles/contact_trace_test.dir/contact_trace_test.cpp.o" "gcc" "tests/trace/CMakeFiles/contact_trace_test.dir/contact_trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/trace/CMakeFiles/odtn_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/odtn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/odtn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

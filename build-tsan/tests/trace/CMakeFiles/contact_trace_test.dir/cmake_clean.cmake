@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contact_trace_test.dir/contact_trace_test.cpp.o"
+  "CMakeFiles/contact_trace_test.dir/contact_trace_test.cpp.o.d"
+  "contact_trace_test"
+  "contact_trace_test.pdb"
+  "contact_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contact_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawdad_test.dir/crawdad_test.cpp.o"
+  "CMakeFiles/crawdad_test.dir/crawdad_test.cpp.o.d"
+  "crawdad_test"
+  "crawdad_test.pdb"
+  "crawdad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawdad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

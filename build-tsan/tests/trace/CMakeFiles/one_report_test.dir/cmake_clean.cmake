@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_report_test.dir/one_report_test.cpp.o"
+  "CMakeFiles/one_report_test.dir/one_report_test.cpp.o.d"
+  "one_report_test"
+  "one_report_test.pdb"
+  "one_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/trace
+# Build directory: /root/repo/build-tsan/tests/trace
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/trace/contact_trace_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/trace/synthetic_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/trace/crawdad_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/trace/parser_fuzz_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/trace/one_report_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_length_test.dir/run_length_test.cpp.o"
+  "CMakeFiles/run_length_test.dir/run_length_test.cpp.o.d"
+  "run_length_test"
+  "run_length_test.pdb"
+  "run_length_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_length_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/util
+# Build directory: /root/repo/build-tsan/tests/util
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util/bytes_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/util/rng_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/util/stats_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/util/thread_pool_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/util/run_length_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/util/args_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/util/table_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odtn.dir/odtn_cli.cpp.o"
+  "CMakeFiles/odtn.dir/odtn_cli.cpp.o.d"
+  "odtn"
+  "odtn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odtn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
