@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
       for (std::size_t cap : {0u, 4u, 1u}) {
         sim::NetworkSimConfig cfg;
         cfg.buffer_capacity = cap;
+        if (base.collect_metrics) cfg.metrics = &bench::bench_metrics();
         util::Rng run_rng(base.seed + rep);  // same groups per capacity
         auto report = sim::run_network_sim(trace, dir, messages, cfg,
                                            run_rng);

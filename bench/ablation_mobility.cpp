@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     cfg.num_relays = 3;
     cfg.ttl = deadline;
     cfg.trace_training_gap = 0.0;  // RWP has no diurnal gaps
-    auto r = core::Experiment(cfg).run(core::TraceScenario{&trace});
+    auto r = bench::run_experiment(cfg, core::TraceScenario{&trace});
     table.new_row();
     table.cell(static_cast<std::int64_t>(deadline));
     table.cell(r.ana_delivery.mean());

@@ -31,12 +31,12 @@ int main(int argc, char** argv) {
     auto wall_cfg = base;
     wall_cfg.ttl = deadline;
     wall_cfg.trace_training_gap = 0.0;  // disable the correction
-    auto wall = core::Experiment(wall_cfg).run(core::TraceScenario{&trace});
+    auto wall = bench::run_experiment(wall_cfg, core::TraceScenario{&trace});
 
     auto active_cfg = base;
     active_cfg.ttl = deadline;
     active_cfg.trace_training_gap = 1800.0;
-    auto active = core::Experiment(active_cfg).run(core::TraceScenario{&trace});
+    auto active = bench::run_experiment(active_cfg, core::TraceScenario{&trace});
 
     table.new_row();
     table.cell(static_cast<std::int64_t>(deadline));

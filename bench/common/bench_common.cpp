@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "metrics/writer.hpp"
+
 namespace odtn::bench {
 
 core::ExperimentConfig base_config(const util::Args& args) {
@@ -12,7 +14,20 @@ core::ExperimentConfig base_config(const util::Args& args) {
   cfg.runs = static_cast<std::size_t>(args.get_int("runs", 200));
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   cfg.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  cfg.collect_metrics = args.has("metrics-out");
   return cfg;
+}
+
+metrics::Registry& bench_metrics() {
+  static metrics::Registry registry;
+  return registry;
+}
+
+core::ExperimentResult run_experiment(const core::ExperimentConfig& config,
+                                      const core::Scenario& scenario) {
+  core::ExperimentResult result = core::Experiment(config).run(scenario);
+  if (config.collect_metrics) bench_metrics().merge(result.metrics);
+  return result;
 }
 
 void print_header(const std::string& figure_id, const std::string& title,
@@ -35,15 +50,22 @@ void finish(const core::ExperimentConfig& config, const util::Args& args,
   double wall = timer.seconds();
   std::cout << "# wall_time_s: " << wall << "\n";
 
+  std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    metrics::write_file(metrics_path, bench_metrics());
+    std::cout << "# metrics: " << metrics_path << "\n";
+  }
+
   std::string path = args.get("json", "");
   if (path.empty()) return;
   std::string figure_id = args.program();
   auto slash = figure_id.find_last_of('/');
   if (slash != std::string::npos) figure_id = figure_id.substr(slash + 1);
   std::ostringstream record;
-  record << "{\"figure_id\":\"" << figure_id << "\",\"runs\":" << config.runs
-         << ",\"seed\":" << config.seed << ",\"threads\":" << config.threads
-         << ",\"wall_time_s\":" << wall << "}";
+  record << "{\"schema\":\"odtn.bench.v1\",\"figure_id\":\"" << figure_id
+         << "\",\"runs\":" << config.runs << ",\"seed\":" << config.seed
+         << ",\"threads\":" << config.threads
+         << ",\"wall_time_s\":" << metrics::format_double(wall) << "}";
   std::ofstream out(path, std::ios::app);
   if (!out) {
     throw std::runtime_error("bench: cannot open --json file: " + path);

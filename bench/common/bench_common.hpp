@@ -3,12 +3,19 @@
 // Every bench binary regenerates one figure of the paper: it prints one row
 // per x-value with analysis and simulation columns side by side — the same
 // series the figure plots. Common flags:
-//   --runs=N      simulation runs per point (default 200)
-//   --seed=S      experiment seed (default 1)
-//   --threads=T   worker threads per experiment (default 0 = all hardware
-//                 threads; results are bit-identical at every T)
-//   --json=FILE   append a one-line JSON record (figure id, parameters,
-//                 wall time) so perf is tracked run over run
+//   --runs=N           simulation runs per point (default 200)
+//   --seed=S           experiment seed (default 1)
+//   --threads=T        worker threads per experiment (default 0 = all
+//                      hardware threads; results are bit-identical at
+//                      every T)
+//   --json=FILE        append a one-line odtn.bench.v1 JSON record (figure
+//                      id, parameters, wall time) so perf accumulates run
+//                      over run — the repo convention is
+//                      BENCH_<figure_id>.json at the repo root
+//   --metrics-out=FILE write the deterministic odtn::metrics collected
+//                      across every experiment of the sweep (JSONL, or CSV
+//                      when FILE ends in .csv); byte-identical at every
+//                      --threads value
 #pragma once
 
 #include <chrono>
@@ -16,14 +23,25 @@
 
 #include "core/config.hpp"
 #include "core/experiment.hpp"
+#include "metrics/metrics.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
 namespace odtn::bench {
 
 /// Builds the Table II default configuration, with --runs / --seed /
-/// --threads applied.
+/// --threads applied; --metrics-out switches cfg.collect_metrics on.
 core::ExperimentConfig base_config(const util::Args& args);
+
+/// Runs the experiment and folds its metrics into the bench-wide registry
+/// (bench_metrics()), which finish() exports when --metrics-out was given.
+/// All benches go through this instead of core::Experiment directly.
+core::ExperimentResult run_experiment(const core::ExperimentConfig& config,
+                                      const core::Scenario& scenario);
+
+/// The registry run_experiment accumulates into (sweep points fold in call
+/// order, so the export is deterministic for a fixed sweep).
+metrics::Registry& bench_metrics();
 
 /// Prints the figure banner: id, title, and the fixed parameters.
 void print_header(const std::string& figure_id, const std::string& title,
@@ -45,10 +63,12 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Prints the closing `# wall_time_s:` line and, when --json=FILE was
-/// given, appends `{"figure_id":...,"runs":...,"seed":...,"threads":...,
-/// "wall_time_s":...}` to FILE (one JSON object per line; figure_id is the
-/// bench binary's name, e.g. "fig06_traceable_vs_compromised").
+/// Prints the closing `# wall_time_s:` line; when --json=FILE was given,
+/// appends one versioned record
+/// `{"schema":"odtn.bench.v1","figure_id":...,"runs":...,"seed":...,
+/// "threads":...,"wall_time_s":...}` to FILE (figure_id is the bench
+/// binary's name); when --metrics-out=FILE was given, writes the
+/// accumulated deterministic metrics there.
 void finish(const core::ExperimentConfig& config, const util::Args& args,
             const WallTimer& timer);
 

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       auto cfg = base;
       cfg.group_size = g;
       cfg.ttl = deadline;
-      auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
+      auto r = bench::run_experiment(cfg, core::RandomGraphScenario{});
       table.cell(r.ana_delivery.mean());
       table.cell(r.sim_delivered.mean());
     }

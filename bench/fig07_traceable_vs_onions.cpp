@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       auto cfg = base;
       cfg.num_relays = k;
       cfg.compromise_fraction = fraction;
-      auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
+      auto r = bench::run_experiment(cfg, core::RandomGraphScenario{});
       table.cell(r.ana_traceable_paper.mean());
       table.cell(r.ana_traceable_exact.mean());
       table.cell(r.sim_traceable.mean());

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
       auto cfg = base;
       cfg.num_relays = k;
       cfg.copies = l;
-      auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
+      auto r = bench::run_experiment(cfg, core::RandomGraphScenario{});
       if (first) {
         table.cell(r.ana_cost_non_anonymous.mean(), 1);
         first = false;

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
       auto cfg = base;
       cfg.copies = l;
       cfg.compromise_fraction = fraction;
-      auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
+      auto r = bench::run_experiment(cfg, core::RandomGraphScenario{});
       table.cell(r.ana_anonymity.mean());
       table.cell(r.sim_anonymity.mean());
     }

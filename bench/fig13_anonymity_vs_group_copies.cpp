@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       auto cfg = base;
       cfg.group_size = g;
       cfg.copies = l;
-      auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
+      auto r = bench::run_experiment(cfg, core::RandomGraphScenario{});
       table.cell(r.ana_anonymity.mean());
       table.cell(r.sim_anonymity.mean());
     }

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
                           3600.0, 7200.0}) {
     auto cfg = base;
     cfg.ttl = deadline;
-    auto r = core::Experiment(cfg).run(core::TraceScenario{&trace});
+    auto r = bench::run_experiment(cfg, core::TraceScenario{&trace});
     table.new_row();
     table.cell(static_cast<std::int64_t>(deadline));
     table.cell(r.ana_delivery.mean());

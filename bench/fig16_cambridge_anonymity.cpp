@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   for (double fraction : bench::compromise_sweep()) {
     auto cfg = base;
     cfg.compromise_fraction = fraction;
-    auto r = core::Experiment(cfg).run(core::TraceScenario{&trace});
+    auto r = bench::run_experiment(cfg, core::TraceScenario{&trace});
     table.new_row();
     table.cell(fraction, 2);
     table.cell(r.ana_anonymity.mean());

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
       auto cfg = base;
       cfg.copies = l;
       cfg.ttl = deadline;
-      auto r = core::Experiment(cfg).run(core::TraceScenario{&trace});
+      auto r = bench::run_experiment(cfg, core::TraceScenario{&trace});
       table.cell(r.ana_delivery.mean());
       table.cell(r.sim_delivered.mean());
     }

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       auto cfg = base;
       cfg.copies = l;
       cfg.compromise_fraction = fraction;
-      auto r = core::Experiment(cfg).run(core::TraceScenario{&trace});
+      auto r = bench::run_experiment(cfg, core::TraceScenario{&trace});
       table.cell(r.ana_anonymity.mean());
       table.cell(r.sim_anonymity.mean());
     }

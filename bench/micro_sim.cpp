@@ -130,6 +130,20 @@ void BM_ExperimentRun(benchmark::State& state) {
 }
 BENCHMARK(BM_ExperimentRun)->Unit(benchmark::kMillisecond);
 
+// Same experiment with metrics collection on: the cost of the per-run
+// registries, instrumented protocols, and the ordered metrics fold,
+// relative to BM_ExperimentRun (the "disabled" hot path must stay within
+// 5% of the pre-metrics baseline; see BENCH_micro_sim.json).
+void BM_ExperimentRunMetrics(benchmark::State& state) {
+  core::ExperimentConfig cfg;
+  cfg.runs = 10;
+  cfg.collect_metrics = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Experiment(cfg).run(core::RandomGraphScenario{}));
+  }
+}
+BENCHMARK(BM_ExperimentRunMetrics)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -41,6 +41,12 @@ struct ExperimentConfig {
   std::size_t threads = 1;
   routing::CryptoMode crypto = routing::CryptoMode::kNone;
   routing::SprayMode spray = routing::SprayMode::kSprayAndWait;
+  /// Collect odtn::metrics during the experiment: each run writes to its
+  /// own per-run Registry (no cross-thread sharing) and the registries fold
+  /// into ExperimentResult::metrics in run order, so the collected metrics
+  /// are bit-identical at every thread count. Off by default: the engine
+  /// then passes null sinks and instrumentation costs one dead branch.
+  bool collect_metrics = false;
 };
 
 }  // namespace odtn::core

@@ -33,6 +33,7 @@ void ExperimentResult::merge(const ExperimentResult& other) {
   ana_cost_bound.merge(other.ana_cost_bound);
   ana_cost_non_anonymous.merge(other.ana_cost_non_anonymous);
   delivered_runs += other.delivered_runs;
+  metrics.merge(other.metrics);
 }
 
 namespace {
@@ -48,14 +49,19 @@ struct RunOutcome {
   double traceable = 0.0;   // delivered only
   double anonymity = 0.0;   // delivered only
   double ana_delivery = 0.0;
+  /// Per-run metrics sink (empty unless config.collect_metrics); folded
+  /// into ExperimentResult::metrics in run order.
+  metrics::Registry metrics;
 };
 
 // Shared per-realization kernel, once a contact model, graph-for-analysis,
 // endpoints and start time are fixed. Every random draw comes from `rng`,
-// which the engine seeds from (config.seed, run index).
+// which the engine seeds from (config.seed, run index). `reg` is the run's
+// private metrics sink (null = off).
 RunOutcome run_once(const ExperimentConfig& cfg, sim::ContactModel& contacts,
                     const graph::ContactGraph& analysis_graph, NodeId src,
-                    NodeId dst, Time start, util::Rng& rng) {
+                    NodeId dst, Time start, util::Rng& rng,
+                    metrics::Registry* reg) {
   RunOutcome out;
   std::size_t n = contacts.node_count();
 
@@ -68,6 +74,7 @@ RunOutcome run_once(const ExperimentConfig& cfg, sim::ContactModel& contacts,
   ctx.keys = &keys;
   ctx.codec = &codec;
   ctx.crypto = cfg.crypto;
+  ctx.metrics = reg;
 
   routing::MessageSpec spec;
   spec.src = src;
@@ -95,9 +102,16 @@ RunOutcome run_once(const ExperimentConfig& cfg, sim::ContactModel& contacts,
   }
 
   out.transmissions = static_cast<double>(result.transmissions);
+  metrics::counter(reg, "experiment.runs").inc();
+  metrics::histogram(reg, "experiment.transmissions")
+      .observe(out.transmissions);
   if (result.delivered) {
     out.delivered = true;
     out.delay = result.delay;
+    metrics::counter(reg, "experiment.delivered").inc();
+    metrics::histogram(reg, "experiment.delay").observe(result.delay);
+    metrics::histogram(reg, "experiment.path_hops")
+        .observe(static_cast<double>(result.relay_path.size() + 1));
 
     adversary::CompromiseModel compromise =
         adversary::CompromiseModel::from_fraction(n, cfg.compromise_fraction,
@@ -145,9 +159,11 @@ AnalysisConstants analysis_constants(const ExperimentConfig& cfg,
   return k;
 }
 
-// Shards `config.runs` calls of `body(run, rng)` across the worker pool and
-// folds the outcomes deterministically. `body` must derive all randomness
-// from the passed rng (seeded per run) and must not touch shared state.
+// Shards `config.runs` calls of `body(run, rng, reg)` across the worker
+// pool and folds the outcomes deterministically. `body` must derive all
+// randomness from the passed rng (seeded per run), record metrics only into
+// the passed per-run sink (null when collection is off), and must not touch
+// shared state.
 template <typename RunBody>
 ExperimentResult run_engine(const ExperimentConfig& config, std::size_t n,
                             const RunBody& body) {
@@ -155,31 +171,54 @@ ExperimentResult run_engine(const ExperimentConfig& config, std::size_t n,
     throw std::invalid_argument("experiment: runs must be >= 1");
   }
   auto t0 = std::chrono::steady_clock::now();
+  const bool collect = config.collect_metrics;
+
+  // Wall-clock phase timers and pool stats land in this engine-local
+  // registry (all Stability::kWall) and are merged into the result after
+  // the deterministic fold.
+  metrics::Registry engine_reg;
 
   std::vector<RunOutcome> outcomes(config.runs);
-  util::parallel_for(config.runs, config.threads, [&](std::size_t run) {
-    util::Rng rng(util::derive_seed(config.seed, run));
-    outcomes[run] = body(run, rng);
-  });
+  {
+    metrics::ScopedTimer t(
+        metrics::timer(collect ? &engine_reg : nullptr,
+                       "experiment.phase.simulate_seconds"));
+    util::parallel_for(
+        config.runs, config.threads,
+        [&](std::size_t run) {
+          util::Rng rng(util::derive_seed(config.seed, run));
+          metrics::Registry reg;
+          RunOutcome o = body(run, rng, collect ? &reg : nullptr);
+          o.metrics = std::move(reg);
+          outcomes[run] = std::move(o);
+        },
+        collect ? &engine_reg : nullptr);
+  }
 
   ExperimentResult out;
   AnalysisConstants k = analysis_constants(config, n);
-  for (const RunOutcome& o : outcomes) {
-    out.sim_delivered.add(o.delivered ? 1.0 : 0.0);
-    out.sim_transmissions.add(o.transmissions);
-    if (o.delivered) {
-      ++out.delivered_runs;
-      out.sim_delay.add(o.delay);
-      out.sim_traceable.add(o.traceable);
-      out.sim_anonymity.add(o.anonymity);
+  {
+    metrics::ScopedTimer t(metrics::timer(
+        collect ? &engine_reg : nullptr, "experiment.phase.fold_seconds"));
+    for (const RunOutcome& o : outcomes) {
+      out.sim_delivered.add(o.delivered ? 1.0 : 0.0);
+      out.sim_transmissions.add(o.transmissions);
+      if (o.delivered) {
+        ++out.delivered_runs;
+        out.sim_delay.add(o.delay);
+        out.sim_traceable.add(o.traceable);
+        out.sim_anonymity.add(o.anonymity);
+      }
+      out.ana_delivery.add(o.ana_delivery);
+      out.ana_traceable_paper.add(k.traceable_paper);
+      out.ana_traceable_exact.add(k.traceable_exact);
+      out.ana_anonymity.add(k.anonymity);
+      out.ana_cost_bound.add(k.cost_bound);
+      out.ana_cost_non_anonymous.add(k.cost_non_anonymous);
+      if (collect) out.metrics.merge(o.metrics);
     }
-    out.ana_delivery.add(o.ana_delivery);
-    out.ana_traceable_paper.add(k.traceable_paper);
-    out.ana_traceable_exact.add(k.traceable_exact);
-    out.ana_anonymity.add(k.anonymity);
-    out.ana_cost_bound.add(k.cost_bound);
-    out.ana_cost_non_anonymous.add(k.cost_non_anonymous);
   }
+  if (collect) out.metrics.merge(engine_reg);
   out.wall_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -211,14 +250,15 @@ ExperimentResult Experiment::run(const Scenario& scenario) const {
 ExperimentResult Experiment::run_random_graph(
     const RandomGraphScenario&) const {
   const ExperimentConfig& cfg = config_;
-  return run_engine(cfg, cfg.nodes, [&](std::size_t, util::Rng& rng) {
+  return run_engine(cfg, cfg.nodes,
+                    [&](std::size_t, util::Rng& rng, metrics::Registry* reg) {
     graph::ContactGraph graph = graph::random_contact_graph(
         cfg.nodes, rng, cfg.min_ict, cfg.max_ict);
     sim::PoissonContactModel contacts(graph, rng);
 
     NodeId src, dst;
     pick_endpoints(rng, cfg.nodes, src, dst);
-    return run_once(cfg, contacts, graph, src, dst, /*start=*/0.0, rng);
+    return run_once(cfg, contacts, graph, src, dst, /*start=*/0.0, rng, reg);
   });
 }
 
@@ -229,37 +269,40 @@ ExperimentResult Experiment::run_trace(const TraceScenario& scenario) const {
   const ExperimentConfig& cfg = config_;
   const trace::ContactTrace& trace = *scenario.trace;
 
-  // Rates are trained once and shared read-only across workers.
-  graph::ContactGraph trained =
-      cfg.trace_training_gap > 0.0
-          ? trace.estimate_rates_active(cfg.trace_training_gap)
-          : trace.estimate_rates();
+  // Rates are trained once and shared read-only across workers; the phase
+  // timer lands in the result's registry after the engine fold.
+  metrics::Registry train_reg;
+  graph::ContactGraph trained = [&] {
+    metrics::ScopedTimer t(
+        metrics::timer(cfg.collect_metrics ? &train_reg : nullptr,
+                       "experiment.phase.train_seconds"));
+    return cfg.trace_training_gap > 0.0
+               ? trace.estimate_rates_active(cfg.trace_training_gap)
+               : trace.estimate_rates();
+  }();
 
-  return run_engine(cfg, trace.node_count(), [&](std::size_t,
-                                                 util::Rng& rng) {
-    NodeId src, dst;
-    pick_endpoints(rng, trace.node_count(), src, dst);
+  ExperimentResult result = run_engine(
+      cfg, trace.node_count(),
+      [&](std::size_t, util::Rng& rng, metrics::Registry* reg) {
+        NodeId src, dst;
+        pick_endpoints(rng, trace.node_count(), src, dst);
 
-    // Start at one of the source's contact events ("a source node initiates
-    // a message transmission at any time after it has a contact").
-    const auto& events = trace.contacts_of(src);
-    if (events.empty()) {
-      return RunOutcome{};  // isolated node: a failed run
-    }
-    Time start = events[rng.below(events.size())].time;
+        // Start at one of the source's contact events ("a source node
+        // initiates a message transmission at any time after it has a
+        // contact").
+        const auto& events = trace.contacts_of(src);
+        if (events.empty()) {
+          metrics::counter(reg, "experiment.runs").inc();
+          metrics::counter(reg, "experiment.isolated_sources").inc();
+          return RunOutcome{};  // isolated node: a failed run
+        }
+        Time start = events[rng.below(events.size())].time;
 
-    sim::TraceContactModel contacts(trace);
-    return run_once(cfg, contacts, trained, src, dst, start, rng);
-  });
-}
-
-ExperimentResult run_random_graph_experiment(const ExperimentConfig& config) {
-  return Experiment(config).run(RandomGraphScenario{});
-}
-
-ExperimentResult run_trace_experiment(const ExperimentConfig& config,
-                                      const trace::ContactTrace& trace) {
-  return Experiment(config).run(TraceScenario{&trace});
+        sim::TraceContactModel contacts(trace);
+        return run_once(cfg, contacts, trained, src, dst, start, rng, reg);
+      });
+  if (cfg.collect_metrics) result.metrics.merge(train_reg);
+  return result;
 }
 
 }  // namespace odtn::core

@@ -19,6 +19,7 @@
 #include <variant>
 
 #include "core/config.hpp"
+#include "metrics/metrics.hpp"
 #include "trace/contact_trace.hpp"
 #include "util/stats.hpp"
 
@@ -51,6 +52,14 @@ struct ExperimentResult {
   /// Wall-clock seconds the engine spent producing this result (not merged;
   /// measured per engine invocation).
   double wall_time_s = 0.0;
+
+  /// Observability (only populated when config.collect_metrics): per-run
+  /// "experiment.*" delay/transmission histograms, the "routing.*" event
+  /// counters from inside the protocols, plus wall-clock phase timers and
+  /// thread-pool stats (Stability::kWall — excluded from deterministic
+  /// export). Folded from per-run registries in run order, so the stable
+  /// part is bit-identical at every thread count.
+  metrics::Registry metrics;
 
   /// Folds another shard in: every accumulator merges, delivered_runs adds.
   void merge(const ExperimentResult& other);
@@ -98,14 +107,5 @@ class Experiment {
 
   ExperimentConfig config_;
 };
-
-/// Deprecated wrapper around Experiment::run(RandomGraphScenario{}).
-[[deprecated("use core::Experiment(config).run(RandomGraphScenario{})")]]
-ExperimentResult run_random_graph_experiment(const ExperimentConfig& config);
-
-/// Deprecated wrapper around Experiment::run(TraceScenario{&trace}).
-[[deprecated("use core::Experiment(config).run(TraceScenario{&trace})")]]
-ExperimentResult run_trace_experiment(const ExperimentConfig& config,
-                                      const trace::ContactTrace& trace);
 
 }  // namespace odtn::core

@@ -1,0 +1,266 @@
+// odtn::metrics — deterministic observability for the simulator stack.
+//
+// A Registry is a named collection of counters, gauges, and log-bucketed
+// histograms. It is built for the sharded experiment engine: each worker
+// (or each run) writes into its own Registry with no synchronization, and
+// shards are folded in run order with Registry::merge — exactly the
+// RunningStats pattern — so every exported metric is bit-identical at any
+// thread count.
+//
+// Two classes of metric are distinguished:
+//   * stable  — derived purely from simulated state (event counts, virtual
+//     delays). These survive the ordered fold unchanged and are what
+//     MetricsWriter exports by default.
+//   * wall    — wall-clock or scheduling dependent (ScopedTimer phases,
+//     thread-pool queue depth / task latency). Kept in the same Registry
+//     for profiling but excluded from deterministic export unless asked.
+//
+// Instrumentation sites hold *handles*, not names: a handle is resolved
+// once (one map lookup) and is a single pointer afterwards, so the hot
+// path pays one predictable branch plus an add. A null Registry* yields
+// inert handles, and defining ODTN_METRICS_DISABLED (cmake
+// -DODTN_METRICS=OFF) compiles every handle operation away entirely.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace odtn::metrics {
+
+enum class Kind { kCounter, kGauge, kHistogram, kTimer };
+
+/// Returns "counter", "gauge", "histogram", or "timer".
+const char* kind_name(Kind kind);
+
+/// Log-bucketed histogram with quantile queries.
+///
+/// Positive values land in one of kSubBuckets linearly spaced sub-buckets
+/// per power of two (relative bucket width at most 1/kSubBuckets / 0.5 =
+/// 12.5%, so bucket-midpoint quantiles are accurate to ~±6% relative);
+/// zero and negative values share a point bucket at 0. Buckets are stored sparsely, keyed by index, so an empty
+/// histogram is two words and merging is count addition — deterministic
+/// under the engine's ordered fold.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 8;
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+
+  /// Empirical quantile (0 <= q <= 1) from bucket midpoints; exact min/max
+  /// are returned at q = 0 / q = 1. 0 when empty.
+  double quantile(double q) const;
+
+  /// Adds another histogram's buckets and moments.
+  void merge(const Histogram& other);
+
+  struct Bucket {
+    double lo;  // inclusive
+    double hi;  // exclusive (lo == hi == 0 for the zero/negative bucket)
+    std::uint64_t count;
+  };
+  /// Non-empty buckets in increasing value order.
+  std::vector<Bucket> buckets() const;
+
+  /// Bucket index a value maps to (exposed for the accuracy tests).
+  static int bucket_index(double v);
+  /// [lo, hi) bounds of a bucket index.
+  static void bucket_bounds(int index, double* lo, double* hi);
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::map<int, std::uint64_t> counts_;
+};
+
+class Registry;
+
+// ---------------------------------------------------------------------------
+// Handles: the things instrumentation sites actually touch.
+
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+
+  void inc(std::uint64_t delta = 1) {
+#ifndef ODTN_METRICS_DISABLED
+    if (value_ != nullptr) *value_ += delta;
+#else
+    (void)delta;
+#endif
+  }
+
+ private:
+  friend class Registry;
+  explicit CounterHandle(std::uint64_t* value) : value_(value) {}
+  std::uint64_t* value_ = nullptr;
+};
+
+class GaugeHandle {
+ public:
+  GaugeHandle() = default;
+
+  void set(double v) {
+#ifndef ODTN_METRICS_DISABLED
+    if (value_ != nullptr) {
+      *value_ = v;
+      *set_ = true;
+    }
+#else
+    (void)v;
+#endif
+  }
+
+  /// Raises the gauge to v if v is larger (or the gauge is unset) —
+  /// high-water marks like peak queue depth.
+  void set_max(double v) {
+#ifndef ODTN_METRICS_DISABLED
+    if (value_ != nullptr && (!*set_ || v > *value_)) {
+      *value_ = v;
+      *set_ = true;
+    }
+#else
+    (void)v;
+#endif
+  }
+
+ private:
+  friend class Registry;
+  GaugeHandle(double* value, bool* set) : value_(value), set_(set) {}
+  double* value_ = nullptr;
+  bool* set_ = nullptr;
+};
+
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+
+  void observe(double v) {
+#ifndef ODTN_METRICS_DISABLED
+    if (hist_ != nullptr) hist_->observe(v);
+#else
+    (void)v;
+#endif
+  }
+
+  bool active() const {
+#ifndef ODTN_METRICS_DISABLED
+    return hist_ != nullptr;
+#else
+    return false;
+#endif
+  }
+
+ private:
+  friend class Registry;
+  explicit HistogramHandle(Histogram* hist) : hist_(hist) {}
+  Histogram* hist_ = nullptr;
+};
+
+/// RAII wall-clock timer: records elapsed seconds into a timer-kind
+/// histogram at scope exit. Inert (no clock calls at all) when the handle
+/// is inactive.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(HistogramHandle timer) : timer_(timer) {
+    if (timer_.active()) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (timer_.active()) {
+      timer_.observe(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count());
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  HistogramHandle timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+/// Whether a metric survives the deterministic fold (see file comment).
+enum class Stability { kStable, kWall };
+
+class Registry {
+ public:
+  /// Resolves a metric handle, creating the metric on first use. A name
+  /// resolves to exactly one kind for the Registry's lifetime; re-resolving
+  /// under a different kind throws std::logic_error.
+  CounterHandle counter(const std::string& name,
+                        Stability stability = Stability::kStable);
+  GaugeHandle gauge(const std::string& name,
+                    Stability stability = Stability::kStable);
+  HistogramHandle histogram(const std::string& name,
+                            Stability stability = Stability::kStable);
+  /// Timers are histograms of wall-clock seconds; always Stability::kWall.
+  HistogramHandle timer(const std::string& name);
+
+  /// Folds another registry in: counters add, gauges take the other's value
+  /// when it was set (so a run-ordered fold keeps the *last* run's value),
+  /// histograms merge. Kind conflicts throw std::logic_error.
+  void merge(const Registry& other);
+
+  bool empty() const { return metrics_.empty(); }
+  std::size_t size() const { return metrics_.size(); }
+
+  // Export surface (MetricsWriter and the tests read through this).
+  struct Metric {
+    Kind kind = Kind::kCounter;
+    Stability stability = Stability::kStable;
+    std::uint64_t counter = 0;
+    double gauge = 0.0;
+    bool gauge_set = false;
+    Histogram hist;
+  };
+  /// Metrics in name order (std::map), which fixes the export byte order.
+  const std::map<std::string, Metric>& entries() const { return metrics_; }
+
+ private:
+  Metric& resolve(const std::string& name, Kind kind, Stability stability);
+
+  std::map<std::string, Metric> metrics_;
+};
+
+// ---------------------------------------------------------------------------
+// Null-safe resolution: instrumented layers take a `Registry*` that is
+// nullptr when observability is off, and resolve handles through these.
+// The name is a C string so the off path never constructs (or worse,
+// heap-allocates) a std::string — the conversion happens only behind the
+// non-null branch.
+
+inline CounterHandle counter(Registry* reg, const char* name,
+                             Stability stability = Stability::kStable) {
+  return reg != nullptr ? reg->counter(name, stability) : CounterHandle{};
+}
+
+inline GaugeHandle gauge(Registry* reg, const char* name,
+                         Stability stability = Stability::kStable) {
+  return reg != nullptr ? reg->gauge(name, stability) : GaugeHandle{};
+}
+
+inline HistogramHandle histogram(Registry* reg, const char* name,
+                                 Stability stability = Stability::kStable) {
+  return reg != nullptr ? reg->histogram(name, stability) : HistogramHandle{};
+}
+
+inline HistogramHandle timer(Registry* reg, const char* name) {
+  return reg != nullptr ? reg->timer(name) : HistogramHandle{};
+}
+
+}  // namespace odtn::metrics

@@ -39,10 +39,32 @@ struct Walker {
   /// Number of onion layers peeled so far; hop h < K means the copy still
   /// needs to reach relay group R_{h+1}; h == K means next stop is dst.
   std::size_t hop = 0;
+  Time arrival = 0.0;        // when the current holder received the copy
   std::vector<NodeId> path;  // relays visited (r_1..)
   util::Bytes wire;          // current onion packet (kReal mode)
   bool crypto_ok = true;
   bool delivered = false;
+};
+
+// Observability handles shared by both protocols; inert when reg is null.
+struct RoutingMetrics {
+  metrics::CounterHandle forwards;
+  metrics::CounterHandle peels;
+  metrics::CounterHandle peel_failures;
+  metrics::CounterHandle tickets;
+  metrics::CounterHandle deliveries;
+  metrics::HistogramHandle hop_delay;
+
+  static RoutingMetrics resolve(metrics::Registry* reg) {
+    RoutingMetrics rm;
+    rm.forwards = metrics::counter(reg, "routing.forwards");
+    rm.peels = metrics::counter(reg, "routing.peels");
+    rm.peel_failures = metrics::counter(reg, "routing.peel_failures");
+    rm.tickets = metrics::counter(reg, "routing.tickets_spent");
+    rm.deliveries = metrics::counter(reg, "routing.deliveries");
+    rm.hop_delay = metrics::histogram(reg, "routing.hop_delay");
+    return rm;
+  }
 };
 
 }  // namespace
@@ -92,6 +114,7 @@ DeliveryResult SingleCopyOnionRouting::route(
   const Time deadline = spec.start + spec.ttl;
   NodeId holder = spec.src;
   Time now = spec.start;
+  RoutingMetrics rm = RoutingMetrics::resolve(ctx_.metrics);
 
   // Relay phase: hops through R_1..R_K.
   for (std::size_t hop = 0; hop < k; ++hop) {
@@ -103,11 +126,14 @@ DeliveryResult SingleCopyOnionRouting::route(
     if (!contact.has_value()) return result;  // deadline passed: Algorithm 1 FAIL
 
     NodeId receiver = contact->b;
+    rm.hop_delay.observe(contact->time - now);
     now = contact->time;
     ++result.transmissions;
+    rm.forwards.inc();
 
     if (cs.enabled) {
       util::Bytes received = cross_secure_link(cs, holder, receiver, wire);
+      rm.peels.inc();
       auto peeled = ctx_.codec->peel(
           received, ctx_.keys->group_key(result.relay_groups[hop]), cs.drbg);
       bool last = (hop + 1 == k);
@@ -123,6 +149,7 @@ DeliveryResult SingleCopyOnionRouting::route(
             peeled->next_group == dst_group));
       if (!expected) {
         cs.ok = false;
+        rm.peel_failures.inc();
       } else {
         wire = std::move(peeled->next_wire);
       }
@@ -137,15 +164,20 @@ DeliveryResult SingleCopyOnionRouting::route(
   if (!group_mode) {
     auto contact = contacts.first_contact(holder, {spec.dst}, now, deadline);
     if (!contact.has_value()) return result;
+    rm.hop_delay.observe(contact->time - now);
     now = contact->time;
     ++result.transmissions;
+    rm.forwards.inc();
     if (cs.enabled) {
       util::Bytes received = cross_secure_link(cs, holder, spec.dst, wire);
+      rm.peels.inc();
       auto final_layer =
           ctx_.codec->peel(received, ctx_.keys->inbox_key(spec.dst), cs.drbg);
-      cs.ok = cs.ok && final_layer.has_value() &&
-              final_layer->type == onion::Peeled::Type::kFinal &&
-              final_layer->payload == spec.payload;
+      bool final_ok = final_layer.has_value() &&
+                      final_layer->type == onion::Peeled::Type::kFinal &&
+                      final_layer->payload == spec.payload;
+      if (!final_ok) rm.peel_failures.inc();
+      cs.ok = cs.ok && final_ok;
     }
   } else {
     // Destination-group phase: the R_K relay hands the onion to *any*
@@ -162,13 +194,16 @@ DeliveryResult SingleCopyOnionRouting::route(
       auto contact = contacts.first_contact(holder, targets, now, deadline);
       if (!contact.has_value()) return result;
       NodeId receiver = contact->b;
+      rm.hop_delay.observe(contact->time - now);
       now = contact->time;
       ++result.transmissions;
+      rm.forwards.inc();
       if (group_layer_peeled) ++result.intra_group_hops;
 
       if (cs.enabled) {
         util::Bytes received = cross_secure_link(cs, holder, receiver, wire);
         if (!group_layer_peeled) {
+          rm.peels.inc();
           auto peeled =
               ctx_.codec->peel(received, ctx_.keys->group_key(dst_group),
                                cs.drbg);
@@ -176,6 +211,7 @@ DeliveryResult SingleCopyOnionRouting::route(
               peeled->type != onion::Peeled::Type::kDeliverGroup ||
               peeled->next_group != dst_group) {
             cs.ok = false;
+            rm.peel_failures.inc();
           } else {
             wire = std::move(peeled->next_wire);
           }
@@ -183,11 +219,14 @@ DeliveryResult SingleCopyOnionRouting::route(
           wire = std::move(received);
         }
         if (receiver == spec.dst) {
+          rm.peels.inc();
           auto final_layer = ctx_.codec->peel(
               wire, ctx_.keys->inbox_key(spec.dst), cs.drbg);
-          cs.ok = cs.ok && final_layer.has_value() &&
-                  final_layer->type == onion::Peeled::Type::kFinal &&
-                  final_layer->payload == spec.payload;
+          bool final_ok = final_layer.has_value() &&
+                          final_layer->type == onion::Peeled::Type::kFinal &&
+                          final_layer->payload == spec.payload;
+          if (!final_ok) rm.peel_failures.inc();
+          cs.ok = cs.ok && final_ok;
         }
       }
       group_layer_peeled = true;
@@ -199,6 +238,7 @@ DeliveryResult SingleCopyOnionRouting::route(
   result.delivered = true;
   result.delay = now - spec.start;
   result.crypto_verified = cs.enabled && cs.ok;
+  rm.deliveries.inc();
   return result;
 }
 
@@ -247,6 +287,7 @@ DeliveryResult MultiCopyOnionRouting::route(
 
   const Time deadline = spec.start + spec.ttl;
   Time now = spec.start;
+  RoutingMetrics rm = RoutingMetrics::resolve(ctx_.metrics);
 
   // Nodes that have ever held (or been handed) the message; Forward() in
   // Algorithm 2 declines peers that already have m.
@@ -265,6 +306,7 @@ DeliveryResult MultiCopyOnionRouting::route(
     Walker w;
     w.holder = spec.src;
     w.hop = 0;
+    w.arrival = spec.start;
     w.wire = original_wire;
     walkers.push_back(std::move(w));
   }
@@ -329,21 +371,26 @@ DeliveryResult MultiCopyOnionRouting::route(
     if (best->agent == -1) {
       // Source hands out one copy.
       ++result.transmissions;
+      rm.forwards.inc();
+      rm.tickets.inc();
       seen.insert(best->receiver);
       --source_tickets;
       if (source_tickets == 0) source_active = false;
 
       Walker w;
       w.holder = best->receiver;
+      w.arrival = now;
       w.wire = original_wire;
       if (mode_ == SprayMode::kDirectToFirstGroup) {
         // Receiver is a member of R_1 and peels layer 1 immediately.
         if (cs.enabled) {
           util::Bytes received =
               cross_secure_link(cs, spec.src, best->receiver, original_wire);
+          rm.peels.inc();
           auto peeled = ctx_.codec->peel(
               received, ctx_.keys->group_key(result.relay_groups[0]), cs.drbg);
           w.crypto_ok = peeled.has_value();
+          if (!peeled.has_value()) rm.peel_failures.inc();
           if (peeled.has_value()) w.wire = std::move(peeled->next_wire);
         }
         w.hop = 1;
@@ -364,24 +411,30 @@ DeliveryResult MultiCopyOnionRouting::route(
     Walker& w = walkers[static_cast<std::size_t>(best->agent)];
     NodeId receiver = best->receiver;
     ++result.transmissions;
+    rm.forwards.inc();
+    rm.hop_delay.observe(now - w.arrival);
     seen.insert(receiver);
 
     if (cs.enabled) {
       util::Bytes received = cross_secure_link(cs, w.holder, receiver, w.wire);
+      rm.peels.inc();
       if (w.hop < k) {
         auto peeled = ctx_.codec->peel(
             received, ctx_.keys->group_key(result.relay_groups[w.hop]), cs.drbg);
         if (!peeled.has_value()) {
           w.crypto_ok = false;
+          rm.peel_failures.inc();
         } else {
           w.wire = std::move(peeled->next_wire);
         }
       } else {
         auto final_layer =
             ctx_.codec->peel(received, ctx_.keys->inbox_key(spec.dst), cs.drbg);
-        w.crypto_ok = w.crypto_ok && final_layer.has_value() &&
-                      final_layer->type == onion::Peeled::Type::kFinal &&
-                      final_layer->payload == spec.payload;
+        bool final_ok = final_layer.has_value() &&
+                        final_layer->type == onion::Peeled::Type::kFinal &&
+                        final_layer->payload == spec.payload;
+        if (!final_ok) rm.peel_failures.inc();
+        w.crypto_ok = w.crypto_ok && final_ok;
       }
     }
 
@@ -389,10 +442,12 @@ DeliveryResult MultiCopyOnionRouting::route(
       w.path.push_back(receiver);
       result.relays_per_hop[w.hop].push_back(receiver);
       w.holder = receiver;
+      w.arrival = now;
       ++w.hop;
     } else {
       // Delivered to dst.
       w.delivered = true;
+      rm.deliveries.inc();
       if (!result.delivered) {
         result.delivered = true;
         result.delay = now - spec.start;

@@ -19,6 +19,7 @@
 #include "crypto/drbg.hpp"
 #include "groups/group_directory.hpp"
 #include "groups/key_manager.hpp"
+#include "metrics/metrics.hpp"
 #include "onion/onion.hpp"
 #include "routing/types.hpp"
 #include "sim/contact_model.hpp"
@@ -33,6 +34,11 @@ struct OnionContext {
   const groups::KeyManager* keys;
   const onion::OnionCodec* codec;
   CryptoMode crypto = CryptoMode::kNone;
+  /// Observability sink (see odtn::metrics). When non-null the protocols
+  /// record "routing.*" counters (forwards, peels, peel failures, spray
+  /// tickets, deliveries) and the "routing.hop_delay" histogram. Values are
+  /// simulated time, so they survive the deterministic fold. Null = off.
+  metrics::Registry* metrics = nullptr;
 };
 
 class SingleCopyOnionRouting {

@@ -56,6 +56,16 @@ struct Engine {
   std::vector<std::set<std::size_t>> holdings;  // node -> copy ids
   std::vector<std::size_t> load;                // node -> buffered items
 
+  // Observability handles (inert when config->metrics is null).
+  metrics::CounterHandle m_transfers;
+  metrics::CounterHandle m_rejections;
+  metrics::CounterHandle m_evictions;
+  metrics::CounterHandle m_expirations;
+  metrics::CounterHandle m_injection_failures;
+  metrics::CounterHandle m_deliveries;
+  metrics::HistogramHandle m_hop_delay;
+  metrics::HistogramHandle m_delivery_delay;
+
   // (deadline, kind, id): kind 0 = source token (id = msg), 1 = copy.
   using Expiry = std::tuple<Time, int, std::size_t>;
   std::priority_queue<Expiry, std::vector<Expiry>, std::greater<>> expiries;
@@ -74,6 +84,7 @@ struct Engine {
     if (config->policy == BufferPolicy::kRejectNew) {
       ++report.outcomes[msg].buffer_rejections;
       ++report.total_buffer_rejections;
+      m_rejections.inc();
       return false;
     }
     // kDropOldest: evict the relayed copy that has waited longest. Source
@@ -90,12 +101,14 @@ struct Engine {
     if (victim == SIZE_MAX) {
       ++report.outcomes[msg].buffer_rejections;
       ++report.total_buffer_rejections;
+      m_rejections.inc();
       return false;
     }
     copies[victim].alive = false;
     holdings[v].erase(victim);
     --load[v];
     ++report.evicted_copies;
+    m_evictions.inc();
     return true;
   }
 
@@ -107,6 +120,7 @@ struct Engine {
     const auto& msg = messages[m];
     if (buffer_full(msg.src)) {
       report.outcomes[m].injection_failed = true;
+      m_injection_failures.inc();
       return;
     }
     tokens[m].tickets = msg.copies;
@@ -125,12 +139,14 @@ struct Engine {
           tokens[id].alive = false;
           --load[messages[id].src];
           ++report.expired_copies;
+          m_expirations.inc();
         }
       } else if (copies[id].alive) {
         copies[id].alive = false;
         holdings[copies[id].holder].erase(id);
         --load[copies[id].holder];
         ++report.expired_copies;
+        m_expirations.inc();
       }
     }
   }
@@ -161,6 +177,8 @@ struct Engine {
       expiries.emplace(deadline_of(m), 1, id);
       ++report.outcomes[m].transmissions;
       ++report.total_transmissions;
+      m_transfers.inc();
+      m_hop_delay.observe(t - messages[m].start);
       if (--tokens[m].tickets == 0) {
         tokens[m].alive = false;
         --load[sender];
@@ -184,10 +202,14 @@ struct Engine {
         // Delivery: the destination consumes the message (no buffer cost).
         ++report.outcomes[m].transmissions;
         ++report.total_transmissions;
+        m_transfers.inc();
+        m_hop_delay.observe(t - c.arrival);
         seen[m].insert(receiver);
         if (!report.outcomes[m].delivered) {
           report.outcomes[m].delivered = true;
           report.outcomes[m].delay = t - messages[m].start;
+          m_deliveries.inc();
+          m_delivery_delay.observe(t - messages[m].start);
         }
         c.alive = false;
         holdings[sender].erase(id);
@@ -200,6 +222,8 @@ struct Engine {
       // Forward and free the sender's slot (single ticket per copy).
       ++report.outcomes[m].transmissions;
       ++report.total_transmissions;
+      m_transfers.inc();
+      m_hop_delay.observe(t - c.arrival);
       holdings[sender].erase(id);
       --load[sender];
       c.holder = receiver;
@@ -212,6 +236,17 @@ struct Engine {
   }
 
   NetworkSimReport run(util::Rng& rng) {
+    metrics::Registry* reg = config->metrics;
+    m_transfers = metrics::counter(reg, "sim.transfers");
+    m_rejections = metrics::counter(reg, "sim.buffer_rejections");
+    m_evictions = metrics::counter(reg, "sim.evictions");
+    m_expirations = metrics::counter(reg, "sim.expirations");
+    m_injection_failures = metrics::counter(reg, "sim.injection_failures");
+    m_deliveries = metrics::counter(reg, "sim.deliveries");
+    m_hop_delay = metrics::histogram(reg, "sim.hop_delay");
+    m_delivery_delay = metrics::histogram(reg, "sim.delivery_delay");
+    metrics::counter(reg, "sim.messages").inc(messages.size());
+
     report.outcomes.assign(messages.size(), {});
     tokens.assign(messages.size(), SourceToken{0, false});
     seen.assign(messages.size(), {});

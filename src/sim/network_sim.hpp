@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "groups/group_directory.hpp"
+#include "metrics/metrics.hpp"
 #include "routing/types.hpp"
 #include "trace/contact_trace.hpp"
 #include "util/ids.hpp"
@@ -38,6 +39,11 @@ struct NetworkSimConfig {
   /// analytical model's assumption).
   std::size_t buffer_capacity = 0;
   BufferPolicy policy = BufferPolicy::kRejectNew;
+  /// Observability sink (see odtn::metrics). When non-null the engine
+  /// records "sim.*" counters (transfers, buffer rejections, evictions,
+  /// expirations, deliveries) and the "sim.hop_delay" /
+  /// "sim.delivery_delay" histograms. Null = instrumentation off.
+  metrics::Registry* metrics = nullptr;
 };
 
 /// Messages share the routing-layer parameter block (src, dst, start, ttl,

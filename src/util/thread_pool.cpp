@@ -28,8 +28,15 @@ void ThreadPool::submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(job));
+    ++stats_.submitted;
+    stats_.peak_queue = std::max(stats_.peak_queue, queue_.size());
   }
   work_cv_.notify_one();
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 void ThreadPool::wait() {
@@ -62,12 +69,44 @@ void ThreadPool::worker_loop() {
 }
 
 void parallel_for(std::size_t n, std::size_t threads,
-                  const std::function<void(std::size_t)>& fn) {
+                  const std::function<void(std::size_t)>& fn,
+                  metrics::Registry* pool_metrics) {
   if (n == 0) return;
   if (threads == 0) threads = ThreadPool::hardware_threads();
   threads = std::min(threads, n);
+
+  // Per-task wall latency, written into fixed slots so aggregation needs no
+  // synchronization. Only sampled when the caller asked for pool metrics.
+  std::vector<double> task_seconds;
+  if (pool_metrics != nullptr) task_seconds.assign(n, 0.0);
+  auto run_task = [&](std::size_t i) {
+    if (pool_metrics == nullptr) {
+      fn(i);
+      return;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    fn(i);
+    task_seconds[i] = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  };
+
+  auto export_pool_metrics = [&](std::size_t workers,
+                                 std::size_t peak_queue) {
+    if (pool_metrics == nullptr) return;
+    metrics::counter(pool_metrics, "pool.tasks", metrics::Stability::kWall)
+        .inc(n);
+    metrics::gauge(pool_metrics, "pool.workers", metrics::Stability::kWall)
+        .set(static_cast<double>(workers));
+    metrics::gauge(pool_metrics, "pool.queue_peak", metrics::Stability::kWall)
+        .set_max(static_cast<double>(peak_queue));
+    auto latency = metrics::timer(pool_metrics, "pool.task_seconds");
+    for (double s : task_seconds) latency.observe(s);
+  };
+
   if (threads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) run_task(i);
+    export_pool_metrics(1, 0);
     return;
   }
 
@@ -79,7 +118,7 @@ void parallel_for(std::size_t n, std::size_t threads,
       std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        fn(i);
+        run_task(i);
       } catch (...) {
         std::call_once(error_once, [&] { error = std::current_exception(); });
       }
@@ -90,6 +129,7 @@ void parallel_for(std::size_t n, std::size_t threads,
   for (std::size_t t = 0; t + 1 < threads; ++t) pool.submit(drain);
   drain();
   pool.wait();
+  export_pool_metrics(threads, pool.stats().peak_queue);
   if (error) std::rethrow_exception(error);
 }
 

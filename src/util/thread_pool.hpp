@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "metrics/metrics.hpp"
+
 namespace odtn::util {
 
 class ThreadPool {
@@ -39,12 +41,22 @@ class ThreadPool {
   /// return 0 on exotic platforms).
   static std::size_t hardware_threads();
 
+  /// Scheduling statistics since construction (snapshot under the queue
+  /// lock). Scheduling-dependent by nature — export only as
+  /// metrics::Stability::kWall.
+  struct Stats {
+    std::size_t submitted = 0;
+    std::size_t peak_queue = 0;
+  };
+  Stats stats() const;
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  Stats stats_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers: queue non-empty or stopping
   std::condition_variable idle_cv_;   // wait(): queue empty and nothing running
   std::size_t in_flight_ = 0;
@@ -57,7 +69,13 @@ class ThreadPool {
 /// must be independent. Runs inline on the calling thread when a single
 /// worker suffices. The first exception thrown by any body is rethrown
 /// here after all workers drain.
+///
+/// When `pool_metrics` is non-null, per-task wall latency ("pool.task
+/// _seconds" timer), task count, worker count, and the pool's peak queue
+/// depth are recorded — all Stability::kWall, so a default MetricsWriter
+/// export stays deterministic.
 void parallel_for(std::size_t n, std::size_t threads,
-                  const std::function<void(std::size_t)>& fn);
+                  const std::function<void(std::size_t)>& fn,
+                  metrics::Registry* pool_metrics = nullptr);
 
 }  // namespace odtn::util

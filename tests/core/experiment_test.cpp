@@ -349,20 +349,5 @@ TEST(Experiment, ZeroRunsRejected) {
                std::invalid_argument);
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Experiment, DeprecatedWrappersMatchNewApi) {
-  auto cfg = small_config();
-  cfg.runs = 40;
-  expect_identical(run_random_graph_experiment(cfg), run_random(cfg));
-
-  auto trace = trace::make_cambridge_like(3);
-  ExperimentConfig tc;
-  tc.group_size = 1;
-  tc.runs = 20;
-  expect_identical(run_trace_experiment(tc, trace), run_on_trace(tc, trace));
-}
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace odtn::core

@@ -1,0 +1,124 @@
+// Accuracy of the log-bucketed Histogram against a distribution the repo
+// knows in closed form: the hypoexponential (sum of independent
+// exponentials), the delay law of a K-relay onion path. Samples are drawn
+// by summing per-stage exponentials, then Histogram quantiles are checked
+// against analysis::hypoexp_quantile and against the exact empirical
+// quantiles of the same sample.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/hypoexp.hpp"
+#include "metrics/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace odtn {
+namespace {
+
+using metrics::Histogram;
+
+// Bucket-midpoint quantiles carry two error sources: the bucket width
+// (≤ 12.5% relative, ±6.25% at the midpoint) and sampling noise at 20k
+// samples. 8% relative headroom covers both.
+constexpr double kRelTol = 0.08;
+
+std::vector<double> sample_hypoexp(const std::vector<double>& rates,
+                                   std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double t = 0.0;
+    for (double rate : rates) t += rng.exponential(rate);
+    samples.push_back(t);
+  }
+  return samples;
+}
+
+double exact_quantile(std::vector<double> sorted, double q) {
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+void expect_rel_near(double actual, double expected, double tol) {
+  ASSERT_GT(expected, 0.0);
+  EXPECT_NEAR(actual / expected, 1.0, tol)
+      << "actual " << actual << " vs expected " << expected;
+}
+
+TEST(HistogramAccuracy, HypoexpQuantilesWithinBucketError) {
+  // Three-stage path with distinct rates (the paper's heterogeneous-ICT
+  // regime); rates in 1/seconds around typical DTN contact rates.
+  const std::vector<double> rates = {1.0 / 120.0, 1.0 / 300.0, 1.0 / 90.0};
+  auto samples = sample_hypoexp(rates, 20000, 7);
+
+  Histogram h;
+  for (double s : samples) h.observe(s);
+  std::sort(samples.begin(), samples.end());
+
+  for (double q : {0.50, 0.90, 0.99}) {
+    double est = h.quantile(q);
+    // Against the exact empirical quantile of the very same sample: pure
+    // bucketing error, bounded by the bucket half-width.
+    expect_rel_near(est, exact_quantile(samples, q), 0.0700);
+    // Against the closed form: bucketing + sampling error.
+    expect_rel_near(est, analysis::hypoexp_quantile(rates, q), kRelTol);
+  }
+
+  // The histogram's moments are exact, not bucketed.
+  double mean = 0.0;
+  for (double s : samples) mean += s;
+  mean /= static_cast<double>(samples.size());
+  EXPECT_DOUBLE_EQ(h.mean(), mean);
+  EXPECT_DOUBLE_EQ(h.min(), samples.front());
+  EXPECT_DOUBLE_EQ(h.max(), samples.back());
+  // And the sample mean itself should sit near the analytic mean.
+  expect_rel_near(mean, analysis::hypoexp_mean(rates), 0.03);
+}
+
+TEST(HistogramAccuracy, SingleStageExponential) {
+  const std::vector<double> rates = {1.0 / 60.0};
+  auto samples = sample_hypoexp(rates, 20000, 11);
+  Histogram h;
+  for (double s : samples) h.observe(s);
+  for (double q : {0.50, 0.90, 0.99}) {
+    expect_rel_near(h.quantile(q), analysis::hypoexp_quantile(rates, q),
+                    kRelTol);
+  }
+}
+
+TEST(HistogramAccuracy, BucketIndexInvariants) {
+  // Every positive value falls inside its reported bucket bounds, and
+  // indices are monotone in the value.
+  int prev_index = -1;
+  for (double v = 1e-6; v < 1e7; v *= 1.37) {
+    int index = Histogram::bucket_index(v);
+    EXPECT_GE(index, prev_index);
+    prev_index = index;
+    double lo = 0.0, hi = 0.0;
+    Histogram::bucket_bounds(index, &lo, &hi);
+    EXPECT_LE(lo, v);
+    EXPECT_LT(v, hi);
+    // Relative bucket width never exceeds 12.5%.
+    EXPECT_LE((hi - lo) / lo, 0.125 + 1e-12);
+  }
+}
+
+TEST(HistogramAccuracy, BucketBoundsRoundTrip) {
+  // bucket_bounds(bucket_index(v)) must be stable: lo itself maps back to
+  // the same bucket.
+  for (double v : {0.001, 0.5, 1.0, 2.0, 3.75, 1000.0, 123456.789}) {
+    int index = Histogram::bucket_index(v);
+    double lo = 0.0, hi = 0.0;
+    Histogram::bucket_bounds(index, &lo, &hi);
+    EXPECT_EQ(Histogram::bucket_index(lo), index) << "v=" << v;
+    EXPECT_EQ(Histogram::bucket_index(hi), index + 1) << "v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Local CI: the tier-1 gate plus the ThreadSanitizer suite.
+#
+#   tools/ci.sh [JOBS]
+#
+# 1. Configures and builds the plain tree, runs the full ctest suite
+#    (the tier-1 gate from ROADMAP.md), then the metrics suite by label.
+# 2. Configures a -DODTN_SANITIZE=thread tree in build-tsan/, builds only
+#    the tsan-labelled test targets, and runs `ctest -L tsan` under TSan.
+#
+# Exits non-zero on the first failure.
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${1:-2}"
+
+echo "== tier-1: configure + build (${jobs} jobs) =="
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$jobs"
+
+echo "== tier-1: full test suite =="
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+echo "== metrics suite (ctest -L metrics) =="
+ctest --test-dir "$repo/build" -L metrics --output-on-failure -j "$jobs"
+
+echo "== tsan: configure + build labelled test targets =="
+cmake -B "$repo/build-tsan" -S "$repo" -DODTN_SANITIZE=thread
+cmake --build "$repo/build-tsan" -j "$jobs" --target \
+    thread_pool_test experiment_test contact_model_test network_sim_test \
+    metrics_determinism_test
+
+echo "== tsan: ctest -L tsan =="
+ctest --test-dir "$repo/build-tsan" -L tsan --output-on-failure -j "$jobs"
+
+echo "== ci.sh: all green =="
