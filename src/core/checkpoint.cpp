@@ -1,0 +1,264 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "metrics/writer.hpp"
+
+namespace odtn::core {
+
+namespace {
+
+constexpr const char* kMagic = "odtn.checkpoint.v1";
+
+struct StatField {
+  const char* name;
+  util::RunningStats ExperimentResult::*member;
+};
+
+constexpr StatField kStatFields[] = {
+    {"sim_delivered", &ExperimentResult::sim_delivered},
+    {"sim_delay", &ExperimentResult::sim_delay},
+    {"sim_transmissions", &ExperimentResult::sim_transmissions},
+    {"sim_traceable", &ExperimentResult::sim_traceable},
+    {"sim_anonymity", &ExperimentResult::sim_anonymity},
+    {"ana_delivery", &ExperimentResult::ana_delivery},
+    {"ana_traceable_paper", &ExperimentResult::ana_traceable_paper},
+    {"ana_traceable_exact", &ExperimentResult::ana_traceable_exact},
+    {"ana_anonymity", &ExperimentResult::ana_anonymity},
+    {"ana_cost_bound", &ExperimentResult::ana_cost_bound},
+    {"ana_cost_non_anonymous", &ExperimentResult::ana_cost_non_anonymous},
+};
+
+std::string fmt(double v) { return metrics::format_double(v); }
+
+/// Exact inverse of format_double: strtod of a shortest-round-trip string
+/// recovers the identical double.
+double parse_double(const std::string& token, const std::string& context) {
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  double v = std::strtod(begin, &end);
+  if (end != begin + token.size() || token.empty()) {
+    throw std::runtime_error("checkpoint: bad number '" + token + "' in " +
+                             context);
+  }
+  return v;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+[[noreturn]] void malformed(const std::string& line) {
+  throw std::runtime_error("checkpoint: malformed line '" + line + "'");
+}
+
+}  // namespace
+
+std::uint64_t checkpoint_config_hash(const ExperimentConfig& c,
+                                     const std::string& scenario_tag) {
+  std::ostringstream os;
+  os << scenario_tag << "|nodes=" << c.nodes << "|min_ict=" << fmt(c.min_ict)
+     << "|max_ict=" << fmt(c.max_ict) << "|g=" << c.group_size
+     << "|K=" << c.num_relays << "|L=" << c.copies << "|ttl=" << fmt(c.ttl)
+     << "|p=" << fmt(c.compromise_fraction)
+     << "|gap=" << fmt(c.trace_training_gap) << "|seed=" << c.seed
+     << "|crypto=" << static_cast<int>(c.crypto)
+     << "|spray=" << static_cast<int>(c.spray)
+     << "|metrics=" << (c.collect_metrics ? 1 : 0)
+     << "|f.up=" << fmt(c.faults.mean_uptime)
+     << "|f.down=" << fmt(c.faults.mean_downtime)
+     << "|f.pfail=" << fmt(c.faults.p_fail);
+  if (c.faults.gilbert_elliott.has_value()) {
+    const auto& ge = *c.faults.gilbert_elliott;
+    os << "|f.ge=" << fmt(ge.p_good_to_bad) << "," << fmt(ge.p_bad_to_good)
+       << "," << fmt(ge.p_fail_good) << "," << fmt(ge.p_fail_bad);
+  }
+  os << "|f.bh=" << fmt(c.faults.blackhole_fraction)
+     << "|f.abort=" << fmt(c.faults.p_run_abort);
+  return fnv1a(os.str());
+}
+
+void save_checkpoint(const std::string& path, std::uint64_t config_hash,
+                     const CheckpointData& data) {
+  const ExperimentResult& r = data.result;
+  std::ostringstream os;
+  os << kMagic << "\n";
+  os << "hash " << config_hash << "\n";
+  os << "completed " << data.completed_runs << "\n";
+  os << "delivered_runs " << r.delivered_runs << "\n";
+  for (const StatField& f : kStatFields) {
+    util::RunningStats::State s = (r.*(f.member)).state();
+    os << "stat " << f.name << " " << s.n << " " << fmt(s.mean) << " "
+       << fmt(s.m2) << " " << fmt(s.min) << " " << fmt(s.max) << "\n";
+  }
+  for (const ExperimentResult::FailedRun& fr : r.failed_runs) {
+    std::string msg = fr.message;
+    for (char& ch : msg) {
+      if (ch == '\n' || ch == '\r') ch = ' ';
+    }
+    os << "failed " << fr.run << " " << fr.seed << " " << msg << "\n";
+  }
+  for (const auto& [name, m] : r.metrics.entries()) {
+    os << "metric " << name << " " << static_cast<int>(m.kind) << " "
+       << static_cast<int>(m.stability);
+    switch (m.kind) {
+      case metrics::Kind::kCounter:
+        os << " " << m.counter;
+        break;
+      case metrics::Kind::kGauge:
+        os << " " << (m.gauge_set ? 1 : 0) << " " << fmt(m.gauge);
+        break;
+      case metrics::Kind::kHistogram:
+      case metrics::Kind::kTimer: {
+        const auto& buckets = m.hist.raw_buckets();
+        os << " " << m.hist.count() << " " << fmt(m.hist.sum()) << " "
+           << fmt(m.hist.min()) << " " << fmt(m.hist.max()) << " "
+           << buckets.size();
+        for (const auto& [index, n] : buckets) {
+          os << " " << index << " " << n;
+        }
+        break;
+      }
+    }
+    os << "\n";
+  }
+  os << "end\n";
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot open " + tmp +
+                               " for writing");
+    }
+    out << os.str();
+    out.flush();
+    if (!out) throw std::runtime_error("checkpoint: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("checkpoint: rename to " + path + " failed");
+  }
+}
+
+std::optional<CheckpointData> load_checkpoint(const std::string& path,
+                                              std::uint64_t config_hash) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;  // nothing to resume from
+
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw std::runtime_error("checkpoint: " + path +
+                             " is not an odtn.checkpoint.v1 file");
+  }
+
+  CheckpointData data;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "hash") {
+      std::uint64_t h = 0;
+      if (!(ls >> h)) malformed(line);
+      if (h != config_hash) {
+        throw std::runtime_error(
+            "checkpoint: " + path +
+            " was written by a different experiment configuration");
+      }
+    } else if (tag == "completed") {
+      if (!(ls >> data.completed_runs)) malformed(line);
+    } else if (tag == "delivered_runs") {
+      if (!(ls >> data.result.delivered_runs)) malformed(line);
+    } else if (tag == "stat") {
+      std::string name, mean, m2, mn, mx;
+      util::RunningStats::State s;
+      if (!(ls >> name >> s.n >> mean >> m2 >> mn >> mx)) malformed(line);
+      s.mean = parse_double(mean, line);
+      s.m2 = parse_double(m2, line);
+      s.min = parse_double(mn, line);
+      s.max = parse_double(mx, line);
+      bool known = false;
+      for (const StatField& f : kStatFields) {
+        if (name == f.name) {
+          data.result.*(f.member) = util::RunningStats::from_state(s);
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        throw std::runtime_error("checkpoint: unknown stat '" + name + "'");
+      }
+    } else if (tag == "failed") {
+      ExperimentResult::FailedRun fr;
+      if (!(ls >> fr.run >> fr.seed)) malformed(line);
+      std::getline(ls, fr.message);
+      if (!fr.message.empty() && fr.message.front() == ' ') {
+        fr.message.erase(fr.message.begin());
+      }
+      data.result.failed_runs.push_back(std::move(fr));
+    } else if (tag == "metric") {
+      std::string name;
+      int kind_i = 0, stability_i = 0;
+      if (!(ls >> name >> kind_i >> stability_i)) malformed(line);
+      metrics::Registry::Metric m;
+      m.kind = static_cast<metrics::Kind>(kind_i);
+      m.stability = static_cast<metrics::Stability>(stability_i);
+      switch (m.kind) {
+        case metrics::Kind::kCounter:
+          if (!(ls >> m.counter)) malformed(line);
+          break;
+        case metrics::Kind::kGauge: {
+          int set = 0;
+          std::string value;
+          if (!(ls >> set >> value)) malformed(line);
+          m.gauge_set = (set != 0);
+          m.gauge = parse_double(value, line);
+          break;
+        }
+        case metrics::Kind::kHistogram:
+        case metrics::Kind::kTimer: {
+          std::uint64_t count = 0;
+          std::string sum, mn, mx;
+          std::size_t n_buckets = 0;
+          if (!(ls >> count >> sum >> mn >> mx >> n_buckets)) malformed(line);
+          std::map<int, std::uint64_t> buckets;
+          for (std::size_t i = 0; i < n_buckets; ++i) {
+            int index = 0;
+            std::uint64_t n = 0;
+            if (!(ls >> index >> n)) malformed(line);
+            buckets[index] = n;
+          }
+          m.hist = metrics::Histogram::from_state(
+              count, parse_double(sum, line), parse_double(mn, line),
+              parse_double(mx, line), std::move(buckets));
+          break;
+        }
+        default:
+          malformed(line);
+      }
+      data.result.metrics.restore(name, m);
+    } else {
+      malformed(line);
+    }
+  }
+  if (!saw_end) {
+    throw std::runtime_error("checkpoint: " + path +
+                             " is truncated (no end marker)");
+  }
+  return data;
+}
+
+}  // namespace odtn::core

@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "faults/faults.hpp"
 #include "routing/onion_routing.hpp"
 #include "routing/types.hpp"
 
@@ -47,6 +49,26 @@ struct ExperimentConfig {
   /// are bit-identical at every thread count. Off by default: the engine
   /// then passes null sinks and instrumentation costs one dead branch.
   bool collect_metrics = false;
+
+  // Robustness (see odtn::faults). All-zero (the default) disables the
+  // fault layer entirely: no FaultPlan is built, the run RNG draws exactly
+  // the same sequence, and results are byte-identical to a fault-free
+  // build. When enabled, each run realizes its own plan seeded from the
+  // run's RNG stream, so faulty sweeps keep the bit-identical-at-any-
+  // thread-count guarantee.
+  faults::FaultConfig faults;
+
+  /// When non-empty, the engine writes a progress checkpoint (completed-run
+  /// count + folded stats + quarantine list) to this file atomically
+  /// (tmp + rename) after every `checkpoint_interval` runs.
+  std::string checkpoint_path;
+  /// Runs folded per checkpoint chunk (minimum 1).
+  std::size_t checkpoint_interval = 16;
+  /// Resume from checkpoint_path if it exists. The file is validated
+  /// against a hash of the outcome-determining config fields (protocol,
+  /// network, faults, seed, scenario — not runs/threads/checkpoint knobs);
+  /// a resumed sweep is byte-identical to an uninterrupted one.
+  bool resume = false;
 };
 
 }  // namespace odtn::core

@@ -1,10 +1,14 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "adversary/adversary.hpp"
+#include "core/checkpoint.hpp"
+#include "faults/faults.hpp"
 #include "analysis/anonymity.hpp"
 #include "analysis/cost.hpp"
 #include "analysis/delivery.hpp"
@@ -33,6 +37,8 @@ void ExperimentResult::merge(const ExperimentResult& other) {
   ana_cost_bound.merge(other.ana_cost_bound);
   ana_cost_non_anonymous.merge(other.ana_cost_non_anonymous);
   delivered_runs += other.delivered_runs;
+  failed_runs.insert(failed_runs.end(), other.failed_runs.begin(),
+                     other.failed_runs.end());
   metrics.merge(other.metrics);
 }
 
@@ -49,6 +55,10 @@ struct RunOutcome {
   double traceable = 0.0;   // delivered only
   double anonymity = 0.0;   // delivered only
   double ana_delivery = 0.0;
+  /// Quarantine: the run body threw. The run contributes only a FailedRun
+  /// record; every other field (including metrics) is dropped.
+  bool failed = false;
+  std::string error;
   /// Per-run metrics sink (empty unless config.collect_metrics); folded
   /// into ExperimentResult::metrics in run order.
   metrics::Registry metrics;
@@ -91,6 +101,18 @@ RunOutcome run_once(const ExperimentConfig& cfg, sim::ContactModel& contacts,
   // realization.
   std::vector<GroupId> relay_groups =
       directory.select_relay_groups(src, dst, cfg.num_relays, rng);
+
+  // One fresh fault realization per run, seeded from the run's RNG stream
+  // so faulty sweeps keep the derive_seed reproducibility story. The
+  // endpoints are exempt from the blackhole set (the knob measures relay
+  // droppers, not trivially-dead destinations). When faults are disabled no
+  // plan is built and no RNG is drawn — the fault-free path is untouched.
+  std::optional<faults::FaultPlan> fault_plan;
+  if (cfg.faults.enabled()) {
+    fault_plan.emplace(cfg.faults, n, start + cfg.ttl, rng.next(),
+                       std::vector<NodeId>{src, dst});
+    ctx.faults = &*fault_plan;
+  }
 
   routing::DeliveryResult result;
   if (cfg.copies == 1) {
@@ -164,58 +186,117 @@ AnalysisConstants analysis_constants(const ExperimentConfig& cfg,
 // randomness from the passed rng (seeded per run), record metrics only into
 // the passed per-run sink (null when collection is off), and must not touch
 // shared state.
+//
+// A throwing body quarantines its run (FailedRun record; the shard
+// continues and the fold skips it), so one poisoned realization cannot
+// abort a sweep. With config.checkpoint_path set, runs are processed in
+// checkpoint_interval-sized chunks and the folded state is snapshotted
+// after each chunk; chunking preserves the fold order, so the chunked
+// engine — and a resumed one — produces byte-identical results.
 template <typename RunBody>
 ExperimentResult run_engine(const ExperimentConfig& config, std::size_t n,
-                            const RunBody& body) {
+                            const char* scenario_tag, const RunBody& body) {
   if (config.runs == 0) {
     throw std::invalid_argument("experiment: runs must be >= 1");
   }
+  config.faults.validate();
   auto t0 = std::chrono::steady_clock::now();
   const bool collect = config.collect_metrics;
+  const bool checkpointing = !config.checkpoint_path.empty();
+  const std::uint64_t config_hash =
+      checkpointing ? checkpoint_config_hash(config, scenario_tag) : 0;
 
   // Wall-clock phase timers and pool stats land in this engine-local
   // registry (all Stability::kWall) and are merged into the result after
   // the deterministic fold.
   metrics::Registry engine_reg;
 
-  std::vector<RunOutcome> outcomes(config.runs);
-  {
-    metrics::ScopedTimer t(
-        metrics::timer(collect ? &engine_reg : nullptr,
-                       "experiment.phase.simulate_seconds"));
-    util::parallel_for(
-        config.runs, config.threads,
-        [&](std::size_t run) {
-          util::Rng rng(util::derive_seed(config.seed, run));
-          metrics::Registry reg;
-          RunOutcome o = body(run, rng, collect ? &reg : nullptr);
-          o.metrics = std::move(reg);
-          outcomes[run] = std::move(o);
-        },
-        collect ? &engine_reg : nullptr);
+  ExperimentResult out;
+  std::size_t start_run = 0;
+  if (checkpointing && config.resume) {
+    if (auto cp = load_checkpoint(config.checkpoint_path, config_hash)) {
+      if (cp->completed_runs > config.runs) {
+        throw std::runtime_error(
+            "experiment: checkpoint already covers more runs than requested");
+      }
+      start_run = cp->completed_runs;
+      out = std::move(cp->result);
+    }
   }
 
-  ExperimentResult out;
   AnalysisConstants k = analysis_constants(config, n);
-  {
-    metrics::ScopedTimer t(metrics::timer(
-        collect ? &engine_reg : nullptr, "experiment.phase.fold_seconds"));
-    for (const RunOutcome& o : outcomes) {
-      out.sim_delivered.add(o.delivered ? 1.0 : 0.0);
-      out.sim_transmissions.add(o.transmissions);
-      if (o.delivered) {
-        ++out.delivered_runs;
-        out.sim_delay.add(o.delay);
-        out.sim_traceable.add(o.traceable);
-        out.sim_anonymity.add(o.anonymity);
+  const std::size_t chunk_size =
+      checkpointing
+          ? std::max<std::size_t>(std::size_t{1}, config.checkpoint_interval)
+          : std::max<std::size_t>(std::size_t{1}, config.runs);
+
+  for (std::size_t chunk_start = start_run; chunk_start < config.runs;
+       chunk_start += chunk_size) {
+    const std::size_t count = std::min(chunk_size, config.runs - chunk_start);
+    std::vector<RunOutcome> outcomes(count);
+    {
+      metrics::ScopedTimer t(
+          metrics::timer(collect ? &engine_reg : nullptr,
+                         "experiment.phase.simulate_seconds"));
+      util::parallel_for(
+          count, config.threads,
+          [&](std::size_t slot) {
+            const std::size_t run = chunk_start + slot;
+            util::Rng rng(util::derive_seed(config.seed, run));
+            RunOutcome o;
+            metrics::Registry reg;
+            try {
+              if (config.faults.p_run_abort > 0.0 &&
+                  rng.chance(config.faults.p_run_abort)) {
+                throw faults::InjectedFault(
+                    "injected run abort (p_run_abort)");
+              }
+              o = body(run, rng, collect ? &reg : nullptr);
+              o.metrics = std::move(reg);
+            } catch (const std::exception& e) {
+              o = RunOutcome{};  // quarantine: drop partial samples/metrics
+              o.failed = true;
+              o.error = e.what();
+            }
+            outcomes[slot] = std::move(o);
+          },
+          collect ? &engine_reg : nullptr);
+    }
+
+    {
+      metrics::ScopedTimer t(metrics::timer(
+          collect ? &engine_reg : nullptr, "experiment.phase.fold_seconds"));
+      for (std::size_t slot = 0; slot < count; ++slot) {
+        const RunOutcome& o = outcomes[slot];
+        if (o.failed) {
+          const std::size_t run = chunk_start + slot;
+          out.failed_runs.push_back(
+              {run, util::derive_seed(config.seed, run), o.error});
+          continue;
+        }
+        out.sim_delivered.add(o.delivered ? 1.0 : 0.0);
+        out.sim_transmissions.add(o.transmissions);
+        if (o.delivered) {
+          ++out.delivered_runs;
+          out.sim_delay.add(o.delay);
+          out.sim_traceable.add(o.traceable);
+          out.sim_anonymity.add(o.anonymity);
+        }
+        out.ana_delivery.add(o.ana_delivery);
+        out.ana_traceable_paper.add(k.traceable_paper);
+        out.ana_traceable_exact.add(k.traceable_exact);
+        out.ana_anonymity.add(k.anonymity);
+        out.ana_cost_bound.add(k.cost_bound);
+        out.ana_cost_non_anonymous.add(k.cost_non_anonymous);
+        if (collect) out.metrics.merge(o.metrics);
       }
-      out.ana_delivery.add(o.ana_delivery);
-      out.ana_traceable_paper.add(k.traceable_paper);
-      out.ana_traceable_exact.add(k.traceable_exact);
-      out.ana_anonymity.add(k.anonymity);
-      out.ana_cost_bound.add(k.cost_bound);
-      out.ana_cost_non_anonymous.add(k.cost_non_anonymous);
-      if (collect) out.metrics.merge(o.metrics);
+    }
+
+    if (checkpointing) {
+      CheckpointData snapshot;
+      snapshot.completed_runs = chunk_start + count;
+      snapshot.result = out;  // engine_reg (wall-only) is deliberately absent
+      save_checkpoint(config.checkpoint_path, config_hash, snapshot);
     }
   }
   if (collect) out.metrics.merge(engine_reg);
@@ -250,7 +331,7 @@ ExperimentResult Experiment::run(const Scenario& scenario) const {
 ExperimentResult Experiment::run_random_graph(
     const RandomGraphScenario&) const {
   const ExperimentConfig& cfg = config_;
-  return run_engine(cfg, cfg.nodes,
+  return run_engine(cfg, cfg.nodes, "random_graph",
                     [&](std::size_t, util::Rng& rng, metrics::Registry* reg) {
     graph::ContactGraph graph = graph::random_contact_graph(
         cfg.nodes, rng, cfg.min_ict, cfg.max_ict);
@@ -282,7 +363,7 @@ ExperimentResult Experiment::run_trace(const TraceScenario& scenario) const {
   }();
 
   ExperimentResult result = run_engine(
-      cfg, trace.node_count(),
+      cfg, trace.node_count(), "trace",
       [&](std::size_t, util::Rng& rng, metrics::Registry* reg) {
         NodeId src, dst;
         pick_endpoints(rng, trace.node_count(), src, dst);

@@ -15,8 +15,11 @@
 // from (config, scenario) alone.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <string>
 #include <variant>
+#include <vector>
 
 #include "core/config.hpp"
 #include "metrics/metrics.hpp"
@@ -48,6 +51,18 @@ struct ExperimentResult {
   util::RunningStats ana_cost_non_anonymous;
 
   std::size_t delivered_runs = 0;
+
+  /// Quarantined runs: the run body threw (faults::InjectedFault from the
+  /// p_run_abort knob, a parser error, anything std::exception). The sweep
+  /// continues; a failed run contributes exactly this record — no samples,
+  /// no metrics — and the fold skips it deterministically, so results stay
+  /// bit-identical at every thread count. In run-index order.
+  struct FailedRun {
+    std::size_t run = 0;
+    std::uint64_t seed = 0;  // derive_seed(config.seed, run)
+    std::string message;
+  };
+  std::vector<FailedRun> failed_runs;
 
   /// Wall-clock seconds the engine spent producing this result (not merged;
   /// measured per engine invocation).

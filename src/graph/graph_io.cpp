@@ -26,17 +26,22 @@ ContactGraph parse_graph(const std::string& text) {
   std::size_t n = 0;
   bool have_header = false;
   std::size_t line_no = 0;
-  while (std::getline(is, line)) {
+  auto next_line = [&] {
+    if (!std::getline(is, line)) return false;
     ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
     auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
+    return true;
+  };
+  while (next_line()) {
     std::istringstream ls(line);
     std::string magic;
     if (!(ls >> magic)) continue;
     int version;
     if (magic != "odtn-graph" || !(ls >> version >> n) || version != 1) {
-      throw std::invalid_argument("parse_graph: bad header on line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": bad graph header");
     }
     have_header = true;
     break;
@@ -44,26 +49,23 @@ ContactGraph parse_graph(const std::string& text) {
   if (!have_header) throw std::invalid_argument("parse_graph: missing header");
 
   ContactGraph graph(n);
-  while (std::getline(is, line)) {
-    ++line_no;
-    auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
+  while (next_line()) {
     std::istringstream ls(line);
     long i, j;
     double rate;
     if (!(ls >> i)) continue;
     if (!(ls >> j >> rate)) {
-      throw std::invalid_argument("parse_graph: malformed line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": malformed edge (expected 'i j rate')");
     }
     if (i < 0 || j < 0 || static_cast<std::size_t>(i) >= n ||
         static_cast<std::size_t>(j) >= n) {
-      throw std::invalid_argument("parse_graph: unknown node on line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": unknown node");
     }
     if (graph.rate(static_cast<NodeId>(i), static_cast<NodeId>(j)) != 0.0) {
-      throw std::invalid_argument("parse_graph: duplicate edge on line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": duplicate edge");
     }
     graph.set_rate(static_cast<NodeId>(i), static_cast<NodeId>(j), rate);
   }
@@ -81,7 +83,12 @@ ContactGraph load_graph_file(const std::string& path) {
   if (!in) throw std::runtime_error("load_graph_file: cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse_graph(buf.str());
+  try {
+    return parse_graph(buf.str());
+  } catch (const std::invalid_argument& e) {
+    // One-line file:line diagnostic for CLI consumers.
+    throw std::invalid_argument(path + ": " + e.what());
+  }
 }
 
 }  // namespace odtn::graph

@@ -158,6 +158,10 @@ HistogramHandle Registry::timer(const std::string& name) {
   return HistogramHandle(&resolve(name, Kind::kTimer, Stability::kWall).hist);
 }
 
+void Registry::restore(const std::string& name, const Metric& metric) {
+  resolve(name, metric.kind, metric.stability) = metric;
+}
+
 void Registry::merge(const Registry& other) {
   for (const auto& [name, theirs] : other.metrics_) {
     Metric& ours = resolve(name, theirs.kind, theirs.stability);

@@ -75,6 +75,23 @@ class Histogram {
   /// [lo, hi) bounds of a bucket index.
   static void bucket_bounds(int index, double* lo, double* hi);
 
+  /// Raw sparse (bucket index → count) map — the checkpoint serialization
+  /// surface. Unlike buckets(), index keys round-trip exactly.
+  const std::map<int, std::uint64_t>& raw_buckets() const { return counts_; }
+  /// Rebuilds a histogram from checkpointed state (exact inverse of
+  /// reading count()/sum()/min()/max()/raw_buckets()).
+  static Histogram from_state(std::uint64_t count, double sum, double min,
+                              double max,
+                              std::map<int, std::uint64_t> buckets) {
+    Histogram h;
+    h.count_ = count;
+    h.sum_ = sum;
+    h.min_ = min;
+    h.max_ = max;
+    h.counts_ = std::move(buckets);
+    return h;
+  }
+
  private:
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -230,6 +247,11 @@ class Registry {
   };
   /// Metrics in name order (std::map), which fixes the export byte order.
   const std::map<std::string, Metric>& entries() const { return metrics_; }
+
+  /// Installs a metric with an exact value (checkpoint restore). Re-raises
+  /// the usual kind-conflict std::logic_error if `name` already resolved to
+  /// a different kind.
+  void restore(const std::string& name, const Metric& metric);
 
  private:
   Metric& resolve(const std::string& name, Kind kind, Stability stability);

@@ -1,10 +1,12 @@
 #include "routing/onion_routing.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "crypto/aead.hpp"
+#include "faults/faults.hpp"
 
 namespace odtn::routing {
 
@@ -44,6 +46,8 @@ struct Walker {
   util::Bytes wire;          // current onion packet (kReal mode)
   bool crypto_ok = true;
   bool delivered = false;
+  bool lost = false;      // copy destroyed by a fault (crash or blackhole)
+  Time retry_from = 0.0;  // after a failed transfer, re-query from here
 };
 
 // Observability handles shared by both protocols; inert when reg is null.
@@ -66,6 +70,34 @@ struct RoutingMetrics {
     return rm;
   }
 };
+
+// Fault-event counters, resolved only when a FaultPlan is attached so a
+// fault-free run's metrics export carries no faults.* entries.
+struct FaultMetrics {
+  metrics::CounterHandle suppressed;
+  metrics::CounterHandle transfer_failures;
+  metrics::CounterHandle lost_to_crash;
+  metrics::CounterHandle blackhole_absorbed;
+  metrics::CounterHandle source_flushes;
+
+  static FaultMetrics resolve(const OnionContext& ctx) {
+    FaultMetrics fm;
+    if (ctx.faults == nullptr) return fm;
+    metrics::Registry* reg = ctx.metrics;
+    fm.suppressed = metrics::counter(reg, "faults.contacts_suppressed");
+    fm.transfer_failures = metrics::counter(reg, "faults.transfer_failures");
+    fm.lost_to_crash = metrics::counter(reg, "faults.copies_lost_to_crash");
+    fm.blackhole_absorbed = metrics::counter(reg, "faults.blackhole_absorbed");
+    fm.source_flushes = metrics::counter(reg, "faults.source_flushes");
+    return fm;
+  }
+};
+
+// Smallest representable time strictly after t: after a suppressed or
+// failed contact the protocol re-queries from here, so a trace replay
+// moves past the consumed event while the (memoryless) Poisson model is
+// unaffected.
+Time skip_past(Time t) { return std::nextafter(t, kTimeInfinity); }
 
 }  // namespace
 
@@ -114,7 +146,38 @@ DeliveryResult SingleCopyOnionRouting::route(
   const Time deadline = spec.start + spec.ttl;
   NodeId holder = spec.src;
   Time now = spec.start;
+  Time hold_since = spec.start;  // when `holder` received the copy
   RoutingMetrics rm = RoutingMetrics::resolve(ctx_.metrics);
+  faults::FaultPlan* fp = ctx_.faults;
+  FaultMetrics fm = FaultMetrics::resolve(ctx_);
+
+  // Finds the holder's next usable contact: skips contacts with a
+  // powered-down endpoint and retries failed transfers at the next
+  // contact. Returns nullopt when the deadline passes or the holder
+  // crash-reboots first (its buffered onion state is flushed, not leaked).
+  auto next_good_contact = [&](NodeId from, const std::vector<NodeId>& targets,
+                               Time after) -> std::optional<sim::CrossContact> {
+    for (;;) {
+      auto contact = contacts.first_contact(from, targets, after, deadline);
+      if (fp == nullptr || !contact.has_value()) return contact;
+      const Time t = contact->time;
+      if (fp->crashed_in(from, hold_since, t)) {
+        fm.lost_to_crash.inc();
+        return std::nullopt;  // copy lost in the crash
+      }
+      if (!fp->node_up(from, t) || !fp->node_up(contact->b, t)) {
+        fm.suppressed.inc();
+        after = skip_past(t);
+        continue;
+      }
+      if (fp->transfer_fails(from, contact->b)) {
+        fm.transfer_failures.inc();
+        after = skip_past(t);
+        continue;
+      }
+      return contact;
+    }
+  };
 
   // Relay phase: hops through R_1..R_K.
   for (std::size_t hop = 0; hop < k; ++hop) {
@@ -122,7 +185,7 @@ DeliveryResult SingleCopyOnionRouting::route(
     for (NodeId m : dir.members(result.relay_groups[hop])) {
       if (m != holder) targets.push_back(m);
     }
-    auto contact = contacts.first_contact(holder, targets, now, deadline);
+    auto contact = next_good_contact(holder, targets, now);
     if (!contact.has_value()) return result;  // deadline passed: Algorithm 1 FAIL
 
     NodeId receiver = contact->b;
@@ -157,12 +220,17 @@ DeliveryResult SingleCopyOnionRouting::route(
 
     result.relay_path.push_back(receiver);
     result.relays_per_hop[hop].push_back(receiver);
+    if (fp != nullptr && fp->is_blackhole(receiver)) {
+      fm.blackhole_absorbed.inc();
+      return result;  // the relay accepts the copy but never forwards it
+    }
     holder = receiver;
+    hold_since = now;
   }
 
   // Delivery phase.
   if (!group_mode) {
-    auto contact = contacts.first_contact(holder, {spec.dst}, now, deadline);
+    auto contact = next_good_contact(holder, {spec.dst}, now);
     if (!contact.has_value()) return result;
     rm.hop_delay.observe(contact->time - now);
     now = contact->time;
@@ -191,7 +259,7 @@ DeliveryResult SingleCopyOnionRouting::route(
       for (NodeId m : dir.members(dst_group)) {
         if (m != holder && visited.count(m) == 0) targets.push_back(m);
       }
-      auto contact = contacts.first_contact(holder, targets, now, deadline);
+      auto contact = next_good_contact(holder, targets, now);
       if (!contact.has_value()) return result;
       NodeId receiver = contact->b;
       rm.hop_delay.observe(contact->time - now);
@@ -231,7 +299,12 @@ DeliveryResult SingleCopyOnionRouting::route(
       }
       group_layer_peeled = true;
       visited.insert(receiver);
+      if (receiver != spec.dst && fp != nullptr && fp->is_blackhole(receiver)) {
+        fm.blackhole_absorbed.inc();
+        return result;  // absorbed inside the destination group
+      }
       holder = receiver;
+      hold_since = now;
     }
   }
 
@@ -288,6 +361,9 @@ DeliveryResult MultiCopyOnionRouting::route(
   const Time deadline = spec.start + spec.ttl;
   Time now = spec.start;
   RoutingMetrics rm = RoutingMetrics::resolve(ctx_.metrics);
+  faults::FaultPlan* fp = ctx_.faults;
+  FaultMetrics fm = FaultMetrics::resolve(ctx_);
+  Time source_retry_from = spec.start;
 
   // Nodes that have ever held (or been handed) the message; Forward() in
   // Algorithm 2 declines peers that already have m.
@@ -354,13 +430,14 @@ DeliveryResult MultiCopyOnionRouting::route(
     std::optional<Pending> best;
 
     if (source_active) {
-      auto ev = contacts.first_contact(spec.src, spray_targets(), now, deadline);
+      auto ev = contacts.first_contact(spec.src, spray_targets(),
+                                       std::max(now, source_retry_from), deadline);
       if (ev.has_value()) best = Pending{ev->time, -1, ev->b};
     }
     for (std::size_t i = 0; i < walkers.size(); ++i) {
-      if (walkers[i].delivered) continue;
+      if (walkers[i].delivered || walkers[i].lost) continue;
       auto ev = contacts.first_contact(walkers[i].holder, walker_targets(walkers[i]),
-                                       now, deadline);
+                                       std::max(now, walkers[i].retry_from), deadline);
       if (ev.has_value() && (!best || ev->time < best->time)) {
         best = Pending{ev->time, static_cast<int>(i), ev->b};
       }
@@ -369,6 +446,28 @@ DeliveryResult MultiCopyOnionRouting::route(
     now = best->time;
 
     if (best->agent == -1) {
+      if (fp != nullptr) {
+        if (fp->crashed_in(spec.src, spec.start, now)) {
+          // The source crash-rebooted: its remaining spray tickets (copies
+          // it had yet to hand out) were flushed with its buffer.
+          fm.source_flushes.inc();
+          source_tickets = 0;
+          source_active = false;
+          continue;
+        }
+        if (!fp->node_up(spec.src, now) || !fp->node_up(best->receiver, now)) {
+          fm.suppressed.inc();
+          source_retry_from = skip_past(now);
+          continue;
+        }
+        if (fp->transfer_fails(spec.src, best->receiver)) {
+          // Failed handoff: the spray ticket is NOT consumed; the source
+          // retries at its next contact.
+          fm.transfer_failures.inc();
+          source_retry_from = skip_past(now);
+          continue;
+        }
+      }
       // Source hands out one copy.
       ++result.transmissions;
       rm.forwards.inc();
@@ -403,6 +502,12 @@ DeliveryResult MultiCopyOnionRouting::route(
         }
         w.hop = 0;
       }
+      if (fp != nullptr && fp->is_blackhole(best->receiver)) {
+        // The receiver banks the copy forever: the ticket is spent and the
+        // peer counts as holding m, but no live walker results.
+        fm.blackhole_absorbed.inc();
+        w.lost = true;
+      }
       walkers.push_back(std::move(w));
       continue;
     }
@@ -410,6 +515,23 @@ DeliveryResult MultiCopyOnionRouting::route(
     // A walker forwards its copy.
     Walker& w = walkers[static_cast<std::size_t>(best->agent)];
     NodeId receiver = best->receiver;
+    if (fp != nullptr) {
+      if (fp->crashed_in(w.holder, w.arrival, now)) {
+        fm.lost_to_crash.inc();
+        w.lost = true;  // the holder's buffered copy died in the crash
+        continue;
+      }
+      if (!fp->node_up(w.holder, now) || !fp->node_up(receiver, now)) {
+        fm.suppressed.inc();
+        w.retry_from = skip_past(now);
+        continue;
+      }
+      if (fp->transfer_fails(w.holder, receiver)) {
+        fm.transfer_failures.inc();
+        w.retry_from = skip_past(now);
+        continue;
+      }
+    }
     ++result.transmissions;
     rm.forwards.inc();
     rm.hop_delay.observe(now - w.arrival);
@@ -444,6 +566,10 @@ DeliveryResult MultiCopyOnionRouting::route(
       w.holder = receiver;
       w.arrival = now;
       ++w.hop;
+      if (fp != nullptr && fp->is_blackhole(receiver)) {
+        fm.blackhole_absorbed.inc();
+        w.lost = true;  // relay accepts the copy but never forwards it
+      }
     } else {
       // Delivered to dst.
       w.delivered = true;

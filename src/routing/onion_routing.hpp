@@ -25,6 +25,10 @@
 #include "sim/contact_model.hpp"
 #include "util/rng.hpp"
 
+namespace odtn::faults {
+class FaultPlan;
+}
+
 namespace odtn::routing {
 
 /// Context shared by the onion protocols: group membership, keys, codec.
@@ -39,6 +43,15 @@ struct OnionContext {
   /// tickets, deliveries) and the "routing.hop_delay" histogram. Values are
   /// simulated time, so they survive the deterministic fold. Null = off.
   metrics::Registry* metrics = nullptr;
+  /// Fault model (see odtn::faults), typically one plan per experiment
+  /// run. The protocols react robustly: a failed mid-contact transfer
+  /// consumes no spray ticket and is retried at the next contact, a
+  /// contact with a powered-down peer is skipped, a crash-reboot of the
+  /// current holder loses the copy (onion state is flushed, not leaked),
+  /// and a blackhole relay absorbs the copy. Null = fault-free; the
+  /// protocols then perform no fault branches or RNG draws, keeping
+  /// results byte-identical to a build without the fault layer.
+  faults::FaultPlan* faults = nullptr;
 };
 
 class SingleCopyOnionRouting {

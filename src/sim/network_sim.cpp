@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "faults/faults.hpp"
+
 namespace odtn::sim {
 
 double NetworkSimReport::delivery_rate() const {
@@ -65,6 +67,13 @@ struct Engine {
   metrics::CounterHandle m_deliveries;
   metrics::HistogramHandle m_hop_delay;
   metrics::HistogramHandle m_delivery_delay;
+  // Fault accounting (resolved only when a FaultPlan is attached, so the
+  // fault-free metrics export stays byte-identical).
+  metrics::CounterHandle m_suppressed;
+  metrics::CounterHandle m_transfer_failures;
+  metrics::CounterHandle m_crash_flushed;
+  metrics::CounterHandle m_blackhole_absorbed;
+  std::size_t crash_cursor = 0;
 
   // (deadline, kind, id): kind 0 = source token (id = msg), 1 = copy.
   using Expiry = std::tuple<Time, int, std::size_t>;
@@ -151,6 +160,35 @@ struct Engine {
     }
   }
 
+  // Crash-reboots up to (and including) time t: the crashed node's
+  // buffered copies — relayed copies and its own spray state — are
+  // flushed. Lost, not leaked: a flushed copy simply ceases to exist.
+  void flush_crashes_until(Time t) {
+    const auto& events = config->faults->crashes();
+    while (crash_cursor < events.size() &&
+           events[crash_cursor].time <= t) {
+      NodeId v = events[crash_cursor].node;
+      ++crash_cursor;
+      std::vector<std::size_t> ids(holdings[v].begin(), holdings[v].end());
+      for (std::size_t id : ids) {
+        if (!copies[id].alive) continue;
+        copies[id].alive = false;
+        holdings[v].erase(id);
+        --load[v];
+        ++report.crash_flushed_copies;
+        m_crash_flushed.inc();
+      }
+      for (std::size_t m = 0; m < messages.size(); ++m) {
+        if (tokens[m].alive && messages[m].src == v) {
+          tokens[m].alive = false;
+          --load[v];
+          ++report.crash_flushed_copies;
+          m_crash_flushed.inc();
+        }
+      }
+    }
+  }
+
   // Whether `receiver` is a valid next hop for message m at `hop`.
   bool qualifies(std::size_t m, std::size_t hop, NodeId receiver) const {
     const auto& msg = messages[m];
@@ -163,11 +201,22 @@ struct Engine {
 
   // Attempts every transfer from `sender` to `receiver` at time t.
   void transfer_direction(NodeId sender, NodeId receiver, Time t) {
+    faults::FaultPlan* fp = config->faults;
+    // Blackholes accept copies but never forward them.
+    if (fp != nullptr && fp->is_blackhole(sender)) return;
+
     // Source token: hand a fresh copy into R_1.
     for (std::size_t m = 0; m < messages.size(); ++m) {
       if (!tokens[m].alive || messages[m].src != sender) continue;
       if (t > deadline_of(m)) continue;
       if (!qualifies(m, 0, receiver)) continue;
+      // A failed handoff consumes no spray ticket and leaves the receiver
+      // eligible for a retry at the next contact.
+      if (fp != nullptr && fp->transfer_fails(sender, receiver)) {
+        ++report.transfer_failures;
+        m_transfer_failures.inc();
+        continue;
+      }
       if (!make_room(receiver, m)) continue;
       std::size_t id = copies.size();
       copies.push_back({m, 1, receiver, t, true});
@@ -179,6 +228,10 @@ struct Engine {
       ++report.total_transmissions;
       m_transfers.inc();
       m_hop_delay.observe(t - messages[m].start);
+      if (fp != nullptr && fp->is_blackhole(receiver)) {
+        ++report.blackhole_absorbed;
+        m_blackhole_absorbed.inc();
+      }
       if (--tokens[m].tickets == 0) {
         tokens[m].alive = false;
         --load[sender];
@@ -197,6 +250,12 @@ struct Engine {
       std::size_t m = c.msg;
       if (t > deadline_of(m)) continue;
       if (!qualifies(m, c.hop, receiver)) continue;
+      // Mid-contact failure: the sender keeps its copy; retry later.
+      if (fp != nullptr && fp->transfer_fails(sender, receiver)) {
+        ++report.transfer_failures;
+        m_transfer_failures.inc();
+        continue;
+      }
 
       if (receiver == messages[m].dst && c.hop == messages[m].num_relays) {
         // Delivery: the destination consumes the message (no buffer cost).
@@ -232,6 +291,10 @@ struct Engine {
       holdings[receiver].insert(id);
       ++load[receiver];
       seen[m].insert(receiver);
+      if (fp != nullptr && fp->is_blackhole(receiver)) {
+        ++report.blackhole_absorbed;
+        m_blackhole_absorbed.inc();
+      }
     }
   }
 
@@ -246,6 +309,16 @@ struct Engine {
     m_hop_delay = metrics::histogram(reg, "sim.hop_delay");
     m_delivery_delay = metrics::histogram(reg, "sim.delivery_delay");
     metrics::counter(reg, "sim.messages").inc(messages.size());
+    if (config->faults != nullptr) {
+      // Resolved only under an active fault plan so the fault-free metrics
+      // export carries no faults.* entries (byte-identity contract).
+      m_suppressed = metrics::counter(reg, "faults.contacts_suppressed");
+      m_transfer_failures = metrics::counter(reg, "faults.transfer_failures");
+      m_crash_flushed = metrics::counter(reg, "faults.crash_flushed_copies");
+      m_blackhole_absorbed = metrics::counter(reg, "faults.blackhole_absorbed");
+      metrics::counter(reg, "faults.blackhole_nodes")
+          .inc(config->faults->blackhole_count());
+    }
 
     report.outcomes.assign(messages.size(), {});
     tokens.assign(messages.size(), SourceToken{0, false});
@@ -267,15 +340,26 @@ struct Engine {
       return messages[a].start < messages[b].start;
     });
 
+    faults::FaultPlan* fp = config->faults;
     std::size_t next_injection = 0;
     for (const auto& event : trace->events()) {
       while (next_injection < order.size() &&
              messages[order[next_injection]].start <= event.time) {
         expire_until(messages[order[next_injection]].start);
+        if (fp != nullptr) flush_crashes_until(messages[order[next_injection]].start);
         inject(order[next_injection]);
         ++next_injection;
       }
       expire_until(event.time);
+      if (fp != nullptr) {
+        flush_crashes_until(event.time);
+        if (!fp->node_up(event.a, event.time) ||
+            !fp->node_up(event.b, event.time)) {
+          ++report.suppressed_contacts;
+          m_suppressed.inc();
+          continue;
+        }
+      }
       transfer_direction(event.a, event.b, event.time);
       transfer_direction(event.b, event.a, event.time);
     }
@@ -297,6 +381,10 @@ NetworkSimReport run_network_sim(const trace::ContactTrace& trace,
                                  util::Rng& rng) {
   if (trace.node_count() != directory.node_count()) {
     throw std::invalid_argument("run_network_sim: node count mismatch");
+  }
+  if (config.faults != nullptr &&
+      config.faults->node_count() != trace.node_count()) {
+    throw std::invalid_argument("run_network_sim: fault plan node count mismatch");
   }
   for (const auto& m : messages) {
     if (m.src == m.dst) {

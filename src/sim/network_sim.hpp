@@ -24,6 +24,10 @@
 #include "util/ids.hpp"
 #include "util/rng.hpp"
 
+namespace odtn::faults {
+class FaultPlan;
+}
+
 namespace odtn::sim {
 
 /// What a full node does when offered another message (classic DTN buffer
@@ -44,6 +48,15 @@ struct NetworkSimConfig {
   /// expirations, deliveries) and the "sim.hop_delay" /
   /// "sim.delivery_delay" histograms. Null = instrumentation off.
   metrics::Registry* metrics = nullptr;
+  /// Fault model consulted at contact time (see odtn::faults): contacts
+  /// with a powered-down endpoint are suppressed, crash-reboots flush the
+  /// crashed node's buffered copies, each attempted transfer may fail
+  /// (sender keeps its copy and its spray ticket), and blackhole nodes
+  /// accept copies but never forward them. Null = fault-free (the
+  /// engine's behavior and RNG draw order are then byte-identical to a
+  /// build without the fault layer). Mutable because the per-link loss
+  /// processes advance state as the simulation queries them.
+  faults::FaultPlan* faults = nullptr;
 };
 
 /// Messages share the routing-layer parameter block (src, dst, start, ttl,
@@ -71,6 +84,15 @@ struct NetworkSimReport {
   std::size_t expired_copies = 0;
   /// Copies evicted by BufferPolicy::kDropOldest.
   std::size_t evicted_copies = 0;
+  // Fault accounting (all zero when NetworkSimConfig::faults is null).
+  /// Contacts skipped because an endpoint was powered down.
+  std::size_t suppressed_contacts = 0;
+  /// Attempted transfers that failed mid-contact.
+  std::size_t transfer_failures = 0;
+  /// Buffered copies (including spray state) flushed by crash-reboots.
+  std::size_t crash_flushed_copies = 0;
+  /// Copies handed to blackhole nodes (absorbed, never forwarded).
+  std::size_t blackhole_absorbed = 0;
 
   double delivery_rate() const;
   double mean_delay() const;  // over delivered messages

@@ -8,6 +8,17 @@
 
 namespace odtn::trace {
 
+namespace {
+
+// getline leaves the '\r' of a CRLF line ending in place; strip it so
+// Windows-authored trace files parse, and so string fields (e.g. the ONE
+// report's "up"/"down") don't capture a stray carriage return.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace
+
 ContactTrace::ContactTrace(std::size_t node_count,
                            std::vector<ContactEvent> events)
     : node_count_(node_count), events_(std::move(events)) {
@@ -118,6 +129,7 @@ ContactTrace parse_trace(const std::string& text, std::size_t node_count) {
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
+    strip_cr(line);
     auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream ls(line);
@@ -125,12 +137,12 @@ ContactTrace parse_trace(const std::string& text, std::size_t node_count) {
     long a, b;
     if (!(ls >> t)) continue;  // blank or comment-only line
     if (!(ls >> a >> b)) {
-      throw std::invalid_argument("parse_trace: malformed line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": malformed contact (expected 'time a b')");
     }
     if (a < 0 || b < 0) {
-      throw std::invalid_argument("parse_trace: negative node id on line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": negative node id");
     }
     events.push_back({t, static_cast<NodeId>(a), static_cast<NodeId>(b)});
   }
@@ -145,6 +157,7 @@ ContactTrace parse_crawdad_trace(const std::string& text,
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
+    strip_cr(line);
     auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream ls(line);
@@ -152,16 +165,17 @@ ContactTrace parse_crawdad_trace(const std::string& text,
     double start, end;
     if (!(ls >> id1)) continue;  // blank line
     if (!(ls >> id2 >> start >> end)) {
-      throw std::invalid_argument("parse_crawdad_trace: malformed line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument(
+          "line " + std::to_string(line_no) +
+          ": malformed contact (expected 'id1 id2 start end')");
     }
     if (id1 < 1 || id2 < 1) {
-      throw std::invalid_argument("parse_crawdad_trace: ids are 1-based; line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": crawdad ids are 1-based");
     }
     if (end < start) {
-      throw std::invalid_argument("parse_crawdad_trace: end < start on line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": contact end < start");
     }
     // Drop external/stationary devices, as the paper does.
     if (static_cast<std::size_t>(id1) > node_count ||
@@ -183,6 +197,7 @@ ContactTrace parse_one_report(const std::string& text,
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
+    strip_cr(line);
     auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream ls(line);
@@ -193,17 +208,17 @@ ContactTrace parse_one_report(const std::string& text,
     long a, b;
     std::string state;
     if (!(ls >> a >> b >> state)) {
-      throw std::invalid_argument("parse_one_report: malformed CONN line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": malformed CONN event");
     }
     if (state != "up" && state != "down") {
-      throw std::invalid_argument("parse_one_report: bad state on line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": CONN state must be up or down");
     }
     if (state != "up") continue;
     if (a < 0 || b < 0) {
-      throw std::invalid_argument("parse_one_report: negative id on line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": negative node id");
     }
     if (static_cast<std::size_t>(a) >= node_count ||
         static_cast<std::size_t>(b) >= node_count || a == b) {
@@ -219,7 +234,13 @@ ContactTrace load_trace_file(const std::string& path, std::size_t node_count) {
   if (!in) throw std::runtime_error("load_trace_file: cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse_trace(buf.str(), node_count);
+  try {
+    return parse_trace(buf.str(), node_count);
+  } catch (const std::invalid_argument& e) {
+    // Re-point the parser's "line N: ..." diagnostic at the file it came
+    // from, giving callers a one-line file:line message.
+    throw std::invalid_argument(path + ": " + e.what());
+  }
 }
 
 std::string format_trace(const ContactTrace& trace) {

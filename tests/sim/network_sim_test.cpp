@@ -236,6 +236,47 @@ TEST(NetworkSim, DropOldestThrashesAtTinyBuffers) {
   EXPECT_NEAR(drp6.delivery_rate(), rej6.delivery_rate(), 0.05);
 }
 
+TEST(NetworkSim, DropOldestEvictionCountMatchesMetric) {
+  // Sustained buffer pressure: the sim.evictions counter and the report's
+  // evicted_copies must agree exactly, and the delivered set must be a
+  // deterministic function of the seed (same seed, same outcomes — the
+  // property the experiment engine's thread-identity tests build on).
+  util::Rng rng(17);
+  auto graph = graph::random_contact_graph(30, rng, 5.0, 40.0);
+  auto trace = trace::sample_poisson_trace(graph, 2000.0, rng);
+  groups::GroupDirectory dir(30, 5, &rng);
+  std::vector<InjectedMessage> messages;
+  for (int i = 0; i < 200; ++i) {
+    InjectedMessage m;
+    m.src = static_cast<NodeId>(rng.below(30));
+    m.dst = static_cast<NodeId>(rng.below(29));
+    if (m.dst >= m.src) ++m.dst;
+    m.start = rng.uniform(0.0, 200.0);
+    m.ttl = 1500.0;
+    messages.push_back(m);
+  }
+  NetworkSimConfig cfg;
+  cfg.buffer_capacity = 2;
+  cfg.policy = BufferPolicy::kDropOldest;
+
+  metrics::Registry reg;
+  cfg.metrics = &reg;
+  util::Rng r1(18);
+  auto first = run_network_sim(trace, dir, messages, cfg, r1);
+  EXPECT_GT(first.evicted_copies, 0u);
+  EXPECT_EQ(reg.entries().at("sim.evictions").counter, first.evicted_copies);
+
+  cfg.metrics = nullptr;
+  util::Rng r2(18);
+  auto second = run_network_sim(trace, dir, messages, cfg, r2);
+  ASSERT_EQ(first.outcomes.size(), second.outcomes.size());
+  for (std::size_t i = 0; i < first.outcomes.size(); ++i) {
+    EXPECT_EQ(first.outcomes[i].delivered, second.outcomes[i].delivered);
+    EXPECT_EQ(first.outcomes[i].delay, second.outcomes[i].delay);
+  }
+  EXPECT_EQ(first.evicted_copies, second.evicted_copies);
+}
+
 TEST(NetworkSim, InjectionFailsWhenSourceBufferFull) {
   // Two messages from the same source, capacity 1, no contacts before the
   // second injection: the second must fail at injection.

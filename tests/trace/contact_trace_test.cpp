@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 namespace odtn::trace {
 namespace {
@@ -96,6 +97,49 @@ TEST(ParseTrace, MalformedRejected) {
   EXPECT_THROW(parse_trace("10 0\n", 2), std::invalid_argument);
   EXPECT_THROW(parse_trace("10 -1 1\n", 2), std::invalid_argument);
   EXPECT_THROW(parse_trace("10 0 5\n", 2), std::invalid_argument);
+}
+
+TEST(ParseTrace, TrailingBlankAndCommentLines) {
+  // Trailing blank lines and comment lines (even several of them, even
+  // without a final newline) are not "malformed".
+  auto t = parse_trace("10 0 1\n20 1 0\n\n\n# done\n   \n", 2);
+  EXPECT_EQ(t.event_count(), 2u);
+  auto u = parse_trace("10 0 1\n#no final newline", 2);
+  EXPECT_EQ(u.event_count(), 1u);
+}
+
+TEST(ParseTrace, CrlfLineEndingsTolerated) {
+  auto t = parse_trace("# windows file\r\n10 0 1\r\n20.5 1 0\r\n\r\n", 2);
+  ASSERT_EQ(t.event_count(), 2u);
+  EXPECT_EQ(t.events()[1].time, 20.5);
+}
+
+TEST(ParseTrace, DiagnosticNamesTheLine) {
+  try {
+    parse_trace("10 0 1\n20 1\n", 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceFile, LoadDiagnosticNamesFileAndLine) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "odtn_trace_bad.txt").string();
+  {
+    std::ofstream out(path);
+    out << "10 0 1\n20 1\n";
+  }
+  try {
+    load_trace_file(path, 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  }
+  std::remove(path.c_str());
 }
 
 TEST(FormatTrace, RoundTrip) {

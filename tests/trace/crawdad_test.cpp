@@ -43,6 +43,26 @@ TEST(CrawdadParser, MalformedRejected) {
   EXPECT_THROW(parse_crawdad_trace("1 2 30 20\n", 2), std::invalid_argument);
 }
 
+TEST(CrawdadParser, TrailingBlankAndCommentLinesTolerated) {
+  auto t = parse_crawdad_trace("1 2 10 20\n\n# trailing comment\n\n", 2);
+  EXPECT_EQ(t.event_count(), 1u);
+}
+
+TEST(CrawdadParser, CrlfLineEndingsTolerated) {
+  auto t = parse_crawdad_trace("# header\r\n1 2 10 20\r\n2 1 30 40\r\n", 2);
+  EXPECT_EQ(t.event_count(), 2u);
+}
+
+TEST(CrawdadParser, DiagnosticNamesTheLine) {
+  try {
+    parse_crawdad_trace("1 2 10 20\n# fine\n1 2 30\n", 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(CrawdadParser, EventsSortedAfterParse) {
   auto t = parse_crawdad_trace("1 2 500 600\n2 3 100 200\n", 3);
   EXPECT_EQ(t.events()[0].time, 100.0);

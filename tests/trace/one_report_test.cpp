@@ -32,6 +32,13 @@ TEST(OneReport, OutOfRangeIdsSkipped) {
   EXPECT_EQ(t.event_count(), 1u);
 }
 
+TEST(OneReport, CrlfLineEndingsTolerated) {
+  // Without CR stripping the state field would parse as "up\r" and be
+  // rejected as an unknown CONN state.
+  auto t = parse_one_report("10.0 CONN 0 1 up\r\n30.0 CONN 1 0 up\r\n", 2);
+  EXPECT_EQ(t.event_count(), 2u);
+}
+
 TEST(OneReport, MalformedConnRejected) {
   EXPECT_THROW(parse_one_report("1.0 CONN 0 up\n", 3),
                std::invalid_argument);

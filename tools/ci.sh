@@ -1,12 +1,15 @@
 #!/bin/sh
-# Local CI: the tier-1 gate plus the ThreadSanitizer suite.
+# Local CI: the tier-1 gate plus the sanitizer suites.
 #
 #   tools/ci.sh [JOBS]
 #
 # 1. Configures and builds the plain tree, runs the full ctest suite
-#    (the tier-1 gate from ROADMAP.md), then the metrics suite by label.
+#    (the tier-1 gate from ROADMAP.md), then the metrics suite by label,
+#    then a checkpoint/resume byte-identity smoke check on the CLI.
 # 2. Configures a -DODTN_SANITIZE=thread tree in build-tsan/, builds only
 #    the tsan-labelled test targets, and runs `ctest -L tsan` under TSan.
+# 3. Configures a -DODTN_SANITIZE=address tree in build-asan/, builds the
+#    fault-injection test targets, and runs `ctest -L faults` under ASan.
 #
 # Exits non-zero on the first failure.
 set -eu
@@ -24,6 +27,32 @@ ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 echo "== metrics suite (ctest -L metrics) =="
 ctest --test-dir "$repo/build" -L metrics --output-on-failure -j "$jobs"
 
+echo "== checkpoint/resume byte-identity smoke check =="
+smoke="$repo/build/ci-checkpoint-smoke"
+rm -rf "$smoke" && mkdir -p "$smoke"
+cli="$repo/build/tools/odtn"
+# Reference: one uninterrupted faulty sweep.
+"$cli" simulate --runs=24 --n=30 --seed=11 --fault-p-fail=0.1 \
+    --fault-mean-uptime=300 --fault-mean-downtime=40 \
+    --metrics-out="$smoke/ref.jsonl" > "$smoke/ref.txt"
+# Same sweep "killed" after 10 runs, then resumed at a different thread
+# count; stdout and metrics export must match the reference exactly.
+# (--metrics-out on both legs: metric collection is part of the config hash.)
+"$cli" simulate --runs=10 --n=30 --seed=11 --fault-p-fail=0.1 \
+    --fault-mean-uptime=300 --fault-mean-downtime=40 \
+    --metrics-out="$smoke/partial.jsonl" \
+    --checkpoint="$smoke/cp" --checkpoint-interval=4 > /dev/null
+"$cli" simulate --runs=24 --n=30 --seed=11 --fault-p-fail=0.1 \
+    --fault-mean-uptime=300 --fault-mean-downtime=40 \
+    --checkpoint="$smoke/cp" --checkpoint-interval=4 --resume --threads=4 \
+    --metrics-out="$smoke/resumed.jsonl" > "$smoke/resumed.txt"
+# Strip the wall-clock and metrics-path echo lines before comparing stdout.
+grep -v -e '^# wall_time_s' -e '^# metrics:' "$smoke/ref.txt" > "$smoke/ref.stable"
+grep -v -e '^# wall_time_s' -e '^# metrics:' "$smoke/resumed.txt" > "$smoke/resumed.stable"
+cmp "$smoke/ref.stable" "$smoke/resumed.stable"
+cmp "$smoke/ref.jsonl" "$smoke/resumed.jsonl"
+echo "checkpoint/resume output byte-identical"
+
 echo "== tsan: configure + build labelled test targets =="
 cmake -B "$repo/build-tsan" -S "$repo" -DODTN_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" --target \
@@ -32,5 +61,13 @@ cmake --build "$repo/build-tsan" -j "$jobs" --target \
 
 echo "== tsan: ctest -L tsan =="
 ctest --test-dir "$repo/build-tsan" -L tsan --output-on-failure -j "$jobs"
+
+echo "== asan: configure + build fault test targets =="
+cmake -B "$repo/build-asan" -S "$repo" -DODTN_SANITIZE=address
+cmake --build "$repo/build-asan" -j "$jobs" --target \
+    faults_test fault_sim_test fault_experiment_test
+
+echo "== asan: ctest -L faults =="
+ctest --test-dir "$repo/build-asan" -L faults --output-on-failure -j "$jobs"
 
 echo "== ci.sh: all green =="

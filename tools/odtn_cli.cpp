@@ -9,6 +9,7 @@
 //   simulate    --runs ... (Table II experiment; analysis vs simulation row)
 //   help
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "analysis/anonymity.hpp"
@@ -38,13 +39,25 @@ int usage() {
       "  odtn simulate  [--runs=200 --seed=1 --threads=0 --n=100 --g=5\n"
       "                  --K=3 --L=1 --T=1800 --compromised=0.1]\n"
       "                 [--metrics-out=FILE]\n"
+      "                 [--fault-mean-uptime=U --fault-mean-downtime=D\n"
+      "                  --fault-p-fail=P --fault-ge=pgb:pbg:pfg:pfb\n"
+      "                  --fault-blackhole-fraction=F --fault-p-run-abort=P]\n"
+      "                 [--checkpoint=FILE --checkpoint-interval=16 --resume]\n"
       "\n"
       "simulate shards runs over --threads workers (0 = all hardware\n"
       "threads); results are bit-identical at every thread count.\n"
       "--metrics-out writes the run's odtn::metrics (delay histograms with\n"
       "p50/p90/p99, routing event counters) as JSON-lines — or CSV when\n"
       "FILE ends in .csv. The file is byte-identical at every --threads\n"
-      "value for a fixed seed.\n";
+      "value for a fixed seed.\n"
+      "--fault-* enables seeded fault injection (node churn, transfer\n"
+      "failure, blackhole relays, run aborts); determinism guarantees are\n"
+      "unchanged. --checkpoint snapshots progress every\n"
+      "--checkpoint-interval runs; --resume continues a killed sweep with\n"
+      "byte-identical results.\n"
+      "\n"
+      "exit codes: 0 ok, 1 runtime error, 2 usage or malformed input file\n"
+      "(one-line file:line diagnostic on stderr).\n";
   return 2;
 }
 
@@ -182,6 +195,33 @@ int cmd_simulate(const util::Args& args) {
   cfg.threads = static_cast<std::size_t>(args.get_int("threads", 0));
   std::string metrics_path = args.get("metrics-out", "");
   cfg.collect_metrics = !metrics_path.empty();
+
+  cfg.faults.mean_uptime = args.get_double("fault-mean-uptime", 0.0);
+  cfg.faults.mean_downtime = args.get_double("fault-mean-downtime", 0.0);
+  cfg.faults.p_fail = args.get_double("fault-p-fail", 0.0);
+  cfg.faults.blackhole_fraction =
+      args.get_double("fault-blackhole-fraction", 0.0);
+  cfg.faults.p_run_abort = args.get_double("fault-p-run-abort", 0.0);
+  std::string ge = args.get("fault-ge", "");
+  if (!ge.empty()) {
+    faults::GilbertElliott chain;
+    char sep1, sep2, sep3;
+    std::istringstream gs(ge);
+    if (!(gs >> chain.p_good_to_bad >> sep1 >> chain.p_bad_to_good >> sep2 >>
+          chain.p_fail_good >> sep3 >> chain.p_fail_bad) ||
+        sep1 != ':' || sep2 != ':' || sep3 != ':') {
+      throw std::invalid_argument(
+          "simulate: --fault-ge expects pgb:pbg:pfg:pfb");
+    }
+    cfg.faults.gilbert_elliott = chain;
+  }
+  cfg.faults.validate();
+
+  cfg.checkpoint_path = args.get("checkpoint", "");
+  cfg.checkpoint_interval =
+      static_cast<std::size_t>(args.get_int("checkpoint-interval", 16));
+  cfg.resume = args.get_bool("resume", false);
+
   auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
 
   util::Table table({"metric", "analysis", "simulation"});
@@ -205,8 +245,14 @@ int cmd_simulate(const util::Args& args) {
   std::cout << "# delivered " << r.delivered_runs << "/" << cfg.runs
             << " runs; mean delay "
             << r.sim_delay.mean() << " +/- " << r.sim_delay.ci95_halfwidth()
-            << "\n"
-            << "# wall_time_s: " << r.wall_time_s << "\n";
+            << "\n";
+  if (!r.failed_runs.empty()) {
+    const auto& first = r.failed_runs.front();
+    std::cout << "# quarantined " << r.failed_runs.size() << " run(s); first: run "
+              << first.run << " seed " << first.seed << ": " << first.message
+              << "\n";
+  }
+  std::cout << "# wall_time_s: " << r.wall_time_s << "\n";
   if (!metrics_path.empty()) {
     metrics::write_file(metrics_path, r.metrics);
     std::cout << "# metrics: " << metrics_path << "\n";
@@ -227,6 +273,11 @@ int main(int argc, char** argv) {
     if (cmd == "model") return cmd_model(args);
     if (cmd == "simulate") return cmd_simulate(args);
     return usage();
+  } catch (const std::invalid_argument& e) {
+    // Bad input (malformed trace/graph file, out-of-range flag): usage-class
+    // failure with a one-line file:line diagnostic.
+    std::cerr << "odtn " << cmd << ": " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "odtn " << cmd << ": " << e.what() << "\n";
     return 1;
