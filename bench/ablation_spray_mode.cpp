@@ -21,9 +21,10 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation", "Multi-copy spray strategy",
                       "n=100, K=3, g=5, L=3; x = deadline", base);
 
-  util::Table table({"deadline_min", "direct_to_R1", "spray_and_wait",
-                     "direct_tx", "spray_tx"});
-  for (double deadline : bench::deadline_sweep()) {
+  bench::Sweep sweep({"deadline_min", "direct_to_R1", "spray_and_wait",
+                      "direct_tx", "spray_tx"},
+                     bench::deadline_sweep(), bench::Sweep::XFormat::kInt);
+  sweep.run([&](double deadline, util::Table& table) {
     util::Rng rng(base.seed);
     util::RunningStats d_direct, d_spray, tx_direct, tx_spray;
     for (std::size_t run = 0; run < base.runs; ++run) {
@@ -58,14 +59,12 @@ int main(int argc, char** argv) {
       tx_direct.add(static_cast<double>(rd.transmissions));
       tx_spray.add(static_cast<double>(rs.transmissions));
     }
-    table.new_row();
-    table.cell(static_cast<std::int64_t>(deadline));
     table.cell(d_direct.mean());
     table.cell(d_spray.mean());
     table.cell(tx_direct.mean(), 2);
     table.cell(tx_spray.mean(), 2);
-  }
-  table.print(std::cout);
+  });
+  sweep.print(std::cout);
   bench::finish(base, args, timer);
   return 0;
 }

@@ -73,6 +73,24 @@ void finish(const core::ExperimentConfig& config, const util::Args& args,
   out << record.str() << "\n";
 }
 
+Sweep::Sweep(std::vector<std::string> columns, std::vector<double> xs,
+             XFormat x_format)
+    : table_(std::move(columns)), xs_(std::move(xs)), x_format_(x_format) {}
+
+void Sweep::run(const std::function<void(double, util::Table&)>& point) {
+  for (double x : xs_) {
+    table_.new_row();
+    if (x_format_ == XFormat::kInt) {
+      table_.cell(static_cast<std::int64_t>(x));
+    } else {
+      table_.cell(x, 2);
+    }
+    point(x, table_);
+  }
+}
+
+void Sweep::print(std::ostream& os) const { table_.print(os); }
+
 const std::vector<double>& deadline_sweep() {
   static const std::vector<double> sweep = {60,  120, 240,  360, 600,
                                             900, 1200, 1500, 1800};

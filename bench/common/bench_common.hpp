@@ -19,7 +19,10 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
+#include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/experiment.hpp"
@@ -71,6 +74,34 @@ class WallTimer {
 /// accumulated deterministic metrics there.
 void finish(const core::ExperimentConfig& config, const util::Args& args,
             const WallTimer& timer);
+
+/// One x-sweep figure table: owns the util::Table, iterates the x-values,
+/// opens each row and prints the x cell, then hands the row to a per-point
+/// callback for the curve columns. The x cell renders exactly like the
+/// hand-rolled loops this replaced (kInt -> cell(int64), kFixed2 ->
+/// cell(x, 2)), so migrated benches stay byte-identical.
+class Sweep {
+ public:
+  enum class XFormat {
+    kInt,     ///< deadline sweeps: cell(static_cast<int64_t>(x))
+    kFixed2,  ///< fraction sweeps: cell(x, 2)
+  };
+
+  Sweep(std::vector<std::string> columns, std::vector<double> xs,
+        XFormat x_format);
+
+  /// Runs `point(x, table)` once per x value, in order. The row is already
+  /// open and the x cell printed; the callback appends the curve cells.
+  void run(const std::function<void(double, util::Table&)>& point);
+
+  /// Renders the completed table.
+  void print(std::ostream& os) const;
+
+ private:
+  util::Table table_;
+  std::vector<double> xs_;
+  XFormat x_format_;
+};
 
 /// The deadline sweep (minutes) used by the delivery-rate figures.
 const std::vector<double>& deadline_sweep();

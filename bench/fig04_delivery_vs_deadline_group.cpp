@@ -15,11 +15,10 @@ int main(int argc, char** argv) {
                       "n=100, K=3, L=1, g in {1,5,10}", base);
 
   const std::vector<std::size_t> group_sizes = {1, 5, 10};
-  util::Table table({"deadline_min", "ana_g1", "sim_g1", "ana_g5", "sim_g5",
-                     "ana_g10", "sim_g10"});
-  for (double deadline : bench::deadline_sweep()) {
-    table.new_row();
-    table.cell(static_cast<std::int64_t>(deadline));
+  bench::Sweep sweep({"deadline_min", "ana_g1", "sim_g1", "ana_g5", "sim_g5",
+                      "ana_g10", "sim_g10"},
+                     bench::deadline_sweep(), bench::Sweep::XFormat::kInt);
+  sweep.run([&](double deadline, util::Table& table) {
     for (std::size_t g : group_sizes) {
       auto cfg = base;
       cfg.group_size = g;
@@ -28,8 +27,8 @@ int main(int argc, char** argv) {
       table.cell(r.ana_delivery.mean());
       table.cell(r.sim_delivered.mean());
     }
-  }
-  table.print(std::cout);
+  });
+  sweep.print(std::cout);
   bench::finish(base, args, timer);
   return 0;
 }

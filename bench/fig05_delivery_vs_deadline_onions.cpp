@@ -15,11 +15,10 @@ int main(int argc, char** argv) {
                       "n=100, g=5, L=1, K in {3,5,10}", base);
 
   const std::vector<std::size_t> relay_counts = {3, 5, 10};
-  util::Table table({"deadline_min", "ana_K3", "sim_K3", "ana_K5", "sim_K5",
-                     "ana_K10", "sim_K10"});
-  for (double deadline : bench::deadline_sweep()) {
-    table.new_row();
-    table.cell(static_cast<std::int64_t>(deadline));
+  bench::Sweep sweep({"deadline_min", "ana_K3", "sim_K3", "ana_K5", "sim_K5",
+                      "ana_K10", "sim_K10"},
+                     bench::deadline_sweep(), bench::Sweep::XFormat::kInt);
+  sweep.run([&](double deadline, util::Table& table) {
     for (std::size_t k : relay_counts) {
       auto cfg = base;
       cfg.num_relays = k;
@@ -28,8 +27,8 @@ int main(int argc, char** argv) {
       table.cell(r.ana_delivery.mean());
       table.cell(r.sim_delivered.mean());
     }
-  }
-  table.print(std::cout);
+  });
+  sweep.print(std::cout);
   bench::finish(base, args, timer);
   return 0;
 }

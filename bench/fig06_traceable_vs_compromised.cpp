@@ -16,12 +16,12 @@ int main(int argc, char** argv) {
                       "n=100, g=5, L=1, K in {3,5,10}", base);
 
   const std::vector<std::size_t> relay_counts = {3, 5, 10};
-  util::Table table({"compromised", "paper_K3", "exact_K3", "sim_K3",
-                     "paper_K5", "exact_K5", "sim_K5", "paper_K10",
-                     "exact_K10", "sim_K10"});
-  for (double fraction : bench::compromise_sweep()) {
-    table.new_row();
-    table.cell(fraction, 2);
+  bench::Sweep sweep({"compromised", "paper_K3", "exact_K3", "sim_K3",
+                      "paper_K5", "exact_K5", "sim_K5", "paper_K10",
+                      "exact_K10", "sim_K10"},
+                     bench::compromise_sweep(),
+                     bench::Sweep::XFormat::kFixed2);
+  sweep.run([&](double fraction, util::Table& table) {
     for (std::size_t k : relay_counts) {
       auto cfg = base;
       cfg.num_relays = k;
@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
       table.cell(r.ana_traceable_exact.mean());
       table.cell(r.sim_traceable.mean());
     }
-  }
-  table.print(std::cout);
+  });
+  sweep.print(std::cout);
   bench::finish(base, args, timer);
   return 0;
 }

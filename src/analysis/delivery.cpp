@@ -1,5 +1,6 @@
 #include "analysis/delivery.hpp"
 
+#include <span>
 #include <stdexcept>
 
 #include "analysis/hypoexp.hpp"
@@ -28,8 +29,8 @@ std::vector<double> opportunistic_onion_rates(
   }
 
   // Last hop: average over the possible holders in R_K, single target dst.
-  rates.push_back(
-      graph.mean_set_to_set_rate(directory.members(relay_groups.back()), {dst}));
+  rates.push_back(graph.mean_set_to_set_rate(
+      directory.members(relay_groups.back()), std::span<const NodeId>(&dst, 1)));
 
   return rates;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -109,8 +110,9 @@ RunOutcome run_once(const ExperimentConfig& cfg, sim::ContactModel& contacts,
   // plan is built and no RNG is drawn — the fault-free path is untouched.
   std::optional<faults::FaultPlan> fault_plan;
   if (cfg.faults.enabled()) {
+    const NodeId exempt[2] = {src, dst};
     fault_plan.emplace(cfg.faults, n, start + cfg.ttl, rng.next(),
-                       std::vector<NodeId>{src, dst});
+                       std::span<const NodeId>(exempt));
     ctx.faults = &*fault_plan;
   }
 

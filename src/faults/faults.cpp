@@ -42,7 +42,7 @@ void FaultConfig::validate() const {
 
 FaultPlan::FaultPlan(const FaultConfig& config, std::size_t node_count,
                      Time horizon, std::uint64_t seed,
-                     const std::vector<NodeId>& blackhole_exempt)
+                     std::span<const NodeId> blackhole_exempt)
     : config_(config),
       node_count_(node_count),
       link_rng_(util::derive_seed(seed, 1)) {

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -107,7 +108,7 @@ class FaultPlan {
   /// relay droppers, not trivially-dead destinations).
   FaultPlan(const FaultConfig& config, std::size_t node_count, Time horizon,
             std::uint64_t seed,
-            const std::vector<NodeId>& blackhole_exempt = {});
+            std::span<const NodeId> blackhole_exempt = {});
 
   const FaultConfig& config() const { return config_; }
   std::size_t node_count() const { return node_count_; }

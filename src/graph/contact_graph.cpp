@@ -25,6 +25,11 @@ double ContactGraph::rate(NodeId i, NodeId j) const {
   return rates_[index(i, j)];
 }
 
+ContactGraph::RowView ContactGraph::row(NodeId i) const {
+  if (i >= n_) throw std::out_of_range("ContactGraph: bad node pair");
+  return RowView(rates_.data(), n_, i);
+}
+
 void ContactGraph::set_rate(NodeId i, NodeId j, double r) {
   if (r < 0.0) throw std::invalid_argument("ContactGraph: negative rate");
   rates_[index(i, j)] = r;
@@ -37,17 +42,17 @@ void ContactGraph::set_inter_contact_time(NodeId i, NodeId j, double ict) {
   set_rate(i, j, 1.0 / ict);
 }
 
-double ContactGraph::rate_to_set(NodeId i,
-                                 const std::vector<NodeId>& targets) const {
+double ContactGraph::rate_to_set(NodeId i, std::span<const NodeId> targets) const {
+  const RowView r = row(i);
   double sum = 0.0;
   for (NodeId t : targets) {
-    if (t != i) sum += rate(i, t);
+    if (t != i) sum += r.rate(t);
   }
   return sum;
 }
 
-double ContactGraph::mean_set_to_set_rate(const std::vector<NodeId>& from,
-                                          const std::vector<NodeId>& to) const {
+double ContactGraph::mean_set_to_set_rate(std::span<const NodeId> from,
+                                          std::span<const NodeId> to) const {
   if (from.empty()) throw std::invalid_argument("mean_set_to_set_rate: empty");
   double sum = 0.0;
   for (NodeId i : from) sum += rate_to_set(i, to);

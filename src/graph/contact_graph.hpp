@@ -6,6 +6,8 @@
 // A zero rate means the pair never meets.
 #pragma once
 
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "util/ids.hpp"
@@ -18,10 +20,44 @@ class ContactGraph {
   /// Creates a graph of `n` isolated nodes (all rates zero).
   explicit ContactGraph(std::size_t n);
 
+  /// Bounds-checked once at construction (via ContactGraph::row), then
+  /// reads the fixed node's symmetric rates without re-deriving the
+  /// triangular index base per lookup — the row above the diagonal is a
+  /// single contiguous slice of the rate array. Invalidated by destroying
+  /// the graph (set_rate keeps it valid: storage never moves).
+  class RowView {
+   public:
+    /// Symmetric rate(i, j) for the fixed row node i; 0 for j == i.
+    double rate(NodeId j) const {
+      if (j >= n_) throw std::out_of_range("ContactGraph: bad node pair");
+      if (j > i_) return rates_[row_start_ + (j - i_ - 1)];
+      if (j == i_) return 0.0;
+      return rates_[static_cast<std::size_t>(j) * (2 * n_ - j - 1) / 2 +
+                    (i_ - j - 1)];
+    }
+
+   private:
+    friend class ContactGraph;
+    RowView(const double* rates, std::size_t n, NodeId i)
+        : rates_(rates),
+          n_(n),
+          i_(i),
+          row_start_(static_cast<std::size_t>(i) * (2 * n - i - 1) / 2) {}
+
+    const double* rates_;
+    std::size_t n_;
+    NodeId i_;
+    std::size_t row_start_;
+  };
+
   std::size_t node_count() const { return n_; }
 
   /// Contact rate between i and j (symmetric). rate(i, i) is always 0.
   double rate(NodeId i, NodeId j) const;
+
+  /// Rate accessor with the row bounds check and triangular index base
+  /// hoisted out of the inner loop; `i` must be a valid node.
+  RowView row(NodeId i) const;
 
   /// Sets the symmetric contact rate; `r` must be >= 0 and i != j.
   void set_rate(NodeId i, NodeId j, double r);
@@ -32,12 +68,12 @@ class ContactGraph {
   /// Sum of rates from `i` into the node set `targets` (skipping i itself):
   /// the aggregate rate at which i meets *any* member — the anycast rate of
   /// the opportunistic onion path model (Eq. 4, first/last cases).
-  double rate_to_set(NodeId i, const std::vector<NodeId>& targets) const;
+  double rate_to_set(NodeId i, std::span<const NodeId> targets) const;
 
   /// Average over senders in `from` of the summed rate into `to`
   /// (Eq. 4, middle case): (1/|from|) * sum_{i in from} sum_{j in to} rate.
-  double mean_set_to_set_rate(const std::vector<NodeId>& from,
-                              const std::vector<NodeId>& to) const;
+  double mean_set_to_set_rate(std::span<const NodeId> from,
+                              std::span<const NodeId> to) const;
 
   /// Total pairwise rate over the whole graph (used by the event-driven
   /// baselines to sample "next contact anywhere").

@@ -82,8 +82,15 @@ AlarResult AlarRouting::route(const trace::ContactTrace& trace,
     (void)from;
   };
 
-  for (const auto& event : trace.events()) {
-    if (event.time < spec.start) continue;
+  // Events are time-sorted: jump straight to the message's start instead of
+  // scanning the pre-start prefix.
+  const auto& events = trace.events();
+  auto first = std::lower_bound(events.begin(), events.end(), spec.start,
+                                [](const trace::ContactEvent& e, Time t) {
+                                  return e.time < t;
+                                });
+  for (auto it = first; it != events.end(); ++it) {
+    const auto& event = *it;
     if (event.time >= deadline) break;
     if (result.delivered) break;
 

@@ -1,5 +1,6 @@
 #include "routing/baselines.hpp"
 
+#include <span>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
@@ -18,8 +19,9 @@ DeliveryResult DirectDelivery::route(sim::ContactModel& contacts,
                                      const MessageSpec& spec) {
   check_endpoints(spec);
   DeliveryResult result;
-  auto ev = contacts.first_contact(spec.src, {spec.dst}, spec.start,
-                                   spec.start + spec.ttl);
+  auto ev = contacts.first_cross_contact(std::span<const NodeId>(&spec.src, 1),
+                                         std::span<const NodeId>(&spec.dst, 1),
+                                         spec.start, spec.start + spec.ttl);
   if (ev.has_value()) {
     result.delivered = true;
     result.delay = ev->time - spec.start;
@@ -40,20 +42,23 @@ DeliveryResult SprayAndWaitRouting::route(sim::ContactModel& contacts,
 
   std::unordered_set<NodeId> holders = {spec.src};
   std::size_t tickets = spec.copies - 1;  // copies the source may spray
+  std::vector<NodeId> holder_list;  // scratch, reused across iterations
+  std::vector<NodeId> others;
 
   while (true) {
     // Wait phase event: any holder meets dst. Spray phase event: source
     // meets a non-holder (while tickets remain). Take whichever is first.
-    std::vector<NodeId> holder_list(holders.begin(), holders.end());
-    auto deliver = contacts.first_cross_contact(holder_list, {spec.dst}, now,
-                                                deadline);
+    holder_list.assign(holders.begin(), holders.end());
+    auto deliver = contacts.first_cross_contact(
+        holder_list, std::span<const NodeId>(&spec.dst, 1), now, deadline);
     std::optional<sim::CrossContact> spray;
     if (tickets > 0) {
-      std::vector<NodeId> others;
+      others.clear();
       for (NodeId v = 0; v < contacts.node_count(); ++v) {
         if (v != spec.dst && holders.count(v) == 0) others.push_back(v);
       }
-      spray = contacts.first_contact(spec.src, others, now, deadline);
+      spray = contacts.first_cross_contact(
+          std::span<const NodeId>(&spec.src, 1), others, now, deadline);
     }
 
     if (deliver.has_value() &&
@@ -85,23 +90,25 @@ DeliveryResult BinarySprayAndWaitRouting::route(sim::ContactModel& contacts,
 
   // holder -> remaining tickets.
   std::unordered_map<NodeId, std::size_t> tickets = {{spec.src, spec.copies}};
+  std::vector<NodeId> holder_list;  // scratch, reused across iterations
+  std::vector<NodeId> sprayers;
+  std::vector<NodeId> others;
 
   while (true) {
     // Delivery event: any holder meets dst.
-    std::vector<NodeId> holder_list;
-    holder_list.reserve(tickets.size());
+    holder_list.clear();
     for (const auto& [v, t] : tickets) holder_list.push_back(v);
-    auto deliver =
-        contacts.first_cross_contact(holder_list, {spec.dst}, now, deadline);
+    auto deliver = contacts.first_cross_contact(
+        holder_list, std::span<const NodeId>(&spec.dst, 1), now, deadline);
 
     // Spray event: a holder with > 1 tickets meets a ticketless node.
-    std::vector<NodeId> sprayers;
+    sprayers.clear();
     for (const auto& [v, t] : tickets) {
       if (t > 1) sprayers.push_back(v);
     }
     std::optional<sim::CrossContact> spray;
     if (!sprayers.empty()) {
-      std::vector<NodeId> others;
+      others.clear();
       for (NodeId v = 0; v < contacts.node_count(); ++v) {
         if (v != spec.dst && tickets.count(v) == 0) others.push_back(v);
       }
@@ -134,10 +141,12 @@ DeliveryResult EpidemicRouting::route(sim::ContactModel& contacts,
   Time now = spec.start;
 
   std::unordered_set<NodeId> infected = {spec.src};
+  std::vector<NodeId> holders;  // scratch, reused across iterations
+  std::vector<NodeId> susceptible;
 
   while (infected.size() < contacts.node_count()) {
-    std::vector<NodeId> holders(infected.begin(), infected.end());
-    std::vector<NodeId> susceptible;
+    holders.assign(infected.begin(), infected.end());
+    susceptible.clear();
     for (NodeId v = 0; v < contacts.node_count(); ++v) {
       if (infected.count(v) == 0) susceptible.push_back(v);
     }

@@ -48,6 +48,13 @@ struct Walker {
   bool delivered = false;
   bool lost = false;      // copy destroyed by a fault (crash or blackhole)
   Time retry_from = 0.0;  // after a failed transfer, re-query from here
+
+  // Prepared (holder -> current targets) query, rebuilt only when the hop
+  // advances or the global seen-set grows (plan_version tracks the
+  // latter); fault retries and lose-the-race iterations reuse it as-is.
+  sim::ContactQuery plan;
+  std::uint64_t plan_version = 0;
+  std::size_t plan_hop = static_cast<std::size_t>(-1);
 };
 
 // Observability handles shared by both protocols; inert when reg is null.
@@ -151,14 +158,20 @@ DeliveryResult SingleCopyOnionRouting::route(
   faults::FaultPlan* fp = ctx_.faults;
   FaultMetrics fm = FaultMetrics::resolve(ctx_);
 
-  // Finds the holder's next usable contact: skips contacts with a
-  // powered-down endpoint and retries failed transfers at the next
-  // contact. Returns nullopt when the deadline passes or the holder
-  // crash-reboots first (its buffered onion state is flushed, not leaked).
-  auto next_good_contact = [&](NodeId from, const std::vector<NodeId>& targets,
+  // One prepared (holder -> targets) query per hop, reused across fault
+  // retries; `targets` is the hop's scratch buffer.
+  sim::ContactQuery plan;
+  std::vector<NodeId> targets;
+
+  // Finds the holder's next usable contact via the current `plan`: skips
+  // contacts with a powered-down endpoint and retries failed transfers at
+  // the next contact. Returns nullopt when the deadline passes or the
+  // holder crash-reboots first (its buffered onion state is flushed, not
+  // leaked).
+  auto next_good_contact = [&](NodeId from,
                                Time after) -> std::optional<sim::CrossContact> {
     for (;;) {
-      auto contact = contacts.first_contact(from, targets, after, deadline);
+      auto contact = contacts.first_cross_contact(plan, after, deadline);
       if (fp == nullptr || !contact.has_value()) return contact;
       const Time t = contact->time;
       if (fp->crashed_in(from, hold_since, t)) {
@@ -181,11 +194,12 @@ DeliveryResult SingleCopyOnionRouting::route(
 
   // Relay phase: hops through R_1..R_K.
   for (std::size_t hop = 0; hop < k; ++hop) {
-    std::vector<NodeId> targets;
+    targets.clear();
     for (NodeId m : dir.members(result.relay_groups[hop])) {
       if (m != holder) targets.push_back(m);
     }
-    auto contact = next_good_contact(holder, targets, now);
+    contacts.prepare(plan, std::span<const NodeId>(&holder, 1), targets);
+    auto contact = next_good_contact(holder, now);
     if (!contact.has_value()) return result;  // deadline passed: Algorithm 1 FAIL
 
     NodeId receiver = contact->b;
@@ -230,7 +244,9 @@ DeliveryResult SingleCopyOnionRouting::route(
 
   // Delivery phase.
   if (!group_mode) {
-    auto contact = next_good_contact(holder, {spec.dst}, now);
+    contacts.prepare(plan, std::span<const NodeId>(&holder, 1),
+                     std::span<const NodeId>(&spec.dst, 1));
+    auto contact = next_good_contact(holder, now);
     if (!contact.has_value()) return result;
     rm.hop_delay.observe(contact->time - now);
     now = contact->time;
@@ -255,11 +271,12 @@ DeliveryResult SingleCopyOnionRouting::route(
     std::unordered_set<NodeId> visited = {holder};
     bool group_layer_peeled = false;
     while (holder != spec.dst) {
-      std::vector<NodeId> targets;
+      targets.clear();
       for (NodeId m : dir.members(dst_group)) {
         if (m != holder && visited.count(m) == 0) targets.push_back(m);
       }
-      auto contact = next_good_contact(holder, targets, now);
+      contacts.prepare(plan, std::span<const NodeId>(&holder, 1), targets);
+      auto contact = next_good_contact(holder, now);
       if (!contact.has_value()) return result;
       NodeId receiver = contact->b;
       rm.hop_delay.observe(contact->time - now);
@@ -366,8 +383,10 @@ DeliveryResult MultiCopyOnionRouting::route(
   Time source_retry_from = spec.start;
 
   // Nodes that have ever held (or been handed) the message; Forward() in
-  // Algorithm 2 declines peers that already have m.
+  // Algorithm 2 declines peers that already have m. `seen_version` bumps
+  // on every insertion so cached query plans know when to rebuild.
   std::unordered_set<NodeId> seen = {spec.src};
+  std::uint64_t seen_version = 1;
 
   // Source's remaining spray tickets (copies it may still hand out).
   // In kSprayAndWait the source retains one copy for itself and sprays the
@@ -387,9 +406,15 @@ DeliveryResult MultiCopyOnionRouting::route(
     walkers.push_back(std::move(w));
   }
 
-  // Targets a walker is currently waiting for.
-  auto walker_targets = [&](const Walker& w) {
-    std::vector<NodeId> targets;
+  std::vector<NodeId> targets;  // scratch for plan (re)builds
+
+  // Refreshes a walker's prepared query if its hop advanced or the seen
+  // set grew since the plan was built; otherwise keeps the plan (and its
+  // buffers) untouched. Targets: the walker's next relay group minus
+  // nodes that already have m, or dst once all layers are peeled.
+  auto ensure_walker_plan = [&](Walker& w) {
+    if (w.plan_version == seen_version && w.plan_hop == w.hop) return;
+    targets.clear();
     if (w.hop < k) {
       for (NodeId m : dir.members(result.relay_groups[w.hop])) {
         if (m != w.holder && seen.count(m) == 0) targets.push_back(m);
@@ -399,11 +424,17 @@ DeliveryResult MultiCopyOnionRouting::route(
       // been delivered, dst is in `seen` and later copies are not re-sent.
       targets.push_back(spec.dst);
     }
-    return targets;
+    contacts.prepare(w.plan, std::span<const NodeId>(&w.holder, 1), targets);
+    w.plan_version = seen_version;
+    w.plan_hop = w.hop;
   };
 
-  auto spray_targets = [&] {
-    std::vector<NodeId> targets;
+  // The source sprayer's prepared query, rebuilt only when `seen` grows.
+  sim::ContactQuery spray_plan;
+  std::uint64_t spray_plan_version = 0;
+  auto ensure_spray_plan = [&] {
+    if (spray_plan_version == seen_version) return;
+    targets.clear();
     if (mode_ == SprayMode::kDirectToFirstGroup) {
       for (NodeId m : dir.members(result.relay_groups[0])) {
         if (seen.count(m) == 0) targets.push_back(m);
@@ -415,7 +446,9 @@ DeliveryResult MultiCopyOnionRouting::route(
         }
       }
     }
-    return targets;
+    contacts.prepare(spray_plan, std::span<const NodeId>(&spec.src, 1),
+                     targets);
+    spray_plan_version = seen_version;
   };
 
   while (true) {
@@ -430,14 +463,16 @@ DeliveryResult MultiCopyOnionRouting::route(
     std::optional<Pending> best;
 
     if (source_active) {
-      auto ev = contacts.first_contact(spec.src, spray_targets(),
-                                       std::max(now, source_retry_from), deadline);
+      ensure_spray_plan();
+      auto ev = contacts.first_cross_contact(
+          spray_plan, std::max(now, source_retry_from), deadline);
       if (ev.has_value()) best = Pending{ev->time, -1, ev->b};
     }
     for (std::size_t i = 0; i < walkers.size(); ++i) {
       if (walkers[i].delivered || walkers[i].lost) continue;
-      auto ev = contacts.first_contact(walkers[i].holder, walker_targets(walkers[i]),
-                                       std::max(now, walkers[i].retry_from), deadline);
+      ensure_walker_plan(walkers[i]);
+      auto ev = contacts.first_cross_contact(
+          walkers[i].plan, std::max(now, walkers[i].retry_from), deadline);
       if (ev.has_value() && (!best || ev->time < best->time)) {
         best = Pending{ev->time, static_cast<int>(i), ev->b};
       }
@@ -473,6 +508,7 @@ DeliveryResult MultiCopyOnionRouting::route(
       rm.forwards.inc();
       rm.tickets.inc();
       seen.insert(best->receiver);
+      ++seen_version;
       --source_tickets;
       if (source_tickets == 0) source_active = false;
 
@@ -536,6 +572,7 @@ DeliveryResult MultiCopyOnionRouting::route(
     rm.forwards.inc();
     rm.hop_delay.observe(now - w.arrival);
     seen.insert(receiver);
+    ++seen_version;
 
     if (cs.enabled) {
       util::Bytes received = cross_secure_link(cs, w.holder, receiver, w.wire);

@@ -80,7 +80,9 @@ ProphetResult ProphetRouting::route(const trace::ContactTrace& trace,
     // before the message exists.
     table.on_contact(event.a, event.b, event.time);
     if (event.time < spec.start) continue;
-    if (result.delivered) continue;
+    // Delivered: the table would keep training, but nothing reads it again
+    // and the holder set is frozen, so stop replaying the trace.
+    if (result.delivered) break;
 
     for (auto [u, v] : {std::pair<NodeId, NodeId>{event.a, event.b},
                         std::pair<NodeId, NodeId>{event.b, event.a}}) {

@@ -1,6 +1,7 @@
 #include "routing/threshold_pivot.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "crypto/aead.hpp"
@@ -90,6 +91,7 @@ TpsResult ThresholdPivotRouting::route(sim::ContactModel& contacts,
   Time pivot_ready_at = kTimeInfinity;
 
   // Phase 1+2 interleaved: every share progresses independently.
+  std::vector<NodeId> targets;  // scratch, reused across polls
   while (true) {
     struct Pending {
       Time time;
@@ -99,7 +101,7 @@ TpsResult ThresholdPivotRouting::route(sim::ContactModel& contacts,
     std::optional<Pending> best;
     for (auto& s : shares) {
       if (s.at_pivot) continue;
-      std::vector<NodeId> targets;
+      targets.clear();
       if (!s.at_relay) {
         for (NodeId m : directory_->members(s.relay_group)) {
           if (m != s.holder && m != pivot) targets.push_back(m);
@@ -107,7 +109,8 @@ TpsResult ThresholdPivotRouting::route(sim::ContactModel& contacts,
       } else {
         targets.push_back(pivot);
       }
-      auto ev = contacts.first_contact(s.holder, targets, now, deadline);
+      auto ev = contacts.first_cross_contact(
+          std::span<const NodeId>(&s.holder, 1), targets, now, deadline);
       if (ev.has_value() && (!best || ev->time < best->time)) {
         best = Pending{ev->time, s.index, ev->b};
       }
@@ -164,7 +167,9 @@ TpsResult ThresholdPivotRouting::route(sim::ContactModel& contacts,
 
   // Phase 3: pivot -> dst. (This is the step that reveals the destination
   // to the pivot — TPS's known anonymity concession.)
-  auto ev = contacts.first_contact(pivot, {spec.dst}, pivot_ready_at, deadline);
+  auto ev = contacts.first_cross_contact(std::span<const NodeId>(&pivot, 1),
+                                         std::span<const NodeId>(&spec.dst, 1),
+                                         pivot_ready_at, deadline);
   if (!ev.has_value()) return result;
   ++result.transmissions;
   result.delivered = true;

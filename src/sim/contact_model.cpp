@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace odtn::sim {
 
@@ -10,61 +9,150 @@ PoissonContactModel::PoissonContactModel(const graph::ContactGraph& graph,
                                          util::Rng& rng)
     : graph_(&graph), rng_(&rng) {}
 
-std::optional<CrossContact> PoissonContactModel::first_cross_contact(
-    const std::vector<NodeId>& from, const std::vector<NodeId>& to,
-    Time after, Time horizon) {
-  if (!(horizon > after)) return std::nullopt;
+void PoissonContactModel::prepare(ContactQuery& q, std::span<const NodeId> from,
+                                  std::span<const NodeId> to) {
+  const std::size_t n = graph_->node_count();
+  q.backend_ = ContactQuery::Backend::kPoisson;
+  q.owner_ = this;
+  q.pair_a_.clear();
+  q.pair_b_.clear();
+  q.prefix_.clear();
+  q.total_ = 0.0;
+  q.has_candidates_ = false;
 
-  // Collect candidate unordered pairs and their rates. A pair reachable via
-  // both orientations (when the sets overlap) must be counted once.
-  struct Pair {
-    NodeId a, b;
-    double rate;
-  };
-  std::vector<Pair> pairs;
-  pairs.reserve(from.size() * to.size());
-  std::unordered_set<std::uint64_t> seen;
-  double total = 0.0;
-  for (NodeId a : from) {
-    for (NodeId b : to) {
+  if (from_stamp_.size() < n) {
+    from_stamp_.resize(n, 0);
+    to_stamp_.resize(n, 0);
+    from_pos_.resize(n);
+    to_pos_.resize(n);
+  }
+
+  // Pass 1: stamp each node's first occurrence index in its span.
+  ++epoch_;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const NodeId a = from[i];
+    if (a >= n) throw std::out_of_range("ContactModel: bad node id");
+    if (from_stamp_[a] != epoch_) {
+      from_stamp_[a] = epoch_;
+      from_pos_[a] = static_cast<std::uint32_t>(i);
+    }
+  }
+  for (std::size_t j = 0; j < to.size(); ++j) {
+    const NodeId b = to[j];
+    if (b >= n) throw std::out_of_range("ContactModel: bad node id");
+    if (to_stamp_[b] != epoch_) {
+      to_stamp_[b] = epoch_;
+      to_pos_[b] = static_cast<std::uint32_t>(j);
+    }
+  }
+
+  // Pass 2: collect candidate unordered pairs in enumeration order. A pair
+  // reachable via both orientations (when the sets overlap) is counted once,
+  // at its lexicographically first (i, j) enumeration — exactly the pair
+  // the historical per-poll hash-set dedup kept. The prefix sums accumulate
+  // in the same order and with the same additions as the old running
+  // `total`, so the categorical pick below is bit-identical.
+  double cum = 0.0;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const NodeId a = from[i];
+    if (from_pos_[a] != i) continue;  // duplicate occurrence of a
+    const auto row = graph_->row(a);
+    const bool a_in_to = to_stamp_[a] == epoch_;
+    for (std::size_t j = 0; j < to.size(); ++j) {
+      const NodeId b = to[j];
       if (a == b) continue;
-      NodeId lo = std::min(a, b), hi = std::max(a, b);
-      std::uint64_t key = (std::uint64_t{lo} << 32) | hi;
-      if (!seen.insert(key).second) continue;
-      double r = graph_->rate(a, b);
+      if (to_pos_[b] != j) continue;  // duplicate occurrence of b
+      // The reversed orientation (b, a) exists iff b is in `from` and a is
+      // in `to`; it wins iff it appears in an earlier row. (from_pos_[b]
+      // == i is impossible: from[i] == a != b.)
+      if (a_in_to && from_stamp_[b] == epoch_ && from_pos_[b] < i) continue;
+      const double r = row.rate(b);
       if (r > 0.0) {
-        pairs.push_back({a, b, r});
-        total += r;
+        cum += r;
+        q.pair_a_.push_back(a);
+        q.pair_b_.push_back(b);
+        q.prefix_.push_back(cum);
       }
     }
   }
-  if (pairs.empty() || total <= 0.0) return std::nullopt;
+  q.total_ = cum;
+}
+
+std::optional<CrossContact> PoissonContactModel::first_cross_contact(
+    const ContactQuery& q, Time after, Time horizon) {
+  if (q.backend_ != ContactQuery::Backend::kPoisson || q.owner_ != this) {
+    throw std::logic_error("ContactQuery: plan belongs to a different model");
+  }
+  if (!(horizon > after)) return std::nullopt;
+  if (q.prefix_.empty()) return std::nullopt;
 
   // Superposition of Poisson processes: the first event arrives after an
   // Exp(total) wait and belongs to pair p with probability rate_p / total.
+  const double total = q.total_;
   Time t = after + rng_->exponential(total);
   if (t >= horizon) return std::nullopt;
 
-  double pick = rng_->uniform01() * total;
-  double cum = 0.0;
-  for (const auto& p : pairs) {
-    cum += p.rate;
-    if (pick < cum) return CrossContact{t, p.a, p.b};
-  }
-  // Floating-point slack: return the last pair.
-  const auto& p = pairs.back();
-  return CrossContact{t, p.a, p.b};
+  const double pick = rng_->uniform01() * total;
+  // First pair whose inclusive prefix sum exceeds `pick` — the same pair a
+  // linear `cum += rate; if (pick < cum)` scan selects.
+  auto it = std::upper_bound(q.prefix_.begin(), q.prefix_.end(), pick);
+  const std::size_t idx =
+      it == q.prefix_.end()
+          ? q.prefix_.size() - 1  // floating-point slack: last pair
+          : static_cast<std::size_t>(it - q.prefix_.begin());
+  return CrossContact{t, q.pair_a_[idx], q.pair_b_[idx]};
 }
 
 TraceContactModel::TraceContactModel(const trace::ContactTrace& trace)
     : trace_(&trace) {}
 
+void TraceContactModel::prepare(ContactQuery& q, std::span<const NodeId> from,
+                                std::span<const NodeId> to) {
+  const std::size_t n = trace_->node_count();
+  q.backend_ = ContactQuery::Backend::kTrace;
+  q.owner_ = this;
+  q.pair_a_.clear();
+  q.pair_b_.clear();
+  q.prefix_.clear();
+  q.total_ = 0.0;
+  q.in_from_.assign(n, 0);
+  q.in_to_.assign(n, 0);
+
+  // Track whether some a in `from`, b in `to` with a != b exists at all —
+  // if not, no event can ever match and queries skip the scan entirely.
+  bool from_any = false, to_any = false, from_multi = false, to_multi = false;
+  NodeId from_first = 0, to_first = 0;
+  for (const NodeId a : from) {
+    if (a >= n) continue;  // can never match an event
+    q.in_from_[a] = 1;
+    if (!from_any) {
+      from_any = true;
+      from_first = a;
+    } else if (a != from_first) {
+      from_multi = true;
+    }
+  }
+  for (const NodeId b : to) {
+    if (b >= n) continue;
+    q.in_to_[b] = 1;
+    if (!to_any) {
+      to_any = true;
+      to_first = b;
+    } else if (b != to_first) {
+      to_multi = true;
+    }
+  }
+  q.has_candidates_ = from_any && to_any &&
+                      (from_multi || to_multi || from_first != to_first);
+}
+
 std::optional<CrossContact> TraceContactModel::first_cross_contact(
-    const std::vector<NodeId>& from, const std::vector<NodeId>& to,
-    Time after, Time horizon) {
+    const ContactQuery& q, Time after, Time horizon) {
+  if (q.backend_ != ContactQuery::Backend::kTrace || q.owner_ != this) {
+    throw std::logic_error("ContactQuery: plan belongs to a different model");
+  }
   if (!(horizon > after)) return std::nullopt;
-  std::unordered_set<NodeId> set_a(from.begin(), from.end());
-  std::unordered_set<NodeId> set_b(to.begin(), to.end());
+  if (!q.has_candidates_) return std::nullopt;
 
   const auto& events = trace_->events();
   auto it = std::lower_bound(events.begin(), events.end(), after,
@@ -73,10 +161,10 @@ std::optional<CrossContact> TraceContactModel::first_cross_contact(
                              });
   for (; it != events.end() && it->time < horizon; ++it) {
     if (it->a == it->b) continue;
-    if (set_a.count(it->a) > 0 && set_b.count(it->b) > 0) {
+    if (q.in_from_[it->a] != 0 && q.in_to_[it->b] != 0) {
       return CrossContact{it->time, it->a, it->b};
     }
-    if (set_a.count(it->b) > 0 && set_b.count(it->a) > 0) {
+    if (q.in_from_[it->b] != 0 && q.in_to_[it->a] != 0) {
       return CrossContact{it->time, it->b, it->a};
     }
   }

@@ -79,6 +79,11 @@ struct Engine {
   using Expiry = std::tuple<Time, int, std::size_t>;
   std::priority_queue<Expiry, std::vector<Expiry>, std::greater<>> expiries;
 
+  // Reused snapshot of a node's holdings, taken wherever the loop body
+  // mutates the set it walks; one buffer serves every call site since the
+  // snapshots never overlap in time.
+  std::vector<std::size_t> holdings_scratch;
+
   NetworkSimReport report;
 
   bool buffer_full(NodeId v) const {
@@ -169,8 +174,8 @@ struct Engine {
            events[crash_cursor].time <= t) {
       NodeId v = events[crash_cursor].node;
       ++crash_cursor;
-      std::vector<std::size_t> ids(holdings[v].begin(), holdings[v].end());
-      for (std::size_t id : ids) {
+      holdings_scratch.assign(holdings[v].begin(), holdings[v].end());
+      for (std::size_t id : holdings_scratch) {
         if (!copies[id].alive) continue;
         copies[id].alive = false;
         holdings[v].erase(id);
@@ -242,9 +247,8 @@ struct Engine {
     }
 
     // Relayed copies.
-    std::vector<std::size_t> ids(holdings[sender].begin(),
-                                 holdings[sender].end());
-    for (std::size_t id : ids) {
+    holdings_scratch.assign(holdings[sender].begin(), holdings[sender].end());
+    for (std::size_t id : holdings_scratch) {
       Copy& c = copies[id];
       if (!c.alive) continue;
       std::size_t m = c.msg;

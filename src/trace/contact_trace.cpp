@@ -59,15 +59,17 @@ const std::vector<ContactTrace::NodeContact>& ContactTrace::contacts_of(
 }
 
 std::optional<ContactTrace::NodeContact> ContactTrace::first_contact(
-    NodeId node, const std::vector<NodeId>& candidates, Time after,
+    NodeId node, std::span<const NodeId> candidates, Time after,
     Time horizon) const {
   const auto& list = contacts_of(node);
   auto it = std::lower_bound(
       list.begin(), list.end(), after,
       [](const NodeContact& c, Time t) { return c.time < t; });
-  std::unordered_set<NodeId> wanted(candidates.begin(), candidates.end());
   for (; it != list.end() && it->time < horizon; ++it) {
-    if (wanted.count(it->peer) > 0) return *it;
+    const NodeId peer = it->peer;
+    for (const NodeId c : candidates) {
+      if (c == peer) return *it;
+    }
   }
   return std::nullopt;
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,9 +49,9 @@ class ContactTrace {
   /// First contact of `node` with any member of `candidates` at time >=
   /// `after` and < `horizon`; nullopt if none. `candidates` must not contain
   /// `node` itself.
-  std::optional<NodeContact> first_contact(
-      NodeId node, const std::vector<NodeId>& candidates, Time after,
-      Time horizon) const;
+  std::optional<NodeContact> first_contact(NodeId node,
+                                           std::span<const NodeId> candidates,
+                                           Time after, Time horizon) const;
 
   /// Maximum-likelihood contact-rate estimate over the trace duration:
   /// lambda_ij = (#contacts between i and j) / duration. This is the

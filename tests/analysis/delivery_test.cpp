@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "sim/contact_model.hpp"
 #include "util/stats.hpp"
 
@@ -119,7 +121,8 @@ TEST(DeliveryModel, MatchesSimulationOnSingleRealization) {
         } else {
           targets.push_back(dst);
         }
-        auto c = contacts.first_contact(holder, targets, now, deadline);
+        auto c = contacts.first_cross_contact(
+            std::span<const NodeId>(&holder, 1), targets, now, deadline);
         if (!c.has_value()) {
           ok = false;
         } else {

@@ -1,0 +1,212 @@
+// Property tests for the prepared contact-query plans: on random graphs and
+// synthetic traces, prepare() + first_cross_contact() must agree exactly
+// with a naive per-pair reference that replays the pre-plan algorithm
+// (first-occurrence dedup, from-major enumeration, one Exp(total) draw, one
+// categorical pick by linear scan). The reference and the model consume
+// twin RNG streams, so any divergence in draw order or pair order fails.
+#include "sim/contact_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/contact_trace.hpp"
+#include "util/rng.hpp"
+
+// TU-wide allocation counter backing the zero-allocation assertion.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace odtn::sim {
+namespace {
+
+// The pre-plan Poisson algorithm, verbatim: enumerate from x to, dedup
+// unordered pairs at first occurrence, accumulate positive rates, draw the
+// aggregate exponential, then pick the pair by linear cumulative scan.
+std::optional<CrossContact> naive_poisson(const graph::ContactGraph& g,
+                                          util::Rng& rng,
+                                          const std::vector<NodeId>& from,
+                                          const std::vector<NodeId>& to,
+                                          Time after, Time horizon) {
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<NodeId> pa, pb;
+  std::vector<double> rates;
+  double total = 0.0;
+  for (NodeId a : from) {
+    for (NodeId b : to) {
+      if (a == b) continue;
+      const NodeId lo = a < b ? a : b;
+      const NodeId hi = a < b ? b : a;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(lo) << 32) | hi;
+      if (!seen.insert(key).second) continue;
+      const double r = g.rate(a, b);
+      if (r > 0.0) {
+        pa.push_back(a);
+        pb.push_back(b);
+        rates.push_back(r);
+        total += r;
+      }
+    }
+  }
+  if (!(horizon > after)) return std::nullopt;
+  if (rates.empty()) return std::nullopt;
+  const Time t = after + rng.exponential(total);
+  if (t >= horizon) return std::nullopt;
+  const double pick = rng.uniform01() * total;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    cum += rates[i];
+    if (pick < cum) return CrossContact{t, pa[i], pb[i]};
+  }
+  return CrossContact{t, pa.back(), pb.back()};
+}
+
+// The pre-plan trace algorithm: linear scan of the time window, from-side
+// orientation checked before the reverse.
+std::optional<CrossContact> naive_trace(const trace::ContactTrace& trace,
+                                        const std::vector<NodeId>& from,
+                                        const std::vector<NodeId>& to,
+                                        Time after, Time horizon) {
+  auto in = [](const std::vector<NodeId>& set, NodeId v) {
+    for (NodeId s : set) {
+      if (s == v) return true;
+    }
+    return false;
+  };
+  for (const auto& e : trace.events()) {
+    if (e.time < after) continue;
+    if (e.time >= horizon) break;
+    if (e.a == e.b) continue;
+    if (in(from, e.a) && in(to, e.b)) return CrossContact{e.time, e.a, e.b};
+    if (in(from, e.b) && in(to, e.a)) return CrossContact{e.time, e.b, e.a};
+  }
+  return std::nullopt;
+}
+
+// Random node set of size 1..max_len, duplicates and overlaps allowed.
+std::vector<NodeId> random_set(util::Rng& rng, std::size_t n,
+                               std::size_t max_len) {
+  std::vector<NodeId> out(1 + rng.below(max_len));
+  for (NodeId& v : out) v = static_cast<NodeId>(rng.below(n));
+  return out;
+}
+
+TEST(ContactQueryProperty, PoissonMatchesNaiveScanOnRandomGraphs) {
+  util::Rng meta(2024);
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t n = 4 + meta.below(12);
+    util::Rng graph_rng(meta.next());
+    graph::ContactGraph g = graph::random_contact_graph(n, graph_rng);
+
+    const std::uint64_t seed = meta.next();
+    util::Rng model_rng(seed), ref_rng(seed);
+    PoissonContactModel model(g, model_rng);
+
+    const auto from = random_set(meta, n, 6);
+    const auto to = random_set(meta, n, 6);
+    ContactQuery plan;
+    model.prepare(plan, from, to);
+
+    for (int q = 0; q < 50; ++q) {
+      const Time after = 3.0 * q;
+      const Time horizon = after + (q % 7 == 0 ? 0.0 : 25.0);
+      auto got = model.first_cross_contact(plan, after, horizon);
+      auto want = naive_poisson(g, ref_rng, from, to, after, horizon);
+      ASSERT_EQ(got.has_value(), want.has_value())
+          << "round " << round << " query " << q;
+      if (got.has_value()) {
+        EXPECT_EQ(got->time, want->time);
+        EXPECT_EQ(got->a, want->a);
+        EXPECT_EQ(got->b, want->b);
+      }
+    }
+  }
+}
+
+TEST(ContactQueryProperty, TraceMatchesNaiveScanOnSyntheticTraces) {
+  util::Rng meta(77);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 3 + meta.below(10);
+    std::vector<trace::ContactEvent> events;
+    const std::size_t count = 5 + meta.below(60);
+    for (std::size_t i = 0; i < count; ++i) {
+      NodeId a = static_cast<NodeId>(meta.below(n));
+      NodeId b = static_cast<NodeId>(meta.below(n - 1));
+      if (b >= a) ++b;
+      events.push_back({meta.uniform(0.0, 500.0), a, b});
+    }
+    trace::ContactTrace trace(n, std::move(events));
+    TraceContactModel model(trace);
+
+    const auto from = random_set(meta, n, 5);
+    const auto to = random_set(meta, n, 5);
+    ContactQuery plan;
+    model.prepare(plan, from, to);
+
+    for (int q = 0; q < 40; ++q) {
+      const Time after = 15.0 * q - 30.0;
+      const Time horizon = after + 80.0;
+      auto got = model.first_cross_contact(plan, after, horizon);
+      auto want = naive_trace(trace, from, to, after, horizon);
+      ASSERT_EQ(got.has_value(), want.has_value())
+          << "round " << round << " query " << q;
+      if (got.has_value()) {
+        EXPECT_EQ(got->time, want->time);
+        EXPECT_EQ(got->a, want->a);
+        EXPECT_EQ(got->b, want->b);
+      }
+    }
+  }
+}
+
+TEST(ContactQueryProperty, SteadyStateQueriesDoNotAllocate) {
+  util::Rng rng(5);
+  graph::ContactGraph g = graph::random_contact_graph(50, rng);
+  PoissonContactModel model(g, rng);
+  std::vector<NodeId> from = {0, 1, 2, 3, 4};
+  std::vector<NodeId> to = {10, 11, 12, 13, 14, 15};
+  ContactQuery plan;
+  model.prepare(plan, from, to);
+
+  // Warm the one-shot scratch plan too, then count across both surfaces.
+  (void)model.first_cross_contact(from, to, 0.0, 1.0);
+
+  double sink = 0.0;
+  const std::uint64_t before = g_alloc_count.load();
+  for (int q = 0; q < 1000; ++q) {
+    auto c = model.first_cross_contact(plan, static_cast<Time>(q), 1e9);
+    if (c.has_value()) sink += c->time;
+    model.prepare(plan, from, to);  // re-prepare reuses the buffers
+    auto d = model.first_cross_contact(from, to, static_cast<Time>(q), 1e9);
+    if (d.has_value()) sink += d->time;
+  }
+  const std::uint64_t allocs = g_alloc_count.load() - before;
+  EXPECT_EQ(allocs, 0u) << "sink=" << sink;
+}
+
+}  // namespace
+}  // namespace odtn::sim

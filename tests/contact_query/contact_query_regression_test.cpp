@@ -1,0 +1,68 @@
+// Byte-identity regression for the contact-query redesign: Figure 6 at
+// --runs=40 --seed=7 must reproduce the committed golden table and metrics
+// export exactly, at --threads=1 and --threads=4. The goldens in data/
+// were generated before the prepared-plan API existed, so any drift in
+// pair enumeration order, prefix sums, or RNG draw sequence shows up here.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Drops the timing/environment lines the goldens exclude: wall time, the
+// metrics-path echo, and the runs/seed/threads banner line.
+std::string stable_lines(const std::string& text) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("# wall_time_s", 0) == 0) continue;
+    if (line.rfind("# metrics:", 0) == 0) continue;
+    if (line.find("threads:") != std::string::npos) continue;
+    out << line << "\n";
+  }
+  return out.str();
+}
+
+void run_fig06_and_compare(int threads) {
+  const std::string out_path =
+      ::testing::TempDir() + "fig06_t" + std::to_string(threads) + ".txt";
+  const std::string metrics_path =
+      ::testing::TempDir() + "fig06_t" + std::to_string(threads) + ".jsonl";
+  const std::string cmd = std::string(ODTN_FIG06_BIN) +
+                          " --runs=40 --seed=7 --threads=" +
+                          std::to_string(threads) +
+                          " --metrics-out=" + metrics_path + " > " + out_path +
+                          " 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  const std::string golden_table =
+      read_file(std::string(ODTN_CQ_DATA_DIR) + "/fig06_stable.txt");
+  const std::string golden_metrics =
+      read_file(std::string(ODTN_CQ_DATA_DIR) + "/fig06_metrics.jsonl");
+  EXPECT_EQ(stable_lines(read_file(out_path)), golden_table)
+      << "figure table drifted at --threads=" << threads;
+  EXPECT_EQ(read_file(metrics_path), golden_metrics)
+      << "metrics export drifted at --threads=" << threads;
+}
+
+TEST(ContactQueryRegression, Fig06ByteIdenticalSingleThread) {
+  run_fig06_and_compare(1);
+}
+
+TEST(ContactQueryRegression, Fig06ByteIdenticalFourThreads) {
+  run_fig06_and_compare(4);
+}
+
+}  // namespace

@@ -68,7 +68,8 @@ TEST(FaultSim, BlackholeAbsorbsAndNeverForwards) {
   faults::FaultConfig cfg;
   cfg.blackhole_fraction = 1.0;
   // Exempting the endpoints leaves exactly node 1 — the only relay.
-  faults::FaultPlan plan(cfg, 3, 1000.0, 4, {0, 2});
+  const NodeId exempt[2] = {0, 2};
+  faults::FaultPlan plan(cfg, 3, 1000.0, 4, exempt);
   ASSERT_TRUE(plan.is_blackhole(1));
   NetworkSimConfig sim_cfg;
   sim_cfg.faults = &plan;

@@ -151,13 +151,14 @@ TEST(FaultPlan, BlackholeCountAndExemptions) {
 
   // Exempt nodes are never selected, at any fraction.
   cfg.blackhole_fraction = 1.0;
-  FaultPlan exempted(cfg, 20, 100.0, 11, {0, 19});
+  const NodeId exempt[2] = {0, 19};
+  FaultPlan exempted(cfg, 20, 100.0, 11, exempt);
   EXPECT_FALSE(exempted.is_blackhole(0));
   EXPECT_FALSE(exempted.is_blackhole(19));
   EXPECT_EQ(exempted.blackhole_count(), 18u);
 
   // Same seed picks the same set.
-  FaultPlan again(cfg, 20, 100.0, 11, {0, 19});
+  FaultPlan again(cfg, 20, 100.0, 11, exempt);
   for (NodeId v = 0; v < 20; ++v) {
     EXPECT_EQ(exempted.is_blackhole(v), again.is_blackhole(v));
   }

@@ -51,8 +51,8 @@ TEST(ContactGraph, RateToSetSumsAndSkipsSelf) {
   g.set_rate(0, 1, 0.1);
   g.set_rate(0, 2, 0.2);
   g.set_rate(0, 3, 0.4);
-  EXPECT_DOUBLE_EQ(g.rate_to_set(0, {1, 2}), 0.3);
-  EXPECT_DOUBLE_EQ(g.rate_to_set(0, {0, 1, 2, 3}), 0.7);
+  EXPECT_DOUBLE_EQ(g.rate_to_set(0, std::vector<NodeId>{1, 2}), 0.3);
+  EXPECT_DOUBLE_EQ(g.rate_to_set(0, std::vector<NodeId>{0, 1, 2, 3}), 0.7);
 }
 
 TEST(ContactGraph, MeanSetToSetRate) {
@@ -63,8 +63,8 @@ TEST(ContactGraph, MeanSetToSetRate) {
   g.set_rate(1, 2, 0.3);
   g.set_rate(1, 3, 0.4);
   // avg over senders of summed rate: ((0.1+0.2) + (0.3+0.4)) / 2 = 0.5
-  EXPECT_DOUBLE_EQ(g.mean_set_to_set_rate({0, 1}, {2, 3}), 0.5);
-  EXPECT_THROW(g.mean_set_to_set_rate({}, {2}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(g.mean_set_to_set_rate(std::vector<NodeId>{0, 1}, std::vector<NodeId>{2, 3}), 0.5);
+  EXPECT_THROW(g.mean_set_to_set_rate(std::vector<NodeId>{}, std::vector<NodeId>{2}), std::invalid_argument);
 }
 
 TEST(ContactGraph, TotalRateCountsEachPairOnce) {

@@ -2,10 +2,27 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "util/stats.hpp"
 
 namespace odtn::sim {
 namespace {
+
+// Span-surface helpers: gtest call sites keep braced-list ergonomics.
+std::optional<CrossContact> query(ContactModel& m, const std::vector<NodeId>& from,
+                                  const std::vector<NodeId>& to, Time after,
+                                  Time horizon) {
+  return m.first_cross_contact(from, to, after, horizon);
+}
+
+std::optional<CrossContact> holder_query(ContactModel& m, NodeId holder,
+                                         const std::vector<NodeId>& to,
+                                         Time after, Time horizon) {
+  return m.first_cross_contact(std::span<const NodeId>(&holder, 1), to, after,
+                               horizon);
+}
 
 TEST(PoissonContactModel, FirstContactTimeIsExponential) {
   graph::ContactGraph g(3);
@@ -15,7 +32,7 @@ TEST(PoissonContactModel, FirstContactTimeIsExponential) {
 
   util::RunningStats delays;
   for (int i = 0; i < 20000; ++i) {
-    auto c = model.first_contact(0, {1}, 100.0, kTimeInfinity);
+    auto c = holder_query(model, 0, {1}, 100.0, kTimeInfinity);
     ASSERT_TRUE(c.has_value());
     EXPECT_GE(c->time, 100.0);
     delays.add(c->time - 100.0);
@@ -37,7 +54,7 @@ TEST(PoissonContactModel, AnycastRateIsSumOfRates) {
   util::RunningStats delays;
   int peer_counts[4] = {0, 0, 0, 0};
   for (int i = 0; i < 30000; ++i) {
-    auto c = model.first_contact(0, {1, 2, 3}, 0.0, kTimeInfinity);
+    auto c = holder_query(model, 0, {1, 2, 3}, 0.0, kTimeInfinity);
     ASSERT_TRUE(c.has_value());
     delays.add(c->time);
     peer_counts[c->b]++;
@@ -56,7 +73,7 @@ TEST(PoissonContactModel, HorizonRespected) {
   PoissonContactModel model(g, rng);
   int hits = 0;
   for (int i = 0; i < 5000; ++i) {
-    if (model.first_contact(0, {1}, 0.0, 1.0).has_value()) ++hits;
+    if (holder_query(model, 0, {1}, 0.0, 1.0).has_value()) ++hits;
   }
   // P(contact within 1) = 1 - e^-0.001 ~ 0.001.
   EXPECT_LT(hits, 25);
@@ -66,7 +83,7 @@ TEST(PoissonContactModel, NoContactForZeroRate) {
   graph::ContactGraph g(3);
   util::Rng rng(4);
   PoissonContactModel model(g, rng);
-  EXPECT_FALSE(model.first_contact(0, {1, 2}, 0.0, 1e9).has_value());
+  EXPECT_FALSE(holder_query(model, 0, {1, 2}, 0.0, 1e9).has_value());
 }
 
 TEST(PoissonContactModel, EmptyWindowOrTargets) {
@@ -74,9 +91,9 @@ TEST(PoissonContactModel, EmptyWindowOrTargets) {
   g.set_rate(0, 1, 1.0);
   util::Rng rng(5);
   PoissonContactModel model(g, rng);
-  EXPECT_FALSE(model.first_contact(0, {1}, 10.0, 10.0).has_value());
-  EXPECT_FALSE(model.first_contact(0, {}, 0.0, 100.0).has_value());
-  EXPECT_FALSE(model.first_contact(0, {0}, 0.0, 100.0).has_value());
+  EXPECT_FALSE(holder_query(model, 0, {1}, 10.0, 10.0).has_value());
+  EXPECT_FALSE(holder_query(model, 0, {}, 0.0, 100.0).has_value());
+  EXPECT_FALSE(holder_query(model, 0, {0}, 0.0, 100.0).has_value());
 }
 
 TEST(PoissonContactModel, OverlappingSetsCountPairsOnce) {
@@ -88,7 +105,7 @@ TEST(PoissonContactModel, OverlappingSetsCountPairsOnce) {
   PoissonContactModel model(g, rng);
   util::RunningStats delays;
   for (int i = 0; i < 20000; ++i) {
-    auto c = model.first_cross_contact({0, 1}, {0, 1}, 0.0, kTimeInfinity);
+    auto c = query(model, {0, 1}, {0, 1}, 0.0, kTimeInfinity);
     ASSERT_TRUE(c.has_value());
     delays.add(c->time);
   }
@@ -102,7 +119,7 @@ TEST(PoissonContactModel, CrossContactIdentifiesSides) {
   util::Rng rng(7);
   PoissonContactModel model(g, rng);
   for (int i = 0; i < 100; ++i) {
-    auto c = model.first_cross_contact({0, 1}, {2, 3}, 0.0, kTimeInfinity);
+    auto c = query(model, {0, 1}, {2, 3}, 0.0, kTimeInfinity);
     ASSERT_TRUE(c.has_value());
     EXPECT_TRUE(c->a == 0 || c->a == 1);
     EXPECT_TRUE(c->b == 2 || c->b == 3);
@@ -114,10 +131,10 @@ TEST(PoissonContactModel, CrossContactIdentifiesSides) {
 TEST(TraceContactModel, ReplaysEventsInOrder) {
   trace::ContactTrace t(3, {{10.0, 0, 1}, {20.0, 1, 2}, {30.0, 0, 1}});
   TraceContactModel model(t);
-  auto c = model.first_contact(0, {1}, 0.0, 100.0);
+  auto c = holder_query(model, 0, {1}, 0.0, 100.0);
   ASSERT_TRUE(c.has_value());
   EXPECT_EQ(c->time, 10.0);
-  c = model.first_contact(0, {1}, 10.5, 100.0);
+  c = holder_query(model, 0, {1}, 10.5, 100.0);
   ASSERT_TRUE(c.has_value());
   EXPECT_EQ(c->time, 30.0);
 }
@@ -125,7 +142,7 @@ TEST(TraceContactModel, ReplaysEventsInOrder) {
 TEST(TraceContactModel, OrientationNormalized) {
   trace::ContactTrace t(3, {{10.0, 1, 0}});
   TraceContactModel model(t);
-  auto c = model.first_contact(0, {1}, 0.0, 100.0);
+  auto c = holder_query(model, 0, {1}, 0.0, 100.0);
   ASSERT_TRUE(c.has_value());
   EXPECT_EQ(c->a, 0u);
   EXPECT_EQ(c->b, 1u);
@@ -135,16 +152,16 @@ TEST(TraceContactModel, HorizonAndAfterBoundaries) {
   trace::ContactTrace t(2, {{10.0, 0, 1}});
   TraceContactModel model(t);
   // after inclusive.
-  EXPECT_TRUE(model.first_contact(0, {1}, 10.0, 11.0).has_value());
+  EXPECT_TRUE(holder_query(model, 0, {1}, 10.0, 11.0).has_value());
   // horizon exclusive.
-  EXPECT_FALSE(model.first_contact(0, {1}, 0.0, 10.0).has_value());
-  EXPECT_FALSE(model.first_contact(0, {1}, 10.5, 100.0).has_value());
+  EXPECT_FALSE(holder_query(model, 0, {1}, 0.0, 10.0).has_value());
+  EXPECT_FALSE(holder_query(model, 0, {1}, 10.5, 100.0).has_value());
 }
 
 TEST(TraceContactModel, CrossContactSets) {
   trace::ContactTrace t(4, {{5.0, 2, 3}, {10.0, 0, 3}, {15.0, 1, 2}});
   TraceContactModel model(t);
-  auto c = model.first_cross_contact({0, 1}, {2, 3}, 0.0, 100.0);
+  auto c = query(model, {0, 1}, {2, 3}, 0.0, 100.0);
   ASSERT_TRUE(c.has_value());
   EXPECT_EQ(c->time, 10.0);
   EXPECT_EQ(c->a, 0u);
@@ -155,6 +172,82 @@ TEST(TraceContactModel, NodeCount) {
   trace::ContactTrace t(7, {});
   TraceContactModel model(t);
   EXPECT_EQ(model.node_count(), 7u);
+}
+
+TEST(ContactQuery, PreparedPlanMatchesOneShot) {
+  // A plan prepared once and queried repeatedly must consume the RNG
+  // stream exactly like the one-shot span surface.
+  util::Rng graph_rng(99);
+  graph::ContactGraph g = graph::random_contact_graph(8, graph_rng);
+  util::Rng rng_a(11), rng_b(11);
+  PoissonContactModel one_shot(g, rng_a);
+  PoissonContactModel planned(g, rng_b);
+  const std::vector<NodeId> from = {0, 1, 5};
+  const std::vector<NodeId> to = {5, 2, 0, 7};
+  ContactQuery plan;
+  planned.prepare(plan, from, to);
+  for (int i = 0; i < 200; ++i) {
+    auto a = one_shot.first_cross_contact(from, to, 2.0 * i, 2.0 * i + 50.0);
+    auto b = planned.first_cross_contact(plan, 2.0 * i, 2.0 * i + 50.0);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a.has_value()) {
+      EXPECT_EQ(a->time, b->time);
+      EXPECT_EQ(a->a, b->a);
+      EXPECT_EQ(a->b, b->b);
+    }
+  }
+}
+
+TEST(ContactQuery, PlanExposesAggregateRate) {
+  graph::ContactGraph g(4);
+  g.set_rate(0, 2, 0.25);
+  g.set_rate(1, 3, 0.5);
+  util::Rng rng(3);
+  PoissonContactModel model(g, rng);
+  const std::vector<NodeId> from = {0, 1};
+  const std::vector<NodeId> to = {2, 3};
+  ContactQuery plan = model.prepare(from, to);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.pair_count(), 2u);
+  EXPECT_DOUBLE_EQ(plan.total_rate(), 0.75);
+
+  const std::vector<NodeId> none;
+  model.prepare(plan, none, to);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.pair_count(), 0u);
+}
+
+TEST(ContactQuery, RejectsForeignPlan) {
+  graph::ContactGraph g(3);
+  g.set_rate(0, 1, 1.0);
+  util::Rng r1(1), r2(2);
+  PoissonContactModel m1(g, r1);
+  PoissonContactModel m2(g, r2);
+  const std::vector<NodeId> from = {0};
+  const std::vector<NodeId> to = {1};
+  ContactQuery plan = m1.prepare(from, to);
+  EXPECT_THROW(m2.first_cross_contact(plan, 0.0, 1.0), std::logic_error);
+  trace::ContactTrace t(3, {{1.0, 0, 1}});
+  TraceContactModel tm(t);
+  EXPECT_THROW(tm.first_cross_contact(plan, 0.0, 10.0), std::logic_error);
+  ContactQuery fresh;
+  EXPECT_THROW(m1.first_cross_contact(fresh, 0.0, 1.0), std::logic_error);
+}
+
+TEST(ContactQuery, TracePlanReusableAcrossQueries) {
+  trace::ContactTrace t(4, {{5.0, 2, 3}, {10.0, 0, 3}, {15.0, 1, 2}});
+  TraceContactModel model(t);
+  const std::vector<NodeId> from = {0, 1};
+  const std::vector<NodeId> to = {2, 3};
+  ContactQuery plan = model.prepare(from, to);
+  auto c = model.first_cross_contact(plan, 0.0, 100.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->time, 10.0);
+  c = model.first_cross_contact(plan, 10.5, 100.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->time, 15.0);
+  EXPECT_EQ(c->a, 1u);
+  EXPECT_EQ(c->b, 2u);
 }
 
 }  // namespace

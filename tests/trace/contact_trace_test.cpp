@@ -49,21 +49,21 @@ TEST(ContactTrace, ContactsOfIncludesBothDirections) {
 
 TEST(ContactTrace, FirstContactRespectsWindowAndCandidates) {
   ContactTrace t(3, sample_events());
-  auto c = t.first_contact(0, {1, 2}, 0.0, 100.0);
+  auto c = t.first_contact(0, std::vector<NodeId>{1, 2}, 0.0, 100.0);
   ASSERT_TRUE(c.has_value());
   EXPECT_EQ(c->time, 20.0);
   EXPECT_EQ(c->peer, 2u);
 
-  c = t.first_contact(0, {1}, 0.0, 100.0);
+  c = t.first_contact(0, std::vector<NodeId>{1}, 0.0, 100.0);
   ASSERT_TRUE(c.has_value());
   EXPECT_EQ(c->time, 30.0);
 
   // `after` is inclusive, horizon exclusive.
-  c = t.first_contact(0, {2}, 20.0, 100.0);
+  c = t.first_contact(0, std::vector<NodeId>{2}, 20.0, 100.0);
   ASSERT_TRUE(c.has_value());
   EXPECT_EQ(c->time, 20.0);
-  EXPECT_FALSE(t.first_contact(0, {2}, 20.5, 100.0).has_value());
-  EXPECT_FALSE(t.first_contact(0, {1}, 0.0, 30.0).has_value());
+  EXPECT_FALSE(t.first_contact(0, std::vector<NodeId>{2}, 20.5, 100.0).has_value());
+  EXPECT_FALSE(t.first_contact(0, std::vector<NodeId>{1}, 0.0, 30.0).has_value());
 }
 
 TEST(ContactTrace, EstimateRatesMatchesCounts) {

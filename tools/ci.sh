@@ -6,9 +6,12 @@
 # 1. Configures and builds the plain tree, runs the full ctest suite
 #    (the tier-1 gate from ROADMAP.md), then the metrics suite by label,
 #    then a checkpoint/resume byte-identity smoke check on the CLI.
-# 2. Configures a -DODTN_SANITIZE=thread tree in build-tsan/, builds only
+# 2. Runs the contact-query byte-identity suite by label, then a perf
+#    smoke: the micro_sim hot-path benchmarks against the committed
+#    BENCH_micro_sim.json baseline (fail on >20% regression).
+# 3. Configures a -DODTN_SANITIZE=thread tree in build-tsan/, builds only
 #    the tsan-labelled test targets, and runs `ctest -L tsan` under TSan.
-# 3. Configures a -DODTN_SANITIZE=address tree in build-asan/, builds the
+# 4. Configures a -DODTN_SANITIZE=address tree in build-asan/, builds the
 #    fault-injection test targets, and runs `ctest -L faults` under ASan.
 #
 # Exits non-zero on the first failure.
@@ -52,6 +55,21 @@ grep -v -e '^# wall_time_s' -e '^# metrics:' "$smoke/resumed.txt" > "$smoke/resu
 cmp "$smoke/ref.stable" "$smoke/resumed.stable"
 cmp "$smoke/ref.jsonl" "$smoke/resumed.jsonl"
 echo "checkpoint/resume output byte-identical"
+
+echo "== contact-query byte-identity suite (ctest -L contact_query) =="
+ctest --test-dir "$repo/build" -L contact_query --output-on-failure -j "$jobs"
+
+echo "== perf smoke: micro_sim hot paths vs BENCH_micro_sim.json =="
+# Medians over 5 repetitions of the two gate benchmarks; micro_sim exits
+# non-zero when either regresses more than 20% against the committed
+# baseline. Noise-prone under load — rerun pinned (taskset -c 0) before
+# treating a failure as real.
+"$repo/build/bench/micro_sim" \
+    --benchmark_filter='^BM_MultiCopyRoute/3$|^BM_ExperimentRun$' \
+    --benchmark_repetitions=5 \
+    --baseline="$repo/BENCH_micro_sim.json" --max-regression-pct=20 \
+    > /dev/null
+echo "perf smoke within budget"
 
 echo "== tsan: configure + build labelled test targets =="
 cmake -B "$repo/build-tsan" -S "$repo" -DODTN_SANITIZE=thread
