@@ -15,6 +15,16 @@ core::ExperimentConfig base_config(const util::Args& args) {
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   cfg.threads = static_cast<std::size_t>(args.get_int("threads", 0));
   cfg.collect_metrics = args.has("metrics-out");
+  std::string backend = args.get("contact-backend", "dense");
+  if (backend == "sparse") {
+    cfg.backend = core::ContactBackend::kSparse;
+  } else if (backend != "dense") {
+    throw std::invalid_argument(
+        "bench: --contact-backend must be dense or sparse");
+  }
+  cfg.avg_degree = static_cast<std::size_t>(args.get_int("avg-degree", 0));
+  cfg.communities = static_cast<std::size_t>(args.get_int("communities", 0));
+  cfg.group_shards = static_cast<std::size_t>(args.get_int("group-shards", 0));
   return cfg;
 }
 
@@ -46,7 +56,7 @@ void print_header(const std::string& figure_id, const std::string& title,
 }
 
 void finish(const core::ExperimentConfig& config, const util::Args& args,
-            const WallTimer& timer) {
+            const WallTimer& timer, const std::string& extra_json) {
   double wall = timer.seconds();
   std::cout << "# wall_time_s: " << wall << "\n";
 
@@ -65,7 +75,9 @@ void finish(const core::ExperimentConfig& config, const util::Args& args,
   record << "{\"schema\":\"odtn.bench.v1\",\"figure_id\":\"" << figure_id
          << "\",\"runs\":" << config.runs << ",\"seed\":" << config.seed
          << ",\"threads\":" << config.threads
-         << ",\"wall_time_s\":" << metrics::format_double(wall) << "}";
+         << ",\"wall_time_s\":" << metrics::format_double(wall);
+  if (!extra_json.empty()) record << "," << extra_json;
+  record << "}";
   std::ofstream out(path, std::ios::app);
   if (!out) {
     throw std::runtime_error("bench: cannot open --json file: " + path);

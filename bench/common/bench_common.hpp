@@ -16,6 +16,10 @@
 //                      across every experiment of the sweep (JSONL, or CSV
 //                      when FILE ends in .csv); byte-identical at every
 //                      --threads value
+//   --contact-backend=dense|sparse
+//                      contact-rate storage (default dense; sparse enables
+//                      the scale regime), plus --avg-degree / --communities
+//                      / --group-shards sparse-side knobs
 #pragma once
 
 #include <chrono>
@@ -71,9 +75,11 @@ class WallTimer {
 /// `{"schema":"odtn.bench.v1","figure_id":...,"runs":...,"seed":...,
 /// "threads":...,"wall_time_s":...}` to FILE (figure_id is the bench
 /// binary's name); when --metrics-out=FILE was given, writes the
-/// accumulated deterministic metrics there.
+/// accumulated deterministic metrics there. `extra_json` (when non-empty)
+/// is spliced verbatim into the record before the closing brace — pass
+/// pre-formatted `"key":value` pairs, comma-separated, no leading comma.
 void finish(const core::ExperimentConfig& config, const util::Args& args,
-            const WallTimer& timer);
+            const WallTimer& timer, const std::string& extra_json = "");
 
 /// One x-sweep figure table: owns the util::Table, iterates the x-values,
 /// opens each row and prints the x cell, then hands the row to a per-point

@@ -30,7 +30,7 @@ CompromiseModel CompromiseModel::from_fraction(std::size_t n, double fraction,
   return CompromiseModel(n, count, rng);
 }
 
-CompromiseModel CompromiseModel::targeted(const graph::ContactGraph& graph,
+CompromiseModel CompromiseModel::targeted(const graph::ContactRates& graph,
                                           std::size_t count) {
   std::size_t n = graph.node_count();
   if (count > n) {
@@ -39,9 +39,9 @@ CompromiseModel CompromiseModel::targeted(const graph::ContactGraph& graph,
   std::vector<std::pair<double, NodeId>> by_rate;
   by_rate.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
-    double total = 0.0;
-    for (NodeId u = 0; u < n; ++u) total += graph.rate(v, u);
-    by_rate.emplace_back(total, v);
+    // row_rate_sum accumulates in ascending peer order on every backend —
+    // the same sum the historical all-pairs loop computed here.
+    by_rate.emplace_back(graph.row_rate_sum(v), v);
   }
   std::sort(by_rate.begin(), by_rate.end(), [](const auto& a, const auto& b) {
     if (a.first != b.first) return a.first > b.first;

@@ -8,7 +8,7 @@
 
 #include <vector>
 
-#include "graph/contact_graph.hpp"
+#include "graph/contact_rates.hpp"
 #include "routing/types.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
@@ -30,7 +30,7 @@ class CompromiseModel {
   /// often, so this is the strongest placement against onion-group
   /// routing). Extends the paper's uniform-compromise threat model; see
   /// bench/ablation_targeted_adversary. Ties broken by node id.
-  static CompromiseModel targeted(const graph::ContactGraph& graph,
+  static CompromiseModel targeted(const graph::ContactRates& graph,
                                   std::size_t count);
 
   std::size_t node_count() const { return compromised_.size(); }

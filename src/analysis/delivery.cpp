@@ -8,7 +8,7 @@
 namespace odtn::analysis {
 
 std::vector<double> opportunistic_onion_rates(
-    const graph::ContactGraph& graph, NodeId src, NodeId dst,
+    const graph::ContactRates& graph, NodeId src, NodeId dst,
     const groups::GroupDirectory& directory,
     const std::vector<GroupId>& relay_groups) {
   if (relay_groups.empty()) {

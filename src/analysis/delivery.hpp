@@ -7,7 +7,7 @@
 
 #include <vector>
 
-#include "graph/contact_graph.hpp"
+#include "graph/contact_rates.hpp"
 #include "groups/group_directory.hpp"
 #include "util/ids.hpp"
 
@@ -19,7 +19,7 @@ namespace odtn::analysis {
 ///   lambda_k     = avg_i sum_j rate(r_{k-1,i}, r_{k,j})  (2 <= k <= K)
 ///   lambda_{K+1} = avg_j rate(r_{K,j}, dst)              (last hop to dst)
 std::vector<double> opportunistic_onion_rates(
-    const graph::ContactGraph& graph, NodeId src, NodeId dst,
+    const graph::ContactRates& graph, NodeId src, NodeId dst,
     const groups::GroupDirectory& directory,
     const std::vector<GroupId>& relay_groups);
 

@@ -67,7 +67,10 @@ std::uint64_t checkpoint_config_hash(const ExperimentConfig& c,
                                      const std::string& scenario_tag) {
   std::ostringstream os;
   os << scenario_tag << "|nodes=" << c.nodes << "|min_ict=" << fmt(c.min_ict)
-     << "|max_ict=" << fmt(c.max_ict) << "|g=" << c.group_size
+     << "|max_ict=" << fmt(c.max_ict)
+     << "|backend=" << static_cast<int>(c.backend)
+     << "|deg=" << c.avg_degree << "|comm=" << c.communities
+     << "|shards=" << c.group_shards << "|g=" << c.group_size
      << "|K=" << c.num_relays << "|L=" << c.copies << "|ttl=" << fmt(c.ttl)
      << "|p=" << fmt(c.compromise_fraction)
      << "|gap=" << fmt(c.trace_training_gap) << "|seed=" << c.seed

@@ -10,6 +10,15 @@
 
 namespace odtn::core {
 
+/// Contact-rate storage backend for experiments.
+///
+///  * kDense — the historical O(n²) triangular ContactGraph. Byte-identical
+///    to every recorded baseline; the default.
+///  * kSparse — the CSR SparseContactGraph. O(n + m) memory; required for
+///    the scale regime (n = 10⁵–10⁶), and byte-identical to kDense on
+///    complete graphs at paper scale (same RNG draw sequence).
+enum class ContactBackend : std::uint8_t { kDense, kSparse };
+
 /// Default values are the paper's defaults (Table II and Sec. V-A):
 /// n = 100 nodes, inter-contact times uniform in [10, 360] minutes,
 /// g = 5, K = 3, L = 1, T up to 1800 minutes, 10% compromised nodes.
@@ -18,6 +27,19 @@ struct ExperimentConfig {
   std::size_t nodes = 100;
   double min_ict = 10.0;
   double max_ict = 360.0;
+
+  /// Contact storage backend. Sparse-only knobs below must stay 0 on the
+  /// dense backend (validated with a one-line error).
+  ContactBackend backend = ContactBackend::kDense;
+  /// Sparse random graphs: target mean contact degree per node. 0 keeps the
+  /// paper's complete graph (only feasible up to a few thousand nodes).
+  std::size_t avg_degree = 0;
+  /// With avg_degree > 0: number of community blocks (0 = one community).
+  std::size_t communities = 0;
+  /// Group-directory sharding: nodes are permuted per contiguous shard
+  /// instead of globally, lazily — O((K+2) * shard_size) directory work per
+  /// run instead of O(n). 0 keeps the explicit global permutation.
+  std::size_t group_shards = 0;
 
   // Protocol parameters.
   std::size_t group_size = 5;    // g

@@ -15,6 +15,7 @@
 #include "analysis/delivery.hpp"
 #include "analysis/traceable.hpp"
 #include "graph/contact_graph.hpp"
+#include "graph/sparse_contact_graph.hpp"
 #include "groups/group_directory.hpp"
 #include "groups/key_manager.hpp"
 #include "onion/onion.hpp"
@@ -65,18 +66,27 @@ struct RunOutcome {
   metrics::Registry metrics;
 };
 
-// Shared per-realization kernel, once a contact model, graph-for-analysis,
+// Shared per-realization kernel, once a contact model, rates-for-analysis,
 // endpoints and start time are fixed. Every random draw comes from `rng`,
 // which the engine seeds from (config.seed, run index). `reg` is the run's
-// private metrics sink (null = off).
+// private metrics sink (null = off). Backend-neutral: `analysis_graph` is
+// the ContactRates surface both the dense and the sparse backend implement.
 RunOutcome run_once(const ExperimentConfig& cfg, sim::ContactModel& contacts,
-                    const graph::ContactGraph& analysis_graph, NodeId src,
+                    const graph::ContactRates& analysis_graph, NodeId src,
                     NodeId dst, Time start, util::Rng& rng,
                     metrics::Registry* reg) {
   RunOutcome out;
   std::size_t n = contacts.node_count();
 
-  groups::GroupDirectory directory(n, cfg.group_size, &rng);
+  // group_shards == 0 is the historical global permutation (same RNG
+  // consumption as ever); sharded directories draw one seed and permute
+  // lazily per shard.
+  groups::GroupDirectory directory =
+      cfg.group_shards > 0
+          ? groups::GroupDirectory(
+                n, cfg.group_size,
+                groups::GroupDirectory::Sharded{cfg.group_shards, rng.next()})
+          : groups::GroupDirectory(n, cfg.group_size, &rng);
   groups::KeyManager keys(directory, rng.next());
   onion::OnionCodec codec;
 
@@ -315,16 +325,61 @@ void pick_endpoints(util::Rng& rng, std::size_t n, NodeId& src, NodeId& dst) {
   if (dst >= src) ++dst;
 }
 
+// Sparse complete graphs store n(n-1)/2 edges explicitly; past a few
+// thousand nodes that is strictly worse than the dense triangle. Force the
+// avg_degree generator instead.
+constexpr std::size_t kSparseCompleteGraphCap = 5000;
+
+// One-line diagnostics for unsupported backend/knob combinations
+// (validated at run() time so every entry point — CLI, benches, tests —
+// reports the same message).
+void validate_backend(const ExperimentConfig& cfg, const Scenario& scenario) {
+  if (cfg.backend == ContactBackend::kDense) {
+    if (cfg.avg_degree != 0 || cfg.communities != 0) {
+      throw std::invalid_argument(
+          "experiment: avg_degree/communities require "
+          "--contact-backend=sparse");
+    }
+    if (std::holds_alternative<SparseTraceScenario>(scenario)) {
+      throw std::invalid_argument(
+          "experiment: streaming-trace scenario requires "
+          "--contact-backend=sparse (use an in-memory TraceScenario on the "
+          "dense backend)");
+    }
+    return;
+  }
+  // Sparse backend.
+  if (std::holds_alternative<TraceScenario>(scenario)) {
+    throw std::invalid_argument(
+        "experiment: in-memory trace scenario runs on the dense backend; "
+        "use a streaming sparse-trace scenario with "
+        "--contact-backend=sparse");
+  }
+  if (std::holds_alternative<RandomGraphScenario>(scenario) &&
+      cfg.avg_degree == 0 && cfg.nodes > kSparseCompleteGraphCap) {
+    throw std::invalid_argument(
+        "experiment: sparse complete graph capped at 5000 nodes; set "
+        "avg_degree for larger networks");
+  }
+  if (cfg.communities != 0 && cfg.avg_degree == 0) {
+    throw std::invalid_argument(
+        "experiment: communities requires avg_degree > 0");
+  }
+}
+
 }  // namespace
 
 ExperimentResult Experiment::run(const Scenario& scenario) const {
+  validate_backend(config_, scenario);
   return std::visit(
       [this](const auto& s) -> ExperimentResult {
         using S = std::decay_t<decltype(s)>;
         if constexpr (std::is_same_v<S, RandomGraphScenario>) {
           return run_random_graph(s);
-        } else {
+        } else if constexpr (std::is_same_v<S, TraceScenario>) {
           return run_trace(s);
+        } else {
+          return run_sparse_trace(s);
         }
       },
       scenario);
@@ -333,6 +388,29 @@ ExperimentResult Experiment::run(const Scenario& scenario) const {
 ExperimentResult Experiment::run_random_graph(
     const RandomGraphScenario&) const {
   const ExperimentConfig& cfg = config_;
+  if (cfg.backend == ContactBackend::kSparse) {
+    return run_engine(
+        cfg, cfg.nodes, "random_graph",
+        [&](std::size_t, util::Rng& rng, metrics::Registry* reg) {
+          // avg_degree == 0 draws the identical RNG sequence as the dense
+          // generator, so paper-scale sparse runs reproduce dense results
+          // bit-for-bit; avg_degree > 0 is the O(n·degree) scale regime.
+          graph::SparseContactGraph graph =
+              cfg.avg_degree == 0
+                  ? graph::sparse_random_contact_graph(cfg.nodes, rng,
+                                                       cfg.min_ict, cfg.max_ict)
+                  : graph::sparse_community_contact_graph(
+                        cfg.nodes, cfg.avg_degree,
+                        std::max<std::size_t>(std::size_t{1}, cfg.communities),
+                        rng, cfg.min_ict, cfg.max_ict);
+          sim::SparseContactModel contacts(graph, rng);
+
+          NodeId src, dst;
+          pick_endpoints(rng, cfg.nodes, src, dst);
+          return run_once(cfg, contacts, graph, src, dst, /*start=*/0.0, rng,
+                          reg);
+        });
+  }
   return run_engine(cfg, cfg.nodes, "random_graph",
                     [&](std::size_t, util::Rng& rng, metrics::Registry* reg) {
     graph::ContactGraph graph = graph::random_contact_graph(
@@ -383,6 +461,51 @@ ExperimentResult Experiment::run_trace(const TraceScenario& scenario) const {
 
         sim::TraceContactModel contacts(trace);
         return run_once(cfg, contacts, trained, src, dst, start, rng, reg);
+      });
+  if (cfg.collect_metrics) result.metrics.merge(train_reg);
+  return result;
+}
+
+ExperimentResult Experiment::run_sparse_trace(
+    const SparseTraceScenario& scenario) const {
+  const ExperimentConfig& cfg = config_;
+  if (scenario.path.empty()) {
+    throw std::invalid_argument("experiment: SparseTraceScenario.path empty");
+  }
+  if (scenario.nodes < 2) {
+    throw std::invalid_argument(
+        "experiment: SparseTraceScenario.nodes must be >= 2");
+  }
+
+  // ONE streaming pass over the file: no event list, no whole-file buffer —
+  // just the trained CSR rates. Runs then sample live Poisson contacts from
+  // those rates (the model the training fits), so neither the simulation
+  // nor the analysis side ever needs the events again.
+  metrics::Registry train_reg;
+  trace::SparseTraceSummary summary = [&] {
+    metrics::ScopedTimer t(
+        metrics::timer(cfg.collect_metrics ? &train_reg : nullptr,
+                       "experiment.phase.train_seconds"));
+    return trace::ingest_sparse_trace_file(scenario.path, scenario.format,
+                                           scenario.nodes,
+                                           cfg.trace_training_gap);
+  }();
+
+  ExperimentResult result = run_engine(
+      cfg, summary.node_count, "sparse_trace",
+      [&](std::size_t, util::Rng& rng, metrics::Registry* reg) {
+        NodeId src, dst;
+        pick_endpoints(rng, summary.node_count, src, dst);
+
+        if (summary.rates.degree(src) == 0) {
+          metrics::counter(reg, "experiment.runs").inc();
+          metrics::counter(reg, "experiment.isolated_sources").inc();
+          return RunOutcome{};  // isolated node: a failed run
+        }
+
+        sim::SparseContactModel contacts(summary.rates, rng);
+        return run_once(cfg, contacts, summary.rates, src, dst,
+                        /*start=*/summary.start_time, rng, reg);
       });
   if (cfg.collect_metrics) result.metrics.merge(train_reg);
   return result;

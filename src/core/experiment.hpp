@@ -24,6 +24,7 @@
 #include "core/config.hpp"
 #include "metrics/metrics.hpp"
 #include "trace/contact_trace.hpp"
+#include "trace/trace_reader.hpp"
 #include "util/stats.hpp"
 
 namespace odtn::core {
@@ -96,8 +97,23 @@ struct TraceScenario {
   const trace::ContactTrace* trace = nullptr;
 };
 
-/// What an Experiment runs on: one of the two realization sources above.
-using Scenario = std::variant<RandomGraphScenario, TraceScenario>;
+/// Streaming-trace experiments for the scale regime: the trace file is
+/// ingested in ONE bounded-memory pass (trace::ingest_sparse_trace_file)
+/// that trains a sparse contact-rate graph directly — events are never
+/// materialized. Runs then sample live Poisson contacts from the trained
+/// rates (sim::SparseContactModel), which is the analytical contact model
+/// the training fits; the analysis side reads the same sparse rates.
+/// Requires config.backend == ContactBackend::kSparse.
+struct SparseTraceScenario {
+  std::string path;
+  trace::TraceFormat format = trace::TraceFormat::kPlain;
+  /// Number of mobile nodes (same meaning as the in-memory parsers').
+  std::size_t nodes = 0;
+};
+
+/// What an Experiment runs on: one of the realization sources above.
+using Scenario =
+    std::variant<RandomGraphScenario, TraceScenario, SparseTraceScenario>;
 
 /// The unified entry point:
 ///
@@ -119,6 +135,7 @@ class Experiment {
  private:
   ExperimentResult run_random_graph(const RandomGraphScenario& s) const;
   ExperimentResult run_trace(const TraceScenario& s) const;
+  ExperimentResult run_sparse_trace(const SparseTraceScenario& s) const;
 
   ExperimentConfig config_;
 };

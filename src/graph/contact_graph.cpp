@@ -51,12 +51,12 @@ double ContactGraph::rate_to_set(NodeId i, std::span<const NodeId> targets) cons
   return sum;
 }
 
-double ContactGraph::mean_set_to_set_rate(std::span<const NodeId> from,
-                                          std::span<const NodeId> to) const {
-  if (from.empty()) throw std::invalid_argument("mean_set_to_set_rate: empty");
+double ContactGraph::row_rate_sum(NodeId i) const {
+  const RowView r = row(i);
+  const std::size_t n = n_;
   double sum = 0.0;
-  for (NodeId i : from) sum += rate_to_set(i, to);
-  return sum / static_cast<double>(from.size());
+  for (NodeId j = 0; j < n; ++j) sum += r.rate(j);
+  return sum;
 }
 
 double ContactGraph::total_rate() const {
@@ -67,10 +67,15 @@ double ContactGraph::total_rate() const {
 
 std::vector<NodeId> ContactGraph::neighbors(NodeId i) const {
   std::vector<NodeId> out;
-  for (NodeId j = 0; j < n_; ++j) {
-    if (j != i && rate(i, j) > 0.0) out.push_back(j);
-  }
+  append_neighbors(i, out);
   return out;
+}
+
+void ContactGraph::append_neighbors(NodeId i, std::vector<NodeId>& out) const {
+  const RowView r = row(i);
+  for (NodeId j = 0; j < n_; ++j) {
+    if (j != i && r.rate(j) > 0.0) out.push_back(j);
+  }
 }
 
 ContactGraph random_contact_graph(std::size_t n, util::Rng& rng,

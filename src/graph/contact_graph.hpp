@@ -10,12 +10,13 @@
 #include <stdexcept>
 #include <vector>
 
+#include "graph/contact_rates.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
 
 namespace odtn::graph {
 
-class ContactGraph {
+class ContactGraph final : public ContactRates {
  public:
   /// Creates a graph of `n` isolated nodes (all rates zero).
   explicit ContactGraph(std::size_t n);
@@ -50,10 +51,10 @@ class ContactGraph {
     std::size_t row_start_;
   };
 
-  std::size_t node_count() const { return n_; }
+  std::size_t node_count() const override { return n_; }
 
   /// Contact rate between i and j (symmetric). rate(i, i) is always 0.
-  double rate(NodeId i, NodeId j) const;
+  double rate(NodeId i, NodeId j) const override;
 
   /// Rate accessor with the row bounds check and triangular index base
   /// hoisted out of the inner loop; `i` must be a valid node.
@@ -68,19 +69,20 @@ class ContactGraph {
   /// Sum of rates from `i` into the node set `targets` (skipping i itself):
   /// the aggregate rate at which i meets *any* member — the anycast rate of
   /// the opportunistic onion path model (Eq. 4, first/last cases).
-  double rate_to_set(NodeId i, std::span<const NodeId> targets) const;
+  double rate_to_set(NodeId i,
+                     std::span<const NodeId> targets) const override;
 
-  /// Average over senders in `from` of the summed rate into `to`
-  /// (Eq. 4, middle case): (1/|from|) * sum_{i in from} sum_{j in to} rate.
-  double mean_set_to_set_rate(std::span<const NodeId> from,
-                              std::span<const NodeId> to) const;
+  /// Total rate of `i` against all peers, via the contiguous RowView.
+  double row_rate_sum(NodeId i) const override;
 
   /// Total pairwise rate over the whole graph (used by the event-driven
   /// baselines to sample "next contact anywhere").
-  double total_rate() const;
+  double total_rate() const override;
 
   /// All neighbors of i with non-zero rate.
   std::vector<NodeId> neighbors(NodeId i) const;
+
+  void append_neighbors(NodeId i, std::vector<NodeId>& out) const override;
 
  private:
   std::size_t index(NodeId i, NodeId j) const;

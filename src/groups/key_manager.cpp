@@ -1,5 +1,6 @@
 #include "groups/key_manager.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
@@ -17,54 +18,52 @@ util::Bytes derive(const util::Bytes& master, const std::string& label,
 
 }  // namespace
 
-KeyManager::KeyManager(const GroupDirectory& directory, std::uint64_t seed) {
-  util::Bytes master;
-  util::put_u64le(master, seed);
-  util::append(master, util::to_bytes("odtn-key-manager-v1"));
-
-  group_keys_.reserve(directory.group_count());
-  for (GroupId g = 0; g < directory.group_count(); ++g) {
-    group_keys_.push_back(derive(master, "group-key", g));
-  }
-
-  identity_master_ = master;
-  identities_.resize(directory.node_count());
-  inbox_keys_.reserve(directory.node_count());
-  for (NodeId v = 0; v < directory.node_count(); ++v) {
-    inbox_keys_.push_back(derive(master, "inbox-key", v));
-  }
+KeyManager::KeyManager(const GroupDirectory& directory, std::uint64_t seed)
+    : node_count_(directory.node_count()),
+      group_count_(directory.group_count()) {
+  util::put_u64le(master_, seed);
+  util::append(master_, util::to_bytes("odtn-key-manager-v1"));
 }
 
 const util::Bytes& KeyManager::group_key(GroupId group) const {
-  if (group >= group_keys_.size()) {
+  if (group >= group_count_) {
     throw std::out_of_range("KeyManager::group_key");
   }
-  return group_keys_[group];
+  auto it = group_keys_.find(group);
+  if (it == group_keys_.end()) {
+    it = group_keys_.emplace(group, derive(master_, "group-key", group)).first;
+  }
+  return it->second;
 }
 
 const crypto::KeyPair& KeyManager::node_identity(NodeId node) const {
-  if (node >= identities_.size()) {
+  if (node >= node_count_) {
     throw std::out_of_range("KeyManager::node_identity");
   }
-  if (!identities_[node].has_value()) {
+  auto it = identities_.find(node);
+  if (it == identities_.end()) {
     crypto::KeyPair kp;
-    kp.private_key = derive(identity_master_, "identity-key", node);
+    kp.private_key = derive(master_, "identity-key", node);
     kp.public_key = crypto::x25519_base(kp.private_key);
-    identities_[node] = std::move(kp);
+    it = identities_.emplace(node, std::move(kp)).first;
   }
-  return *identities_[node];
+  return it->second;
 }
 
 const util::Bytes& KeyManager::inbox_key(NodeId node) const {
-  if (node >= inbox_keys_.size()) {
+  if (node >= node_count_) {
     throw std::out_of_range("KeyManager::inbox_key");
   }
-  return inbox_keys_[node];
+  auto it = inbox_keys_.find(node);
+  if (it == inbox_keys_.end()) {
+    it = inbox_keys_.emplace(node, derive(master_, "inbox-key", node)).first;
+  }
+  return it->second;
 }
 
 const util::Bytes& KeyManager::session_key(NodeId a, NodeId b) const {
   if (a == b) throw std::invalid_argument("session_key: a == b");
-  if (a >= identities_.size() || b >= identities_.size()) {
+  if (a >= node_count_ || b >= node_count_) {
     throw std::out_of_range("KeyManager::session_key");
   }
   NodeId lo = std::min(a, b), hi = std::max(a, b);

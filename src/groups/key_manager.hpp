@@ -5,9 +5,14 @@
 // k and (b) two meeting nodes can establish a secure link. We realize (a)
 // with HKDF-derived per-group symmetric keys and (b) with per-node X25519
 // identities + ECDH (see DESIGN.md for why this substitution is faithful).
+//
+// All key material is derived lazily and memoized: each key is a pure
+// function derive(master, label, index) of its index, so on-demand
+// derivation yields byte-identical keys while a run only ever pays for the
+// handful of groups/nodes a message actually touches — constructing a
+// KeyManager is O(1) even over a million-node directory.
 #pragma once
 
-#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -20,8 +25,8 @@ namespace odtn::groups {
 
 class KeyManager {
  public:
-  /// Derives all group keys, node identity key pairs, and node inbox keys
-  /// from a master seed (deterministic per experiment).
+  /// Binds the key space to `directory`'s sizes; keys derive from a master
+  /// seed (deterministic per experiment) on first use.
   KeyManager(const GroupDirectory& directory, std::uint64_t seed);
 
   /// Symmetric key shared by all members of `group` (32 bytes).
@@ -40,17 +45,19 @@ class KeyManager {
   /// in (a, b); memoized because the ladder is the costly operation.
   const util::Bytes& session_key(NodeId a, NodeId b) const;
 
-  std::size_t node_count() const { return identities_.size(); }
-  std::size_t group_count() const { return group_keys_.size(); }
+  std::size_t node_count() const { return node_count_; }
+  std::size_t group_count() const { return group_count_; }
 
  private:
-  std::vector<util::Bytes> group_keys_;
-  // Identity key pairs are derived deterministically per node but the
-  // public half (an X25519 ladder, the expensive operation) is computed
-  // lazily: simulations that run without real crypto never pay for it.
-  mutable std::vector<std::optional<crypto::KeyPair>> identities_;
-  util::Bytes identity_master_;
-  std::vector<util::Bytes> inbox_keys_;
+  std::size_t node_count_ = 0;
+  std::size_t group_count_ = 0;
+  util::Bytes master_;
+  // Lazy caches. unordered_map references stay valid across inserts, so
+  // returned key references are stable. Not thread-safe: each simulation
+  // run owns its KeyManager.
+  mutable std::unordered_map<GroupId, util::Bytes> group_keys_;
+  mutable std::unordered_map<NodeId, crypto::KeyPair> identities_;
+  mutable std::unordered_map<NodeId, util::Bytes> inbox_keys_;
   mutable std::unordered_map<std::uint64_t, util::Bytes> session_cache_;
 };
 

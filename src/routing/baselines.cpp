@@ -43,7 +43,7 @@ DeliveryResult SprayAndWaitRouting::route(sim::ContactModel& contacts,
   std::unordered_set<NodeId> holders = {spec.src};
   std::size_t tickets = spec.copies - 1;  // copies the source may spray
   std::vector<NodeId> holder_list;  // scratch, reused across iterations
-  std::vector<NodeId> others;
+  std::vector<NodeId> excluded;
 
   while (true) {
     // Wait phase event: any holder meets dst. Spray phase event: source
@@ -53,12 +53,12 @@ DeliveryResult SprayAndWaitRouting::route(sim::ContactModel& contacts,
         holder_list, std::span<const NodeId>(&spec.dst, 1), now, deadline);
     std::optional<sim::CrossContact> spray;
     if (tickets > 0) {
-      others.clear();
-      for (NodeId v = 0; v < contacts.node_count(); ++v) {
-        if (v != spec.dst && holders.count(v) == 0) others.push_back(v);
-      }
-      spray = contacts.first_cross_contact(
-          std::span<const NodeId>(&spec.src, 1), others, now, deadline);
+      // Complement plan: anyone who is not dst and not already a holder —
+      // built without enumerating all n nodes.
+      excluded.assign(holder_list.begin(), holder_list.end());
+      excluded.push_back(spec.dst);
+      spray = contacts.first_cross_contact_complement(
+          std::span<const NodeId>(&spec.src, 1), excluded, now, deadline);
     }
 
     if (deliver.has_value() &&
@@ -92,7 +92,7 @@ DeliveryResult BinarySprayAndWaitRouting::route(sim::ContactModel& contacts,
   std::unordered_map<NodeId, std::size_t> tickets = {{spec.src, spec.copies}};
   std::vector<NodeId> holder_list;  // scratch, reused across iterations
   std::vector<NodeId> sprayers;
-  std::vector<NodeId> others;
+  std::vector<NodeId> excluded;
 
   while (true) {
     // Delivery event: any holder meets dst.
@@ -108,11 +108,12 @@ DeliveryResult BinarySprayAndWaitRouting::route(sim::ContactModel& contacts,
     }
     std::optional<sim::CrossContact> spray;
     if (!sprayers.empty()) {
-      others.clear();
-      for (NodeId v = 0; v < contacts.node_count(); ++v) {
-        if (v != spec.dst && tickets.count(v) == 0) others.push_back(v);
-      }
-      spray = contacts.first_cross_contact(sprayers, others, now, deadline);
+      // Complement plan: ticketless nodes other than dst, without the O(n)
+      // enumeration.
+      excluded.assign(holder_list.begin(), holder_list.end());
+      excluded.push_back(spec.dst);
+      spray = contacts.first_cross_contact_complement(sprayers, excluded, now,
+                                                      deadline);
     }
 
     if (deliver.has_value() &&
@@ -142,15 +143,13 @@ DeliveryResult EpidemicRouting::route(sim::ContactModel& contacts,
 
   std::unordered_set<NodeId> infected = {spec.src};
   std::vector<NodeId> holders;  // scratch, reused across iterations
-  std::vector<NodeId> susceptible;
 
   while (infected.size() < contacts.node_count()) {
     holders.assign(infected.begin(), infected.end());
-    susceptible.clear();
-    for (NodeId v = 0; v < contacts.node_count(); ++v) {
-      if (infected.count(v) == 0) susceptible.push_back(v);
-    }
-    auto ev = contacts.first_cross_contact(holders, susceptible, now, deadline);
+    // Complement plan: every still-susceptible node is "not yet infected" —
+    // the infected set doubles as the exclusion list.
+    auto ev = contacts.first_cross_contact_complement(holders, holders, now,
+                                                      deadline);
     if (!ev.has_value()) break;
 
     now = ev->time;

@@ -432,22 +432,25 @@ DeliveryResult MultiCopyOnionRouting::route(
   // The source sprayer's prepared query, rebuilt only when `seen` grows.
   sim::ContactQuery spray_plan;
   std::uint64_t spray_plan_version = 0;
+  std::vector<NodeId> excluded;  // scratch for complement plans
   auto ensure_spray_plan = [&] {
     if (spray_plan_version == seen_version) return;
-    targets.clear();
     if (mode_ == SprayMode::kDirectToFirstGroup) {
+      targets.clear();
       for (NodeId m : dir.members(result.relay_groups[0])) {
         if (seen.count(m) == 0) targets.push_back(m);
       }
+      contacts.prepare(spray_plan, std::span<const NodeId>(&spec.src, 1),
+                       targets);
     } else {
-      for (NodeId v = 0; v < contacts.node_count(); ++v) {
-        if (v != spec.dst && seen.count(v) == 0) {
-          targets.push_back(v);
-        }
-      }
+      // Spray to anyone new: a complement plan ("everyone except dst and
+      // the seen set") instead of enumerating all n nodes — on sparse
+      // backends this costs O(degree(src)), not O(n).
+      excluded.assign(seen.begin(), seen.end());
+      excluded.push_back(spec.dst);
+      contacts.prepare_complement(
+          spray_plan, std::span<const NodeId>(&spec.src, 1), excluded);
     }
-    contacts.prepare(spray_plan, std::span<const NodeId>(&spec.src, 1),
-                     targets);
     spray_plan_version = seen_version;
   };
 

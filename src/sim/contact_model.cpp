@@ -5,6 +5,34 @@
 
 namespace odtn::sim {
 
+namespace {
+
+// Shared sampling step for Poisson-style plans (dense and sparse backends
+// build identical pair-list/prefix-sum structures). Superposition of Poisson
+// processes: the first event arrives after an Exp(total) wait and belongs to
+// pair p with probability rate_p / total.
+std::optional<CrossContact> sample_poisson_plan(util::Rng& rng, Time after,
+                                                Time horizon,
+                                                std::span<const NodeId> pair_a,
+                                                std::span<const NodeId> pair_b,
+                                                std::span<const double> prefix,
+                                                double total) {
+  Time t = after + rng.exponential(total);
+  if (t >= horizon) return std::nullopt;
+
+  const double pick = rng.uniform01() * total;
+  // First pair whose inclusive prefix sum exceeds `pick` — the same pair a
+  // linear `cum += rate; if (pick < cum)` scan selects.
+  auto it = std::upper_bound(prefix.begin(), prefix.end(), pick);
+  const std::size_t idx =
+      it == prefix.end()
+          ? prefix.size() - 1  // floating-point slack: last pair
+          : static_cast<std::size_t>(it - prefix.begin());
+  return CrossContact{t, pair_a[idx], pair_b[idx]};
+}
+
+}  // namespace
+
 PoissonContactModel::PoissonContactModel(const graph::ContactGraph& graph,
                                          util::Rng& rng)
     : graph_(&graph), rng_(&rng) {}
@@ -78,6 +106,65 @@ void PoissonContactModel::prepare(ContactQuery& q, std::span<const NodeId> from,
   q.total_ = cum;
 }
 
+void PoissonContactModel::prepare_complement(ContactQuery& q,
+                                             std::span<const NodeId> from,
+                                             std::span<const NodeId> excluded) {
+  const std::size_t n = graph_->node_count();
+  q.backend_ = ContactQuery::Backend::kPoisson;
+  q.owner_ = this;
+  q.pair_a_.clear();
+  q.pair_b_.clear();
+  q.prefix_.clear();
+  q.total_ = 0.0;
+  q.has_candidates_ = false;
+
+  if (from_stamp_.size() < n) {
+    from_stamp_.resize(n, 0);
+    to_stamp_.resize(n, 0);
+    from_pos_.resize(n);
+    to_pos_.resize(n);
+  }
+
+  // to_stamp_ marks *excluded* nodes here; the implicit to-set is every
+  // unstamped node in ascending id order, which makes this loop produce
+  // exactly the plan prepare() builds from the explicit ascending list of
+  // non-excluded nodes (same pair order, same skips, same additions).
+  ++epoch_;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const NodeId a = from[i];
+    if (a >= n) throw std::out_of_range("ContactModel: bad node id");
+    if (from_stamp_[a] != epoch_) {
+      from_stamp_[a] = epoch_;
+      from_pos_[a] = static_cast<std::uint32_t>(i);
+    }
+  }
+  for (const NodeId v : excluded) {
+    if (v >= n) throw std::out_of_range("ContactModel: bad node id");
+    to_stamp_[v] = epoch_;
+  }
+
+  double cum = 0.0;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const NodeId a = from[i];
+    if (from_pos_[a] != i) continue;  // duplicate occurrence of a
+    const auto row = graph_->row(a);
+    const bool a_in_to = to_stamp_[a] != epoch_;
+    for (NodeId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (to_stamp_[b] == epoch_) continue;  // excluded
+      if (a_in_to && from_stamp_[b] == epoch_ && from_pos_[b] < i) continue;
+      const double r = row.rate(b);
+      if (r > 0.0) {
+        cum += r;
+        q.pair_a_.push_back(a);
+        q.pair_b_.push_back(b);
+        q.prefix_.push_back(cum);
+      }
+    }
+  }
+  q.total_ = cum;
+}
+
 std::optional<CrossContact> PoissonContactModel::first_cross_contact(
     const ContactQuery& q, Time after, Time horizon) {
   if (q.backend_ != ContactQuery::Backend::kPoisson || q.owner_ != this) {
@@ -85,22 +172,144 @@ std::optional<CrossContact> PoissonContactModel::first_cross_contact(
   }
   if (!(horizon > after)) return std::nullopt;
   if (q.prefix_.empty()) return std::nullopt;
+  return sample_poisson_plan(*rng_, after, horizon, q.pair_a_, q.pair_b_,
+                             q.prefix_, q.total_);
+}
 
-  // Superposition of Poisson processes: the first event arrives after an
-  // Exp(total) wait and belongs to pair p with probability rate_p / total.
-  const double total = q.total_;
-  Time t = after + rng_->exponential(total);
-  if (t >= horizon) return std::nullopt;
+SparseContactModel::SparseContactModel(const graph::SparseContactGraph& graph,
+                                       util::Rng& rng)
+    : graph_(&graph), rng_(&rng) {}
 
-  const double pick = rng_->uniform01() * total;
-  // First pair whose inclusive prefix sum exceeds `pick` — the same pair a
-  // linear `cum += rate; if (pick < cum)` scan selects.
-  auto it = std::upper_bound(q.prefix_.begin(), q.prefix_.end(), pick);
-  const std::size_t idx =
-      it == q.prefix_.end()
-          ? q.prefix_.size() - 1  // floating-point slack: last pair
-          : static_cast<std::size_t>(it - q.prefix_.begin());
-  return CrossContact{t, q.pair_a_[idx], q.pair_b_[idx]};
+void SparseContactModel::prepare(ContactQuery& q, std::span<const NodeId> from,
+                                 std::span<const NodeId> to) {
+  const std::size_t n = graph_->node_count();
+  q.backend_ = ContactQuery::Backend::kPoisson;
+  q.owner_ = this;
+  q.pair_a_.clear();
+  q.pair_b_.clear();
+  q.prefix_.clear();
+  q.total_ = 0.0;
+  q.has_candidates_ = false;
+
+  if (from_stamp_.size() < n) {
+    from_stamp_.resize(n, 0);
+    to_stamp_.resize(n, 0);
+    from_pos_.resize(n);
+    to_pos_.resize(n);
+  }
+
+  ++epoch_;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const NodeId a = from[i];
+    if (a >= n) throw std::out_of_range("ContactModel: bad node id");
+    if (from_stamp_[a] != epoch_) {
+      from_stamp_[a] = epoch_;
+      from_pos_[a] = static_cast<std::uint32_t>(i);
+    }
+  }
+  for (std::size_t j = 0; j < to.size(); ++j) {
+    const NodeId b = to[j];
+    if (b >= n) throw std::out_of_range("ContactModel: bad node id");
+    if (to_stamp_[b] != epoch_) {
+      to_stamp_[b] = epoch_;
+      to_pos_[b] = static_cast<std::uint32_t>(j);
+    }
+  }
+
+  // Same enumeration, dedup and accumulation order as the dense model; the
+  // only difference is the O(log degree) CSR rate lookup, and pairs absent
+  // from the CSR are exactly the dense zero-rate pairs prepare() drops.
+  double cum = 0.0;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const NodeId a = from[i];
+    if (from_pos_[a] != i) continue;  // duplicate occurrence of a
+    const auto ids = graph_->neighbor_ids(a);
+    const auto rates = graph_->neighbor_rates(a);
+    const bool a_in_to = to_stamp_[a] == epoch_;
+    for (std::size_t j = 0; j < to.size(); ++j) {
+      const NodeId b = to[j];
+      if (a == b) continue;
+      if (to_pos_[b] != j) continue;  // duplicate occurrence of b
+      if (a_in_to && from_stamp_[b] == epoch_ && from_pos_[b] < i) continue;
+      const auto it = std::lower_bound(ids.begin(), ids.end(), b);
+      if (it == ids.end() || *it != b) continue;
+      const double r = rates[static_cast<std::size_t>(it - ids.begin())];
+      cum += r;
+      q.pair_a_.push_back(a);
+      q.pair_b_.push_back(b);
+      q.prefix_.push_back(cum);
+    }
+  }
+  q.total_ = cum;
+}
+
+void SparseContactModel::prepare_complement(ContactQuery& q,
+                                            std::span<const NodeId> from,
+                                            std::span<const NodeId> excluded) {
+  const std::size_t n = graph_->node_count();
+  q.backend_ = ContactQuery::Backend::kPoisson;
+  q.owner_ = this;
+  q.pair_a_.clear();
+  q.pair_b_.clear();
+  q.prefix_.clear();
+  q.total_ = 0.0;
+  q.has_candidates_ = false;
+
+  if (from_stamp_.size() < n) {
+    from_stamp_.resize(n, 0);
+    to_stamp_.resize(n, 0);
+    from_pos_.resize(n);
+    to_pos_.resize(n);
+  }
+
+  ++epoch_;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const NodeId a = from[i];
+    if (a >= n) throw std::out_of_range("ContactModel: bad node id");
+    if (from_stamp_[a] != epoch_) {
+      from_stamp_[a] = epoch_;
+      from_pos_[a] = static_cast<std::uint32_t>(i);
+    }
+  }
+  for (const NodeId v : excluded) {
+    if (v >= n) throw std::out_of_range("ContactModel: bad node id");
+    to_stamp_[v] = epoch_;
+  }
+
+  // This is the scale-out payoff: the implicit all-but-excluded to-set is
+  // intersected with each from-node's adjacency row, so the cost is
+  // O(sum degree) instead of O(|from| * n). Row ids ascend, so the pair
+  // order (and therefore the prefix sums and categorical picks) matches the
+  // dense complement plan exactly.
+  double cum = 0.0;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const NodeId a = from[i];
+    if (from_pos_[a] != i) continue;  // duplicate occurrence of a
+    const auto ids = graph_->neighbor_ids(a);
+    const auto rates = graph_->neighbor_rates(a);
+    const bool a_in_to = to_stamp_[a] != epoch_;
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      const NodeId b = ids[k];
+      if (to_stamp_[b] == epoch_) continue;  // excluded
+      if (a_in_to && from_stamp_[b] == epoch_ && from_pos_[b] < i) continue;
+      cum += rates[k];
+      q.pair_a_.push_back(a);
+      q.pair_b_.push_back(b);
+      q.prefix_.push_back(cum);
+    }
+  }
+  q.total_ = cum;
+}
+
+std::optional<CrossContact> SparseContactModel::first_cross_contact(
+    const ContactQuery& q, Time after, Time horizon) {
+  if (q.backend_ != ContactQuery::Backend::kPoisson || q.owner_ != this) {
+    throw std::logic_error("ContactQuery: plan belongs to a different model");
+  }
+  if (!(horizon > after)) return std::nullopt;
+  if (q.prefix_.empty()) return std::nullopt;
+  return sample_poisson_plan(*rng_, after, horizon, q.pair_a_, q.pair_b_,
+                             q.prefix_, q.total_);
 }
 
 TraceContactModel::TraceContactModel(const trace::ContactTrace& trace)
@@ -140,6 +349,50 @@ void TraceContactModel::prepare(ContactQuery& q, std::span<const NodeId> from,
       to_first = b;
     } else if (b != to_first) {
       to_multi = true;
+    }
+  }
+  q.has_candidates_ = from_any && to_any &&
+                      (from_multi || to_multi || from_first != to_first);
+}
+
+void TraceContactModel::prepare_complement(ContactQuery& q,
+                                           std::span<const NodeId> from,
+                                           std::span<const NodeId> excluded) {
+  const std::size_t n = trace_->node_count();
+  q.backend_ = ContactQuery::Backend::kTrace;
+  q.owner_ = this;
+  q.pair_a_.clear();
+  q.pair_b_.clear();
+  q.prefix_.clear();
+  q.total_ = 0.0;
+  q.in_from_.assign(n, 0);
+  q.in_to_.assign(n, 1);  // complement: everyone in, then excluded drop out
+  for (const NodeId b : excluded) {
+    if (b < n) q.in_to_[b] = 0;
+  }
+
+  bool from_any = false, from_multi = false;
+  NodeId from_first = 0;
+  for (const NodeId a : from) {
+    if (a >= n) continue;  // can never match an event
+    q.in_from_[a] = 1;
+    if (!from_any) {
+      from_any = true;
+      from_first = a;
+    } else if (a != from_first) {
+      from_multi = true;
+    }
+  }
+  bool to_any = false, to_multi = false;
+  NodeId to_first = 0;
+  for (NodeId b = 0; b < n; ++b) {
+    if (q.in_to_[b] == 0) continue;
+    if (!to_any) {
+      to_any = true;
+      to_first = b;
+    } else {
+      to_multi = true;
+      break;
     }
   }
   q.has_candidates_ = from_any && to_any &&

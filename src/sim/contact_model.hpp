@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "graph/contact_graph.hpp"
+#include "graph/sparse_contact_graph.hpp"
 #include "trace/contact_trace.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
@@ -80,6 +81,7 @@ class ContactQuery {
  private:
   friend class ContactModel;
   friend class PoissonContactModel;
+  friend class SparseContactModel;
   friend class TraceContactModel;
 
   enum class Backend : std::uint8_t { kNone, kPoisson, kTrace };
@@ -122,6 +124,23 @@ class ContactModel {
     return q;
   }
 
+  /// Compiles (from, all nodes NOT in `excluded`) into `q`. Equivalent to
+  /// prepare() with an explicit ascending target list of every node outside
+  /// `excluded`, but without the caller materializing that O(n) list: on
+  /// sparse backends the plan is built from the from-nodes' adjacency rows
+  /// in O(sum degree). This is the scalable form of the "spray to anyone
+  /// new" queries that previously enumerated all n nodes per poll.
+  virtual void prepare_complement(ContactQuery& q, std::span<const NodeId> from,
+                                  std::span<const NodeId> excluded) = 0;
+
+  /// Convenience: returns a freshly allocated complement plan.
+  ContactQuery prepare_complement(std::span<const NodeId> from,
+                                  std::span<const NodeId> excluded) {
+    ContactQuery q;
+    prepare_complement(q, from, excluded);
+    return q;
+  }
+
   /// Answers a prepared query: first contact in [after, horizon). Zero
   /// heap allocations. `q` must have been prepared by this model.
   virtual std::optional<CrossContact> first_cross_contact(
@@ -134,6 +153,15 @@ class ContactModel {
                                                   std::span<const NodeId> to,
                                                   Time after, Time horizon) {
     prepare(scratch_, from, to);
+    return first_cross_contact(scratch_, after, horizon);
+  }
+
+  /// One-shot complement query: first contact between `from` and any node
+  /// NOT in `excluded`, in [after, horizon).
+  std::optional<CrossContact> first_cross_contact_complement(
+      std::span<const NodeId> from, std::span<const NodeId> excluded,
+      Time after, Time horizon) {
+    prepare_complement(scratch_, from, excluded);
     return first_cross_contact(scratch_, after, horizon);
   }
 
@@ -151,9 +179,13 @@ class PoissonContactModel final : public ContactModel {
 
   using ContactModel::first_cross_contact;
   using ContactModel::prepare;
+  using ContactModel::prepare_complement;
 
   void prepare(ContactQuery& q, std::span<const NodeId> from,
                std::span<const NodeId> to) override;
+
+  void prepare_complement(ContactQuery& q, std::span<const NodeId> from,
+                          std::span<const NodeId> excluded) override;
 
   std::optional<CrossContact> first_cross_contact(const ContactQuery& q,
                                                   Time after,
@@ -173,6 +205,46 @@ class PoissonContactModel final : public ContactModel {
   std::vector<std::uint32_t> to_pos_;
 };
 
+/// Live-sampled Poisson contacts over a SparseContactGraph. Same plan
+/// structure, draw sequence and selection math as PoissonContactModel, but
+/// prepare() costs O(|from| * |to| log degree) rate lookups and
+/// prepare_complement() walks adjacency rows in O(sum degree) — never O(n).
+/// A sparse graph holding the same rates as a dense one yields bit-identical
+/// plans (same pair order, same prefix sums), hence identical simulations.
+class SparseContactModel final : public ContactModel {
+ public:
+  /// Both references must outlive the model.
+  SparseContactModel(const graph::SparseContactGraph& graph, util::Rng& rng);
+
+  std::size_t node_count() const override { return graph_->node_count(); }
+
+  using ContactModel::first_cross_contact;
+  using ContactModel::prepare;
+  using ContactModel::prepare_complement;
+
+  void prepare(ContactQuery& q, std::span<const NodeId> from,
+               std::span<const NodeId> to) override;
+
+  void prepare_complement(ContactQuery& q, std::span<const NodeId> from,
+                          std::span<const NodeId> excluded) override;
+
+  std::optional<CrossContact> first_cross_contact(const ContactQuery& q,
+                                                  Time after,
+                                                  Time horizon) override;
+
+ private:
+  const graph::SparseContactGraph* graph_;
+  util::Rng* rng_;
+
+  // Same epoch-stamped dedup tables as the dense Poisson model; to_stamp_
+  // doubles as the excluded-set stamp for prepare_complement.
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> from_stamp_;
+  std::vector<std::uint64_t> to_stamp_;
+  std::vector<std::uint32_t> from_pos_;
+  std::vector<std::uint32_t> to_pos_;
+};
+
 /// Replays a recorded ContactTrace.
 class TraceContactModel final : public ContactModel {
  public:
@@ -183,9 +255,13 @@ class TraceContactModel final : public ContactModel {
 
   using ContactModel::first_cross_contact;
   using ContactModel::prepare;
+  using ContactModel::prepare_complement;
 
   void prepare(ContactQuery& q, std::span<const NodeId> from,
                std::span<const NodeId> to) override;
+
+  void prepare_complement(ContactQuery& q, std::span<const NodeId> from,
+                          std::span<const NodeId> excluded) override;
 
   std::optional<CrossContact> first_cross_contact(const ContactQuery& q,
                                                   Time after,

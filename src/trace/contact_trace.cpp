@@ -4,17 +4,25 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_set>
+#include <unordered_map>
+
+#include "trace/trace_reader.hpp"
 
 namespace odtn::trace {
 
 namespace {
 
-// getline leaves the '\r' of a CRLF line ending in place; strip it so
-// Windows-authored trace files parse, and so string fields (e.g. the ONE
-// report's "up"/"down") don't capture a stray carriage return.
-void strip_cr(std::string& line) {
-  if (!line.empty() && line.back() == '\r') line.pop_back();
+// The in-memory parsers are thin wrappers over the streaming readers
+// (trace_reader.hpp): drain the reader into a vector, hand it to the
+// ContactTrace constructor. All format quirks, skip rules and "line N: ..."
+// diagnostics live in one place — the readers.
+std::vector<ContactEvent> drain(TraceReader& reader) {
+  std::vector<ContactEvent> events;
+  TraceRecord rec;
+  while (reader.next_record(rec)) {
+    events.push_back({rec.time, rec.a, rec.b});
+  }
+  return events;
 }
 
 }  // namespace
@@ -107,137 +115,50 @@ graph::ContactGraph ContactTrace::estimate_rates() const {
   graph::ContactGraph g(node_count_);
   double duration = end_time() - start_time();
   if (duration <= 0.0) return g;
-  // Count contacts per pair.
-  std::vector<std::vector<std::size_t>> counts(
-      node_count_, std::vector<std::size_t>(node_count_, 0));
+  // Count contacts per distinct pair. A hash map keyed on the (lo, hi) pair
+  // keeps training memory proportional to the observed contact graph, not
+  // O(n²) — real traces touch a tiny fraction of all pairs.
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
   for (const auto& e : events_) {
-    counts[e.a][e.b]++;
-    counts[e.b][e.a]++;
+    const NodeId lo = std::min(e.a, e.b);
+    const NodeId hi = std::max(e.a, e.b);
+    ++counts[(static_cast<std::uint64_t>(lo) << 32) | hi];
   }
-  for (NodeId i = 0; i < node_count_; ++i) {
-    for (NodeId j = i + 1; j < node_count_; ++j) {
-      if (counts[i][j] > 0) {
-        g.set_rate(i, j, static_cast<double>(counts[i][j]) / duration);
-      }
-    }
+  for (const auto& [key, count] : counts) {
+    const NodeId i = static_cast<NodeId>(key >> 32);
+    const NodeId j = static_cast<NodeId>(key & 0xffffffffu);
+    g.set_rate(i, j, static_cast<double>(count) / duration);
   }
   return g;
 }
 
 ContactTrace parse_trace(const std::string& text, std::size_t node_count) {
-  std::vector<ContactEvent> events;
   std::istringstream is(text);
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    strip_cr(line);
-    auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
-    double t;
-    long a, b;
-    if (!(ls >> t)) continue;  // blank or comment-only line
-    if (!(ls >> a >> b)) {
-      throw std::invalid_argument("line " + std::to_string(line_no) +
-                                  ": malformed contact (expected 'time a b')");
-    }
-    if (a < 0 || b < 0) {
-      throw std::invalid_argument("line " + std::to_string(line_no) +
-                                  ": negative node id");
-    }
-    events.push_back({t, static_cast<NodeId>(a), static_cast<NodeId>(b)});
-  }
-  return ContactTrace(node_count, std::move(events));
+  PlainTraceReader reader(is);
+  return ContactTrace(node_count, drain(reader));
 }
 
 ContactTrace parse_crawdad_trace(const std::string& text,
                                  std::size_t node_count) {
-  std::vector<ContactEvent> events;
   std::istringstream is(text);
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    strip_cr(line);
-    auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
-    long id1, id2;
-    double start, end;
-    if (!(ls >> id1)) continue;  // blank line
-    if (!(ls >> id2 >> start >> end)) {
-      throw std::invalid_argument(
-          "line " + std::to_string(line_no) +
-          ": malformed contact (expected 'id1 id2 start end')");
-    }
-    if (id1 < 1 || id2 < 1) {
-      throw std::invalid_argument("line " + std::to_string(line_no) +
-                                  ": crawdad ids are 1-based");
-    }
-    if (end < start) {
-      throw std::invalid_argument("line " + std::to_string(line_no) +
-                                  ": contact end < start");
-    }
-    // Drop external/stationary devices, as the paper does.
-    if (static_cast<std::size_t>(id1) > node_count ||
-        static_cast<std::size_t>(id2) > node_count) {
-      continue;
-    }
-    if (id1 == id2) continue;
-    events.push_back({start, static_cast<NodeId>(id1 - 1),
-                      static_cast<NodeId>(id2 - 1)});
-  }
-  return ContactTrace(node_count, std::move(events));
+  CrawdadTraceReader reader(is, node_count);
+  return ContactTrace(node_count, drain(reader));
 }
 
 ContactTrace parse_one_report(const std::string& text,
                               std::size_t node_count) {
-  std::vector<ContactEvent> events;
   std::istringstream is(text);
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    strip_cr(line);
-    auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
-    double t;
-    std::string tag;
-    if (!(ls >> t >> tag)) continue;  // blank or non-report line
-    if (tag != "CONN") continue;
-    long a, b;
-    std::string state;
-    if (!(ls >> a >> b >> state)) {
-      throw std::invalid_argument("line " + std::to_string(line_no) +
-                                  ": malformed CONN event");
-    }
-    if (state != "up" && state != "down") {
-      throw std::invalid_argument("line " + std::to_string(line_no) +
-                                  ": CONN state must be up or down");
-    }
-    if (state != "up") continue;
-    if (a < 0 || b < 0) {
-      throw std::invalid_argument("line " + std::to_string(line_no) +
-                                  ": negative node id");
-    }
-    if (static_cast<std::size_t>(a) >= node_count ||
-        static_cast<std::size_t>(b) >= node_count || a == b) {
-      continue;
-    }
-    events.push_back({t, static_cast<NodeId>(a), static_cast<NodeId>(b)});
-  }
-  return ContactTrace(node_count, std::move(events));
+  OneReportTraceReader reader(is, node_count);
+  return ContactTrace(node_count, drain(reader));
 }
 
 ContactTrace load_trace_file(const std::string& path, std::size_t node_count) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_trace_file: cannot open " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
+  // Stream straight off disk — no whole-file string buffer.
+  PlainTraceReader reader(in);
   try {
-    return parse_trace(buf.str(), node_count);
+    return ContactTrace(node_count, drain(reader));
   } catch (const std::invalid_argument& e) {
     // Re-point the parser's "line N: ..." diagnostic at the file it came
     // from, giving callers a one-line file:line message.

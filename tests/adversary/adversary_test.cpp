@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/anonymity.hpp"
+#include "graph/contact_graph.hpp"
 #include "analysis/traceable.hpp"
 #include "util/stats.hpp"
 

@@ -6,9 +6,11 @@
 # 1. Configures and builds the plain tree, runs the full ctest suite
 #    (the tier-1 gate from ROADMAP.md), then the metrics suite by label,
 #    then a checkpoint/resume byte-identity smoke check on the CLI.
-# 2. Runs the contact-query byte-identity suite by label, then a perf
-#    smoke: the micro_sim hot-path benchmarks against the committed
-#    BENCH_micro_sim.json baseline (fail on >20% regression).
+# 2. Runs the contact-query byte-identity suite by label, the scale suite
+#    (cross-backend equivalence; ctest -L scale) plus a fig_scale smoke at
+#    n=1e5 with a bytes/node bound, then a perf smoke: the micro_sim
+#    hot-path benchmarks against the committed BENCH_micro_sim.json
+#    baseline (fail on >20% regression).
 # 3. Configures a -DODTN_SANITIZE=thread tree in build-tsan/, builds only
 #    the tsan-labelled test targets, and runs `ctest -L tsan` under TSan.
 # 4. Configures a -DODTN_SANITIZE=address tree in build-asan/, builds the
@@ -58,6 +60,17 @@ echo "checkpoint/resume output byte-identical"
 
 echo "== contact-query byte-identity suite (ctest -L contact_query) =="
 ctest --test-dir "$repo/build" -L contact_query --output-on-failure -j "$jobs"
+
+echo "== scale suite (ctest -L scale) =="
+ctest --test-dir "$repo/build" -L scale --output-on-failure -j "$jobs"
+
+echo "== scale smoke: fig_scale at n=1e5 on the sparse backend =="
+# One 100k-node point on the sparse backend. --max-bytes-per-node makes
+# fig_scale itself fail (exit 1) if the CSR contact structure stops being
+# O(degree) per node — the memory property that opens the 10^6-node regime.
+"$repo/build/bench/fig_scale" --n-list=100000 --runs=2 --threads="$jobs" \
+    --max-bytes-per-node=256 > /dev/null
+echo "scale smoke within memory bound"
 
 echo "== perf smoke: micro_sim hot paths vs BENCH_micro_sim.json =="
 # Medians over 5 repetitions of the two gate benchmarks; micro_sim exits

@@ -38,6 +38,10 @@ int usage() {
       "  odtn model     [--n=100 --g=5 --K=3 --L=1 --T=1800 --compromised=0.1]\n"
       "  odtn simulate  [--runs=200 --seed=1 --threads=0 --n=100 --g=5\n"
       "                  --K=3 --L=1 --T=1800 --compromised=0.1]\n"
+      "                 [--contact-backend=dense|sparse --avg-degree=D\n"
+      "                  --communities=C --group-shards=S]\n"
+      "                 [--trace=FILE --trace-format=plain|crawdad|one\n"
+      "                  --trace-nodes=N]\n"
       "                 [--metrics-out=FILE]\n"
       "                 [--fault-mean-uptime=U --fault-mean-downtime=D\n"
       "                  --fault-p-fail=P --fault-ge=pgb:pbg:pfg:pfb\n"
@@ -50,6 +54,14 @@ int usage() {
       "p50/p90/p99, routing event counters) as JSON-lines — or CSV when\n"
       "FILE ends in .csv. The file is byte-identical at every --threads\n"
       "value for a fixed seed.\n"
+      "--contact-backend picks the contact-rate storage: dense (the\n"
+      "historical O(n^2) graph; default, byte-identical to every recorded\n"
+      "baseline) or sparse (CSR; O(n + m) memory for the 10^5-10^6 node\n"
+      "scale regime). --avg-degree/--communities shape sparse random\n"
+      "graphs; --group-shards makes directory construction O(shard) per\n"
+      "run. --trace switches to the streaming-trace scenario: the file is\n"
+      "ingested in one bounded-memory pass (requires\n"
+      "--contact-backend=sparse and --trace-nodes).\n"
       "--fault-* enables seeded fault injection (node churn, transfer\n"
       "failure, blackhole relays, run aborts); determinism guarantees are\n"
       "unchanged. --checkpoint snapshots progress every\n"
@@ -196,6 +208,17 @@ int cmd_simulate(const util::Args& args) {
   std::string metrics_path = args.get("metrics-out", "");
   cfg.collect_metrics = !metrics_path.empty();
 
+  std::string backend = args.get("contact-backend", "dense");
+  if (backend == "sparse") {
+    cfg.backend = core::ContactBackend::kSparse;
+  } else if (backend != "dense") {
+    std::cerr << "simulate: --contact-backend must be dense or sparse\n";
+    return 2;
+  }
+  cfg.avg_degree = static_cast<std::size_t>(args.get_int("avg-degree", 0));
+  cfg.communities = static_cast<std::size_t>(args.get_int("communities", 0));
+  cfg.group_shards = static_cast<std::size_t>(args.get_int("group-shards", 0));
+
   cfg.faults.mean_uptime = args.get_double("fault-mean-uptime", 0.0);
   cfg.faults.mean_downtime = args.get_double("fault-mean-downtime", 0.0);
   cfg.faults.p_fail = args.get_double("fault-p-fail", 0.0);
@@ -222,7 +245,16 @@ int cmd_simulate(const util::Args& args) {
       static_cast<std::size_t>(args.get_int("checkpoint-interval", 16));
   cfg.resume = args.get_bool("resume", false);
 
-  auto r = core::Experiment(cfg).run(core::RandomGraphScenario{});
+  core::Scenario scenario = core::RandomGraphScenario{};
+  std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) {
+    core::SparseTraceScenario sts;
+    sts.path = trace_path;
+    sts.format = trace::parse_trace_format(args.get("trace-format", "plain"));
+    sts.nodes = static_cast<std::size_t>(args.get_int("trace-nodes", 0));
+    scenario = sts;
+  }
+  auto r = core::Experiment(cfg).run(scenario);
 
   util::Table table({"metric", "analysis", "simulation"});
   table.new_row();
