@@ -28,6 +28,9 @@ int main(int argc, char** argv) {
   mobility::RandomWaypointParams p;
   p.nodes = 40;
   p.duration = 90000.0;
+  // odtn-lint: allow(rng) — bench-local stream: seeded directly from --seed
+  // so published figure/ablation tables stay pinned to their historical
+  // sequences
   util::Rng mob_rng(base.seed);
   auto trace = mobility::random_waypoint_trace(p, mob_rng);
   std::cout << "# mobility trace: " << trace.event_count() << " contacts in "

@@ -98,6 +98,8 @@ class AnonymousDtn {
   std::unique_ptr<graph::ContactGraph> estimated_rates_;
   const graph::ContactGraph* rates_ = nullptr;
 
+  // odtn-lint: allow(rng) — declaration only: seeded in the constructor init
+  // list from the facade's top-level seed
   util::Rng rng_;
   std::unique_ptr<sim::ContactModel> contacts_;
   std::unique_ptr<groups::GroupDirectory> directory_;

@@ -1,7 +1,7 @@
 #include "core/checkpoint.hpp"
 
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -35,13 +35,14 @@ constexpr StatField kStatFields[] = {
 
 std::string fmt(double v) { return metrics::format_double(v); }
 
-/// Exact inverse of format_double: strtod of a shortest-round-trip string
-/// recovers the identical double.
+/// Exact inverse of format_double: from_chars of a shortest-round-trip
+/// string recovers the identical double (correctly-rounded, locale-free).
 double parse_double(const std::string& token, const std::string& context) {
-  const char* begin = token.c_str();
-  char* end = nullptr;
-  double v = std::strtod(begin, &end);
-  if (end != begin + token.size() || token.empty()) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  double v = 0.0;
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc() || ptr != end || token.empty()) {
     throw std::runtime_error("checkpoint: bad number '" + token + "' in " +
                              context);
   }

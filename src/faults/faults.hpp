@@ -152,6 +152,8 @@ class FaultPlan {
   std::vector<CrashEvent> crashes_;
   std::vector<bool> blackhole_;
   std::size_t blackhole_count_ = 0;
+  // odtn-lint: allow(rng) — declaration only: seeded in the FaultPlan
+  // constructor init list from derive_seed(seed, 1)
   util::Rng link_rng_;
   std::unordered_map<std::uint64_t, bool> link_bad_;  // Gilbert-Elliott state
 };

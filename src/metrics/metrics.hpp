@@ -190,13 +190,15 @@ class HistogramHandle {
 class ScopedTimer {
  public:
   explicit ScopedTimer(HistogramHandle timer) : timer_(timer) {
+    // odtn-lint: allow(banned-api) — kWall timer site: ScopedTimer only ever
+    // feeds Stability::kWall histograms, excluded from deterministic export.
     if (timer_.active()) start_ = std::chrono::steady_clock::now();
   }
   ~ScopedTimer() {
     if (timer_.active()) {
-      timer_.observe(std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start_)
-                         .count());
+      // odtn-lint: allow(banned-api) — kWall timer site (same stopwatch).
+      const auto t1 = std::chrono::steady_clock::now();
+      timer_.observe(std::chrono::duration<double>(t1 - start_).count());
     }
   }
 
@@ -205,6 +207,7 @@ class ScopedTimer {
 
  private:
   HistogramHandle timer_;
+  // odtn-lint: allow(banned-api) — kWall timer state for the stopwatch above.
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,9 +1,8 @@
 #include "routing/baselines.hpp"
 
+#include <algorithm>
 #include <span>
 #include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace odtn::routing {
 
@@ -40,22 +39,26 @@ DeliveryResult SprayAndWaitRouting::route(sim::ContactModel& contacts,
   const Time deadline = spec.start + spec.ttl;
   Time now = spec.start;
 
-  std::unordered_set<NodeId> holders = {spec.src};
+  // Holders in spray order (source first). A vector, not a hash set: the
+  // holder list seeds the contact plan's pair enumeration, and the prefix-sum
+  // pick maps RNG draws through that order — hash-iteration order here would
+  // tie results to the stdlib's hash/bucket scheme instead of the program.
+  // Membership never needs checking: the complement plan below excludes every
+  // current holder, so a sprayed node is new by construction.
+  std::vector<NodeId> holders = {spec.src};
   std::size_t tickets = spec.copies - 1;  // copies the source may spray
-  std::vector<NodeId> holder_list;  // scratch, reused across iterations
   std::vector<NodeId> excluded;
 
   while (true) {
     // Wait phase event: any holder meets dst. Spray phase event: source
     // meets a non-holder (while tickets remain). Take whichever is first.
-    holder_list.assign(holders.begin(), holders.end());
     auto deliver = contacts.first_cross_contact(
-        holder_list, std::span<const NodeId>(&spec.dst, 1), now, deadline);
+        holders, std::span<const NodeId>(&spec.dst, 1), now, deadline);
     std::optional<sim::CrossContact> spray;
     if (tickets > 0) {
       // Complement plan: anyone who is not dst and not already a holder —
       // built without enumerating all n nodes.
-      excluded.assign(holder_list.begin(), holder_list.end());
+      excluded.assign(holders.begin(), holders.end());
       excluded.push_back(spec.dst);
       spray = contacts.first_cross_contact_complement(
           std::span<const NodeId>(&spec.src, 1), excluded, now, deadline);
@@ -71,7 +74,7 @@ DeliveryResult SprayAndWaitRouting::route(sim::ContactModel& contacts,
     if (!spray.has_value()) return result;  // deadline with no delivery
 
     now = spray->time;
-    holders.insert(spray->b);
+    holders.push_back(spray->b);
     --tickets;
     ++result.transmissions;
   }
@@ -88,23 +91,25 @@ DeliveryResult BinarySprayAndWaitRouting::route(sim::ContactModel& contacts,
   const Time deadline = spec.start + spec.ttl;
   Time now = spec.start;
 
-  // holder -> remaining tickets.
-  std::unordered_map<NodeId, std::size_t> tickets = {{spec.src, spec.copies}};
-  std::vector<NodeId> holder_list;  // scratch, reused across iterations
+  // Holders and their remaining tickets, as parallel vectors in spray order
+  // (source first). Not a hash map: the holder and sprayer lists seed the
+  // contact plan's pair enumeration, so hash-iteration order would leak the
+  // stdlib's bucket scheme into RNG draw mapping. The holder population is
+  // bounded by `copies`, so the linear index scan below is trivially cheap.
+  std::vector<NodeId> holder_list = {spec.src};
+  std::vector<std::size_t> ticket_count = {spec.copies};
   std::vector<NodeId> sprayers;
   std::vector<NodeId> excluded;
 
   while (true) {
     // Delivery event: any holder meets dst.
-    holder_list.clear();
-    for (const auto& [v, t] : tickets) holder_list.push_back(v);
     auto deliver = contacts.first_cross_contact(
         holder_list, std::span<const NodeId>(&spec.dst, 1), now, deadline);
 
     // Spray event: a holder with > 1 tickets meets a ticketless node.
     sprayers.clear();
-    for (const auto& [v, t] : tickets) {
-      if (t > 1) sprayers.push_back(v);
+    for (std::size_t i = 0; i < holder_list.size(); ++i) {
+      if (ticket_count[i] > 1) sprayers.push_back(holder_list[i]);
     }
     std::optional<sim::CrossContact> spray;
     if (!sprayers.empty()) {
@@ -126,10 +131,14 @@ DeliveryResult BinarySprayAndWaitRouting::route(sim::ContactModel& contacts,
     if (!spray.has_value()) return result;
 
     now = spray->time;
-    std::size_t& t = tickets[spray->a];
+    const auto at = static_cast<std::size_t>(
+        std::find(holder_list.begin(), holder_list.end(), spray->a) -
+        holder_list.begin());
+    std::size_t& t = ticket_count[at];
     std::size_t give = t / 2;
     t -= give;
-    tickets[spray->b] = give;
+    holder_list.push_back(spray->b);
+    ticket_count.push_back(give);
     ++result.transmissions;
   }
 }
@@ -141,19 +150,21 @@ DeliveryResult EpidemicRouting::route(sim::ContactModel& contacts,
   const Time deadline = spec.start + spec.ttl;
   Time now = spec.start;
 
-  std::unordered_set<NodeId> infected = {spec.src};
-  std::vector<NodeId> holders;  // scratch, reused across iterations
+  // Infection order is the iteration order fed to the contact plan (see the
+  // spray-and-wait note above); a vector keeps it a property of the run, not
+  // of the hash table. The complement plan excludes every infected node, so
+  // each event's ev->b is new by construction — no membership test needed.
+  std::vector<NodeId> infected = {spec.src};
 
   while (infected.size() < contacts.node_count()) {
-    holders.assign(infected.begin(), infected.end());
     // Complement plan: every still-susceptible node is "not yet infected" —
     // the infected set doubles as the exclusion list.
-    auto ev = contacts.first_cross_contact_complement(holders, holders, now,
+    auto ev = contacts.first_cross_contact_complement(infected, infected, now,
                                                       deadline);
     if (!ev.has_value()) break;
 
     now = ev->time;
-    infected.insert(ev->b);
+    infected.push_back(ev->b);
     ++result.transmissions;
     if (ev->b == spec.dst && !result.delivered) {
       result.delivered = true;

@@ -446,6 +446,11 @@ DeliveryResult MultiCopyOnionRouting::route(
       // Spray to anyone new: a complement plan ("everyone except dst and
       // the seen set") instead of enumerating all n nodes — on sparse
       // backends this costs O(degree(src)), not O(n).
+      // odtn-lint: allow(unordered-iter) — the excluded list is a pure
+      // membership filter: prepare_complement stamps it into a bitmap and
+      // enumerates candidates in ascending node-id order, so the order the
+      // exclusions arrive in never reaches the plan (pair order, prefix
+      // sums, or RNG draw mapping).
       excluded.assign(seen.begin(), seen.end());
       excluded.push_back(spec.dst);
       contacts.prepare_complement(

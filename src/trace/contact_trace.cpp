@@ -124,6 +124,8 @@ graph::ContactGraph ContactTrace::estimate_rates() const {
     const NodeId hi = std::max(e.a, e.b);
     ++counts[(static_cast<std::uint64_t>(lo) << 32) | hi];
   }
+  // odtn-lint: allow(unordered-iter) — each distinct pair writes its own
+  // dense-matrix slot exactly once; no fold, RNG, or export order involved.
   for (const auto& [key, count] : counts) {
     const NodeId i = static_cast<NodeId>(key >> 32);
     const NodeId j = static_cast<NodeId>(key & 0xffffffffu);

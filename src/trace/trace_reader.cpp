@@ -254,6 +254,10 @@ SparseTraceSummary ingest_sparse_trace(TraceReader& reader,
     // would round differently.
     const bool rescale = max_idle_gap > 0.0 && s.active_duration > 0.0;
     const double factor = rescale ? wall / s.active_duration : 1.0;
+    // odtn-lint: allow(unordered-iter) — each distinct pair adds one edge
+    // with its own independently computed rate, and the CSR Builder sorts
+    // adjacency by id before building, so insertion order cannot reach the
+    // final structure.
     for (const auto& [key, count] : counts) {
       const NodeId i = static_cast<NodeId>(key >> 32);
       const NodeId j = static_cast<NodeId>(key & 0xffffffffu);

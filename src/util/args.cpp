@@ -1,6 +1,6 @@
 #include "util/args.hpp"
 
-#include <cstdlib>
+#include <charconv>
 #include <stdexcept>
 
 namespace odtn::util {
@@ -35,13 +35,21 @@ std::string Args::get(const std::string& name, const std::string& def) const {
 std::int64_t Args::get_int(const std::string& name, std::int64_t def) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  // Like strtoll, an unparsable value yields 0 (v stays as initialized) and
+  // trailing garbage after a numeric prefix is ignored.
+  const std::string& s = it->second;
+  std::int64_t v = 0;
+  std::from_chars(s.data(), s.data() + s.size(), v, 10);
+  return v;
 }
 
 double Args::get_double(const std::string& name, double def) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& s = it->second;
+  double v = 0.0;
+  std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
 }
 
 bool Args::get_bool(const std::string& name, bool def) const {

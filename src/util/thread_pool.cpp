@@ -84,11 +84,14 @@ void parallel_for(std::size_t n, std::size_t threads,
       fn(i);
       return;
     }
+    // odtn-lint: allow(banned-api) — kWall timer site: per-task wall times
+    // feed only Stability::kWall pool metrics, excluded from deterministic
+    // export.
     auto t0 = std::chrono::steady_clock::now();
     fn(i);
-    task_seconds[i] = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
+    // odtn-lint: allow(banned-api) — kWall timer site (same stopwatch).
+    const auto t1 = std::chrono::steady_clock::now();
+    task_seconds[i] = std::chrono::duration<double>(t1 - t0).count();
   };
 
   auto export_pool_metrics = [&](std::size_t workers,

@@ -1,0 +1,20 @@
+// Fixture: every banned-api spelling fires, none is annotated.
+// (Never compiled — odtn_lint only lexes; see tests/lint/CMakeLists.txt.)
+#include <chrono>
+#include <cmath>
+#include <random>
+
+double model(double x) {
+  return std::lgamma(x + 1.0);  // signgam race: must go via lgamma_safe
+}
+
+unsigned ad_hoc_entropy() {
+  std::random_device rd;  // nondeterministic by design
+  return rd() + static_cast<unsigned>(rand());
+}
+
+double wall_seconds() {
+  auto t = std::chrono::system_clock::now();  // wall clock in results
+  auto s = std::chrono::steady_clock::now();  // un-annotated timer site
+  return std::chrono::duration<double>(s - t.time_since_epoch() + s.time_since_epoch()).count();
+}

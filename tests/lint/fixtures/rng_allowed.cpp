@@ -1,0 +1,17 @@
+// Fixture twin: derive_seed-disciplined constructions pass without
+// annotation; a pinned legacy stream passes with one. References and
+// pointers to engines are not constructions and never fire.
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+double draw(odtn::util::Rng& rng) { return rng.uniform01(); }
+
+double streams(std::uint64_t seed) {
+  odtn::util::Rng a(odtn::util::derive_seed(seed, 0));
+  odtn::util::Rng b(odtn::util::derive_seed(seed, 1));
+  // odtn-lint: allow(rng) — fixture: a legacy stream pinned by goldens.
+  odtn::util::Rng legacy(seed ^ 0x1234ULL);
+  odtn::util::Rng* ptr = &a;
+  return draw(*ptr) + b.uniform01() + legacy.uniform01();
+}

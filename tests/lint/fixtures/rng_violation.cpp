@@ -1,0 +1,13 @@
+// Fixture: engine constructions outside the derive_seed discipline —
+// ad-hoc seed arithmetic, a default-constructed engine, and a std engine.
+#include <cstdint>
+#include <random>
+
+#include "util/rng.hpp"
+
+double three_streams(std::uint64_t seed) {
+  odtn::util::Rng a(seed ^ 0x1234ULL);  // xor-tweak, not a derived stream
+  odtn::util::Rng b;                    // default seed
+  std::mt19937_64 c(seed + 1);          // std engine, ad-hoc seed
+  return a.uniform01() + b.uniform01() + static_cast<double>(c());
+}

@@ -1,0 +1,13 @@
+// Fixture twin: the benign replacements pass, and an annotated legacy
+// include is suppressed.
+#include <charconv>
+#include <chrono>
+
+// odtn-lint: allow(include) — fixture: legacy include kept for one release.
+#include <cstdlib>
+
+double parse(const char* b, const char* e) {
+  double v = 0.0;
+  std::from_chars(b, e, v);
+  return v;
+}

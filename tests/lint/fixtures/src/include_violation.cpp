@@ -1,0 +1,6 @@
+// Fixture: banned libc portals under a src/ path component (this file
+// lives in fixtures/src/ so the path-scoped include rule applies).
+#include <cstdlib>
+#include <ctime>
+
+long ticks() { return static_cast<long>(time(nullptr)); }

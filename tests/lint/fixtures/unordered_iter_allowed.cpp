@@ -1,0 +1,24 @@
+// Fixture twin: the same iterations carrying order-insensitivity
+// justifications, plus lookups/inserts that must never fire.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::uint64_t fold() {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  counts[3] = 4;
+  std::uint64_t sum = 0;
+  // odtn-lint: allow(unordered-iter) — addition is commutative; the fold
+  // result is independent of visit order.
+  for (const auto& [k, v] : counts) {
+    sum += k + v;
+  }
+  return sum;
+}
+
+bool lookups_only() {
+  std::unordered_set<std::uint64_t> seen = {1, 2, 3};
+  seen.insert(9);
+  return seen.count(2) > 0 && seen.size() == 4;  // no iteration: no finding
+}

@@ -1,0 +1,23 @@
+// Fixture: iteration over unordered containers without a justification —
+// both the range-for form and the iterator-pair (assign) form.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::uint64_t fold() {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  counts[3] = 4;
+  std::uint64_t sum = 0;
+  for (const auto& [k, v] : counts) {  // hash-order fold
+    sum = sum * 31 + k + v;
+  }
+  return sum;
+}
+
+std::vector<std::uint64_t> snapshot() {
+  std::unordered_set<std::uint64_t> seen = {1, 2, 3};
+  std::vector<std::uint64_t> out;
+  out.assign(seen.begin(), seen.end());  // hash-order list
+  return out;
+}

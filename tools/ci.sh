@@ -11,10 +11,18 @@
 #    n=1e5 with a bytes/node bound, then a perf smoke: the micro_sim
 #    hot-path benchmarks against the committed BENCH_micro_sim.json
 #    baseline (fail on >20% regression).
-# 3. Configures a -DODTN_SANITIZE=thread tree in build-tsan/, builds only
+# 3. Static analysis: runs tools/odtn_lint over src/ bench/ tools/ (the
+#    determinism-contract rules; see DESIGN.md §5f) plus its fixture suite
+#    (ctest -L lint), then clang-tidy with the committed .clang-tidy
+#    baseline over src/ — skipped with a notice when clang-tidy is not
+#    installed (the container image does not ship it).
+# 4. Configures a -DODTN_SANITIZE=thread tree in build-tsan/, builds only
 #    the tsan-labelled test targets, and runs `ctest -L tsan` under TSan.
-# 4. Configures a -DODTN_SANITIZE=address tree in build-asan/, builds the
+# 5. Configures a -DODTN_SANITIZE=address tree in build-asan/, builds the
 #    fault-injection test targets, and runs `ctest -L faults` under ASan.
+# 6. Configures a -DODTN_SANITIZE=undefined tree in build-ubsan/, builds
+#    the analysis + crypto test targets (the numeric and bit-twiddling
+#    code most prone to UB), and runs `ctest -L ubsan` under UBSan.
 #
 # Exits non-zero on the first failure.
 set -eu
@@ -84,6 +92,22 @@ echo "== perf smoke: micro_sim hot paths vs BENCH_micro_sim.json =="
     > /dev/null
 echo "perf smoke within budget"
 
+echo "== lint: odtn_lint over src/ bench/ tools/ =="
+"$repo/build/tools/odtn_lint" "$repo/src" "$repo/bench" "$repo/tools"
+
+echo "== lint: fixture suite (ctest -L lint) =="
+ctest --test-dir "$repo/build" -L lint --output-on-failure -j "$jobs"
+
+echo "== clang-tidy: .clang-tidy baseline over src/ =="
+if command -v clang-tidy > /dev/null 2>&1; then
+    # compile_commands.json is exported by the tier-1 configure above.
+    find "$repo/src" -name '*.cpp' | xargs clang-tidy -p "$repo/build" --quiet
+    echo "clang-tidy clean"
+else
+    echo "clang-tidy not installed; skipping the clang-tidy stage" \
+         "(install clang-tidy to enable it)"
+fi
+
 echo "== tsan: configure + build labelled test targets =="
 cmake -B "$repo/build-tsan" -S "$repo" -DODTN_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" --target \
@@ -100,5 +124,15 @@ cmake --build "$repo/build-asan" -j "$jobs" --target \
 
 echo "== asan: ctest -L faults =="
 ctest --test-dir "$repo/build-asan" -L faults --output-on-failure -j "$jobs"
+
+echo "== ubsan: configure + build analysis + crypto test targets =="
+cmake -B "$repo/build-ubsan" -S "$repo" -DODTN_SANITIZE=undefined
+cmake --build "$repo/build-ubsan" -j "$jobs" --target \
+    hypoexp_test delivery_test cost_test traceable_test anonymity_test \
+    goodness_of_fit_test sha256_test hmac_test chacha20_test poly1305_test \
+    aead_test x25519_test drbg_test shamir_test
+
+echo "== ubsan: ctest -L ubsan =="
+ctest --test-dir "$repo/build-ubsan" -L ubsan --output-on-failure -j "$jobs"
 
 echo "== ci.sh: all green =="

@@ -74,6 +74,9 @@ int usage() {
 }
 
 int cmd_gen_graph(const util::Args& args) {
+  // odtn-lint: allow(rng) — top-level CLI stream seeded from --seed;
+  // run-level streams below it derive via derive_seed in the experiment
+  // engine
   util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
   auto g = graph::random_contact_graph(
       static_cast<std::size_t>(args.get_int("nodes", 100)), rng,
@@ -98,6 +101,8 @@ int cmd_gen_trace(const util::Args& args) {
   } else if (kind == "infocom") {
     t = trace::make_infocom_like(seed);
   } else if (kind == "poisson") {
+    // odtn-lint: allow(rng) — top-level CLI stream seeded from --seed (see
+    // above)
     util::Rng rng(seed);
     auto g = graph::random_contact_graph(
         static_cast<std::size_t>(args.get_int("nodes", 100)), rng);
