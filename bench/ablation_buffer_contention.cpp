@@ -6,11 +6,17 @@
 // messages into a random DTN and sweeps per-node buffer capacity,
 // reporting delivery rate and buffer rejections — the regime in which the
 // analytical model stops being a safe capacity-planning tool.
+//
+// Injection comes from the odtn::traffic generator: each point offers an
+// open-loop Poisson workload whose expected count is the x value.
+// --legacy-injection restores the historical hand-rolled uniform-start
+// injection loop, byte-identical to the pre-traffic output.
 #include <iostream>
 
 #include "common/bench_common.hpp"
 #include "sim/network_sim.hpp"
 #include "trace/synthetic.hpp"
+#include "traffic/traffic.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -18,14 +24,17 @@ int main(int argc, char** argv) {
   util::Args args(argc, argv);
   bench::WallTimer timer;
   auto base = bench::base_config(args);
+  bool legacy = args.get_bool("legacy-injection", false);
   std::size_t repeats = std::max<std::size_t>(1, base.runs / 20);
   bench::print_header("Ablation", "Delivery under buffer contention",
                       "n=100, K=3, g=5, T=1800; x = concurrent messages",
                       base);
 
-  util::Table table({"messages", "buf_unlimited", "buf_4", "buf_1",
-                     "rejections_buf_1"});
-  for (std::size_t load : {25u, 50u, 100u, 200u, 400u}) {
+  bench::Sweep sweep({"messages", "buf_unlimited", "buf_4", "buf_1",
+                      "rejections_buf_1"},
+                     {25, 50, 100, 200, 400}, bench::Sweep::XFormat::kInt);
+  sweep.run([&](double load_x, util::Table& table) {
+    std::size_t load = static_cast<std::size_t>(load_x);
     util::RunningStats d_inf, d_4, d_1, rej_1;
     for (std::size_t rep = 0; rep < repeats; ++rep) {
       // odtn-lint: allow(rng) — bench-local stream: seeded directly from
@@ -38,15 +47,28 @@ int main(int argc, char** argv) {
       groups::GroupDirectory dir(base.nodes, base.group_size, &rng);
 
       std::vector<sim::InjectedMessage> messages;
-      for (std::size_t i = 0; i < load; ++i) {
-        sim::InjectedMessage m;
-        m.src = static_cast<NodeId>(rng.below(base.nodes));
-        m.dst = static_cast<NodeId>(rng.below(base.nodes - 1));
-        if (m.dst >= m.src) ++m.dst;
-        m.start = rng.uniform(0.0, 600.0);
-        m.ttl = 1800.0;
-        m.num_relays = base.num_relays;
-        messages.push_back(m);
+      if (legacy) {
+        for (std::size_t i = 0; i < load; ++i) {
+          sim::InjectedMessage m;
+          m.src = static_cast<NodeId>(rng.below(base.nodes));
+          m.dst = static_cast<NodeId>(rng.below(base.nodes - 1));
+          if (m.dst >= m.src) ++m.dst;
+          m.start = rng.uniform(0.0, 600.0);
+          m.ttl = 1800.0;
+          m.num_relays = base.num_relays;
+          messages.push_back(m);
+        }
+      } else {
+        // Open-loop Poisson offered load: E[count] = x over [0, 600).
+        traffic::FlowConfig flow;
+        flow.rate = static_cast<double>(load) / 600.0;
+        flow.ttl = 1800.0;
+        flow.num_relays = base.num_relays;
+        traffic::TrafficConfig workload;
+        workload.flows.push_back(flow);
+        workload.horizon = 600.0;
+        messages = traffic::TrafficPlan(workload, base.nodes, rng.next())
+                       .specs();
       }
 
       for (std::size_t cap : {0u, 4u, 1u}) {
@@ -67,14 +89,12 @@ int main(int argc, char** argv) {
         }
       }
     }
-    table.new_row();
-    table.cell(static_cast<std::int64_t>(load));
     table.cell(d_inf.mean());
     table.cell(d_4.mean());
     table.cell(d_1.mean());
     table.cell(rej_1.mean(), 1);
-  }
-  table.print(std::cout);
+  });
+  sweep.print(std::cout);
   bench::finish(base, args, timer);
   return 0;
 }

@@ -27,7 +27,9 @@
 #include "routing/baselines.hpp"
 #include "routing/onion_routing.hpp"
 #include "sim/contact_model.hpp"
+#include "sim/network_sim.hpp"
 #include "trace/synthetic.hpp"
+#include "traffic/traffic.hpp"
 
 // Global allocation counter: lets the contact-query benches assert (and
 // record) that the steady-state query path performs zero heap allocations.
@@ -273,6 +275,65 @@ void BM_ExperimentRunMetrics(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExperimentRunMetrics)->Unit(benchmark::kMillisecond);
+
+// Workload expansion throughput: a mixed Poisson/deterministic/MMPP
+// multi-flow TrafficPlan over a 600-unit horizon. Measures the open-loop
+// generator alone (sort included) — the fixed cost every loaded run pays
+// before the simulator starts.
+void BM_TrafficGen(benchmark::State& state) {
+  traffic::TrafficConfig config;
+  traffic::FlowConfig flow;
+  flow.rate = static_cast<double>(state.range(0)) / 3.0;
+  flow.arrival = traffic::Arrival::kPoisson;
+  config.flows.push_back(flow);
+  flow.arrival = traffic::Arrival::kDeterministic;
+  flow.priority = 1;
+  config.flows.push_back(flow);
+  flow.arrival = traffic::Arrival::kMmpp;
+  flow.priority = 2;
+  config.flows.push_back(flow);
+  config.horizon = 600.0;
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    traffic::TrafficPlan plan(config, 100, seed++);
+    benchmark::DoNotOptimize(plan.size());
+  }
+}
+BENCHMARK(BM_TrafficGen)->Arg(1)->Arg(10);
+
+// One fully loaded network-sim run: Poisson workload with priorities over
+// a pre-sampled trace, finite per-contact bandwidth and finite buffers —
+// the scheduled (priority-ordered, budgeted) drainage path end to end.
+void BM_LoadedSimStep(benchmark::State& state) {
+  // odtn-lint: allow(rng) — bench-local stream: seeded directly from --seed
+  // so published figure/ablation tables stay pinned to their historical
+  // sequences
+  util::Rng rng(9);
+  auto g = graph::random_contact_graph(100, rng);
+  auto trace = trace::sample_poisson_trace(g, 2400.0, rng);
+  groups::GroupDirectory dir(100, 5, &rng);
+
+  traffic::TrafficConfig workload;
+  traffic::FlowConfig flow;
+  flow.rate = 0.25;
+  flow.ttl = 1800.0;
+  workload.flows.push_back(flow);
+  flow.priority = 1;
+  workload.flows.push_back(flow);
+  workload.horizon = 600.0;
+  traffic::TrafficPlan plan(workload, 100, rng.next());
+
+  sim::NetworkSimConfig cfg;
+  cfg.buffer_capacity = 8;
+  cfg.bandwidth.messages_per_contact = 2;
+  for (auto _ : state) {
+    // odtn-lint: allow(rng) — bench-local stream (same pinned sequence).
+    util::Rng run_rng(11);
+    benchmark::DoNotOptimize(sim::run_network_sim(
+        trace, dir, plan.specs(), plan.priorities(), cfg, run_rng));
+  }
+}
+BENCHMARK(BM_LoadedSimStep)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // Driver: median capture, odtn.bench.v1 export, and the regression gate.

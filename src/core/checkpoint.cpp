@@ -31,6 +31,11 @@ constexpr StatField kStatFields[] = {
     {"ana_anonymity", &ExperimentResult::ana_anonymity},
     {"ana_cost_bound", &ExperimentResult::ana_cost_bound},
     {"ana_cost_non_anonymous", &ExperimentResult::ana_cost_non_anonymous},
+    // Loaded-traffic stats (appended in PR 7; the loader tolerates their
+    // absence from older checkpoint files, which zero-traffic configs can
+    // still resume from).
+    {"sim_throughput", &ExperimentResult::sim_throughput},
+    {"sim_p99_delay", &ExperimentResult::sim_p99_delay},
 };
 
 std::string fmt(double v) { return metrics::format_double(v); }
@@ -88,6 +93,25 @@ std::uint64_t checkpoint_config_hash(const ExperimentConfig& c,
   }
   os << "|f.bh=" << fmt(c.faults.blackhole_fraction)
      << "|f.abort=" << fmt(c.faults.p_run_abort);
+  // Traffic/load fields are appended only when the workload engine is on,
+  // preserving every pre-traffic config hash (zero-knob configs resume
+  // from checkpoints written by older builds).
+  if (c.traffic.enabled()) {
+    os << "|t.h=" << fmt(c.traffic.horizon)
+       << "|t.fwd=" << static_cast<int>(c.load_forwarder)
+       << "|t.cap=" << c.buffer_capacity
+       << "|t.pol=" << static_cast<int>(c.buffer_policy)
+       << "|t.bw=" << c.bandwidth.messages_per_contact << ","
+       << fmt(c.bandwidth.mean_duration) << ","
+       << fmt(c.bandwidth.transfer_time);
+    for (const auto& f : c.traffic.flows) {
+      os << "|t.flow=" << static_cast<int>(f.arrival) << "," << fmt(f.rate)
+         << "," << fmt(f.burst_factor) << "," << fmt(f.mean_burst) << ","
+         << fmt(f.mean_idle) << "," << static_cast<int>(f.priority) << ","
+         << f.src_lo << "," << f.src_hi << "," << f.dst_lo << "," << f.dst_hi
+         << "," << f.num_relays << "," << f.copies << "," << fmt(f.ttl);
+    }
+  }
   return fnv1a(os.str());
 }
 

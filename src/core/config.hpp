@@ -7,6 +7,8 @@
 #include "faults/faults.hpp"
 #include "routing/onion_routing.hpp"
 #include "routing/types.hpp"
+#include "sim/network_sim.hpp"
+#include "traffic/traffic.hpp"
 
 namespace odtn::core {
 
@@ -18,6 +20,18 @@ namespace odtn::core {
 ///    the scale regime (n = 10⁵–10⁶), and byte-identical to kDense on
 ///    complete graphs at paper scale (same RNG draw sequence).
 enum class ContactBackend : std::uint8_t { kDense, kSparse };
+
+/// Forwarding family for loaded-traffic experiments (config.traffic):
+///  * kOnion      — the paper's onion-group forwarding, per-flow K/L.
+///  * kUtility    — routing::UtilityForwarder: replicate by marginal
+///    delivery utility, back off from saturated next-hop buffers.
+///  * kSprayBlind — the same forwarder with the utility gate and the
+///    congestion backoff disabled: congestion-ignorant spray, the control
+///    that isolates what utility awareness buys under load.
+enum class LoadForwarder : std::uint8_t { kOnion, kUtility, kSprayBlind };
+
+/// "onion", "utility", or "spray-blind".
+const char* load_forwarder_name(LoadForwarder f);
 
 /// Default values are the paper's defaults (Table II and Sec. V-A):
 /// n = 100 nodes, inter-contact times uniform in [10, 360] minutes,
@@ -91,6 +105,24 @@ struct ExperimentConfig {
   /// network, faults, seed, scenario — not runs/threads/checkpoint knobs);
   /// a resumed sweep is byte-identical to an uninterrupted one.
   bool resume = false;
+
+  // Heavy traffic (see odtn::traffic). Default-disabled: with no flows the
+  // engine runs the historical one-message-per-run realizations, draws the
+  // identical RNG sequence, and exports byte-identical results — the same
+  // zero-knob contract as the fault layer. When traffic.enabled(), each
+  // run samples a contact trace over [0, horizon + max ttl), expands the
+  // flows into a TrafficPlan seeded from the run's RNG stream, and pushes
+  // the whole workload through sim::run_network_sim. Random-graph
+  // scenarios only (dense or sparse backend).
+  traffic::TrafficConfig traffic;
+  /// Finite contact bandwidth for loaded runs (requires traffic).
+  sim::ContactBandwidth bandwidth;
+  /// Per-node buffer capacity for loaded runs; 0 = unlimited (requires
+  /// traffic to have any effect — validated).
+  std::size_t buffer_capacity = 0;
+  sim::BufferPolicy buffer_policy = sim::BufferPolicy::kRejectNew;
+  /// Forwarding family under load (requires traffic).
+  LoadForwarder load_forwarder = LoadForwarder::kOnion;
 };
 
 }  // namespace odtn::core

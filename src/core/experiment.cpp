@@ -20,11 +20,24 @@
 #include "groups/key_manager.hpp"
 #include "onion/onion.hpp"
 #include "routing/onion_routing.hpp"
+#include "routing/utility_forwarder.hpp"
 #include "sim/contact_model.hpp"
+#include "sim/network_sim.hpp"
+#include "trace/synthetic.hpp"
+#include "traffic/traffic.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace odtn::core {
+
+const char* load_forwarder_name(LoadForwarder f) {
+  switch (f) {
+    case LoadForwarder::kOnion: return "onion";
+    case LoadForwarder::kUtility: return "utility";
+    case LoadForwarder::kSprayBlind: return "spray-blind";
+  }
+  return "?";
+}
 
 void ExperimentResult::merge(const ExperimentResult& other) {
   sim_delivered.merge(other.sim_delivered);
@@ -32,6 +45,8 @@ void ExperimentResult::merge(const ExperimentResult& other) {
   sim_transmissions.merge(other.sim_transmissions);
   sim_traceable.merge(other.sim_traceable);
   sim_anonymity.merge(other.sim_anonymity);
+  sim_throughput.merge(other.sim_throughput);
+  sim_p99_delay.merge(other.sim_p99_delay);
   ana_delivery.merge(other.ana_delivery);
   ana_traceable_paper.merge(other.ana_traceable_paper);
   ana_traceable_exact.merge(other.ana_traceable_exact);
@@ -57,6 +72,14 @@ struct RunOutcome {
   double traceable = 0.0;   // delivered only
   double anonymity = 0.0;   // delivered only
   double ana_delivery = 0.0;
+  /// Loaded-traffic run (config.traffic enabled): `delivered` means "any
+  /// message delivered", `delay` is the run's mean delivery delay, and the
+  /// fields below carry the workload-level samples. The per-message
+  /// closed-form ana_delivery does not apply and is not folded.
+  bool loaded = false;
+  double delivery_fraction = 0.0;
+  double throughput = 0.0;  // delivered msgs per time unit of horizon
+  double p99_delay = 0.0;   // of the run's delivered messages
   /// Quarantine: the run body threw. The run contributes only a FailedRun
   /// record; every other field (including metrics) is dropped.
   bool failed = false;
@@ -160,6 +183,111 @@ RunOutcome run_once(const ExperimentConfig& cfg, sim::ContactModel& contacts,
   auto rates = analysis::opportunistic_onion_rates(analysis_graph, src, dst,
                                                    directory, relay_groups);
   out.ana_delivery = analysis::delivery_rate(rates, cfg.ttl, cfg.copies);
+  return out;
+}
+
+// Loaded-traffic realization kernel (config.traffic enabled): one run =
+// one whole workload pushed through sim::run_network_sim over a sampled
+// contact trace. Every random quantity — the directory, the traffic plan,
+// the fault plan, the compromise set — derives from `rng` exactly like
+// run_once, so loaded sweeps keep the bit-identical-at-any-thread-count
+// contract.
+RunOutcome run_loaded(const ExperimentConfig& cfg,
+                      const trace::ContactTrace& contact_trace,
+                      util::Rng& rng, metrics::Registry* reg) {
+  RunOutcome out;
+  out.loaded = true;
+  const std::size_t n = contact_trace.node_count();
+
+  groups::GroupDirectory directory =
+      cfg.group_shards > 0
+          ? groups::GroupDirectory(
+                n, cfg.group_size,
+                groups::GroupDirectory::Sharded{cfg.group_shards, rng.next()})
+          : groups::GroupDirectory(n, cfg.group_size, &rng);
+
+  traffic::TrafficPlan plan(cfg.traffic, n, rng.next());
+
+  std::optional<faults::FaultPlan> fault_plan;
+  if (cfg.faults.enabled()) {
+    // No per-message endpoints to exempt under a whole workload: every
+    // node is a source/destination of some flow.
+    fault_plan.emplace(cfg.faults, n, contact_trace.end_time(), rng.next(),
+                       std::span<const NodeId>());
+  }
+
+  const bool onion = cfg.load_forwarder == LoadForwarder::kOnion;
+  std::optional<routing::UtilityForwarder> forwarder;
+  if (!onion) {
+    routing::UtilityForwarderConfig fc;
+    if (cfg.load_forwarder == LoadForwarder::kSprayBlind) {
+      fc.min_utility_ratio = 0.0;  // replicate to anyone...
+      fc.backoff_occupancy = 2.0;  // ...and never back off
+    }
+    forwarder.emplace(n, fc);
+  }
+
+  sim::NetworkSimConfig sim_cfg;
+  sim_cfg.buffer_capacity = cfg.buffer_capacity;
+  sim_cfg.policy = cfg.buffer_policy;
+  sim_cfg.metrics = reg;
+  sim_cfg.faults = fault_plan ? &*fault_plan : nullptr;
+  sim_cfg.bandwidth = cfg.bandwidth;
+  sim_cfg.record_paths = onion;  // the anonymity measurement needs paths
+  sim_cfg.utility = forwarder ? &*forwarder : nullptr;
+
+  sim::NetworkSimReport report = sim::run_network_sim(
+      contact_trace, directory, plan.specs(), plan.priorities(), sim_cfg, rng);
+
+  // Workload-level samples. p99 is exact over this run's delivered delays
+  // (nearest-rank on the sorted list) — no histogram approximation.
+  std::vector<double> delays;
+  delays.reserve(report.outcomes.size());
+  double anonymity_sum = 0.0;
+  double traceable_sum = 0.0;
+  std::size_t delivered = 0;
+  std::optional<adversary::CompromiseModel> compromise;
+  if (onion) {
+    compromise = adversary::CompromiseModel::from_fraction(
+        n, cfg.compromise_fraction, rng);
+  }
+  for (std::size_t m = 0; m < report.outcomes.size(); ++m) {
+    const sim::MessageOutcome& o = report.outcomes[m];
+    if (!o.delivered) continue;
+    ++delivered;
+    delays.push_back(o.delay);
+    if (onion) {
+      const auto& spec = plan.messages()[m].spec;
+      traceable_sum += adversary::measured_traceable_rate(
+          spec.src, o.relay_path, *compromise);
+      anonymity_sum += adversary::measured_path_anonymity(
+          spec.src, o.relays_per_hop, *compromise, n, cfg.group_size);
+    }
+  }
+
+  out.transmissions = static_cast<double>(report.total_transmissions);
+  out.delivery_fraction =
+      plan.size() == 0
+          ? 0.0
+          : static_cast<double>(delivered) / static_cast<double>(plan.size());
+  out.throughput = static_cast<double>(delivered) / cfg.traffic.horizon;
+  if (delivered > 0) {
+    out.delivered = true;
+    double sum = 0.0;
+    for (double d : delays) sum += d;
+    out.delay = sum / static_cast<double>(delivered);
+    std::sort(delays.begin(), delays.end());
+    out.p99_delay = delays[((delays.size() - 1) * 99) / 100];
+    if (onion) {
+      out.traceable = traceable_sum / static_cast<double>(delivered);
+      out.anonymity = anonymity_sum / static_cast<double>(delivered);
+    }
+  }
+
+  metrics::counter(reg, "traffic.offered").inc(plan.size());
+  metrics::counter(reg, "traffic.delivered").inc(delivered);
+  metrics::histogram(reg, "traffic.run_throughput").observe(out.throughput);
+  metrics::histogram(reg, "traffic.run_p99_delay").observe(out.p99_delay);
   return out;
 }
 
@@ -288,7 +416,8 @@ ExperimentResult run_engine(const ExperimentConfig& config, std::size_t n,
               {run, util::derive_seed(config.seed, run), o.error});
           continue;
         }
-        out.sim_delivered.add(o.delivered ? 1.0 : 0.0);
+        out.sim_delivered.add(o.loaded ? o.delivery_fraction
+                                       : (o.delivered ? 1.0 : 0.0));
         out.sim_transmissions.add(o.transmissions);
         if (o.delivered) {
           ++out.delivered_runs;
@@ -296,7 +425,12 @@ ExperimentResult run_engine(const ExperimentConfig& config, std::size_t n,
           out.sim_traceable.add(o.traceable);
           out.sim_anonymity.add(o.anonymity);
         }
-        out.ana_delivery.add(o.ana_delivery);
+        if (o.loaded) {
+          out.sim_throughput.add(o.throughput);
+          out.sim_p99_delay.add(o.p99_delay);
+        } else {
+          out.ana_delivery.add(o.ana_delivery);
+        }
         out.ana_traceable_paper.add(k.traceable_paper);
         out.ana_traceable_exact.add(k.traceable_exact);
         out.ana_anonymity.add(k.anonymity);
@@ -369,10 +503,49 @@ void validate_backend(const ExperimentConfig& cfg, const Scenario& scenario) {
   }
 }
 
+// One-line diagnostics for the traffic/load knobs; the zero-knob default
+// passes untouched.
+void validate_traffic(const ExperimentConfig& cfg, const Scenario& scenario) {
+  cfg.bandwidth.validate();
+  if (!cfg.traffic.enabled()) {
+    cfg.traffic.validate(cfg.nodes);  // catches horizon-without-flows etc.
+    if (cfg.bandwidth.enabled() || cfg.buffer_capacity != 0 ||
+        cfg.load_forwarder != LoadForwarder::kOnion) {
+      throw std::invalid_argument(
+          "experiment: bandwidth/buffer/load-forwarder knobs require "
+          "--traffic-* flows (they only apply to loaded runs)");
+    }
+    return;
+  }
+  if (!std::holds_alternative<RandomGraphScenario>(scenario)) {
+    throw std::invalid_argument(
+        "experiment: traffic workloads run on random-graph scenarios only");
+  }
+  cfg.traffic.validate(cfg.nodes);
+  if (cfg.load_forwarder == LoadForwarder::kOnion) {
+    for (const auto& f : cfg.traffic.flows) {
+      if (f.num_relays == 0) {
+        throw std::invalid_argument(
+            "experiment: onion load forwarding needs num_relays >= 1 per "
+            "flow (utility/spray-blind ignore relay groups)");
+      }
+    }
+  }
+}
+
+// Horizon the per-run contact trace must cover: the arrival window plus
+// the longest TTL any flow stamps on a message.
+Time loaded_trace_horizon(const ExperimentConfig& cfg) {
+  Time max_ttl = 0.0;
+  for (const auto& f : cfg.traffic.flows) max_ttl = std::max(max_ttl, f.ttl);
+  return cfg.traffic.horizon + max_ttl;
+}
+
 }  // namespace
 
 ExperimentResult Experiment::run(const Scenario& scenario) const {
   validate_backend(config_, scenario);
+  validate_traffic(config_, scenario);
   return std::visit(
       [this](const auto& s) -> ExperimentResult {
         using S = std::decay_t<decltype(s)>;
@@ -390,6 +563,7 @@ ExperimentResult Experiment::run(const Scenario& scenario) const {
 ExperimentResult Experiment::run_random_graph(
     const RandomGraphScenario&) const {
   const ExperimentConfig& cfg = config_;
+  const bool loaded = cfg.traffic.enabled();
   if (cfg.backend == ContactBackend::kSparse) {
     return run_engine(
         cfg, cfg.nodes, "random_graph",
@@ -405,6 +579,15 @@ ExperimentResult Experiment::run_random_graph(
                         cfg.nodes, cfg.avg_degree,
                         std::max<std::size_t>(std::size_t{1}, cfg.communities),
                         rng, cfg.min_ict, cfg.max_ict);
+          if (loaded) {
+            // The CSR rates sampler visits pairs in the same (i, j) order
+            // as the dense one, so paper-scale loaded runs match across
+            // backends bit-for-bit too.
+            trace::ContactTrace events = trace::sample_poisson_trace(
+                static_cast<const graph::ContactRates&>(graph),
+                loaded_trace_horizon(cfg), rng);
+            return run_loaded(cfg, events, rng, reg);
+          }
           sim::SparseContactModel contacts(graph, rng);
 
           NodeId src, dst;
@@ -417,6 +600,11 @@ ExperimentResult Experiment::run_random_graph(
                     [&](std::size_t, util::Rng& rng, metrics::Registry* reg) {
     graph::ContactGraph graph = graph::random_contact_graph(
         cfg.nodes, rng, cfg.min_ict, cfg.max_ict);
+    if (loaded) {
+      trace::ContactTrace events =
+          trace::sample_poisson_trace(graph, loaded_trace_horizon(cfg), rng);
+      return run_loaded(cfg, events, rng, reg);
+    }
     sim::PoissonContactModel contacts(graph, rng);
 
     NodeId src, dst;

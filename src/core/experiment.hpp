@@ -40,6 +40,14 @@ struct ExperimentResult {
   util::RunningStats sim_traceable;      // delivered runs only
   util::RunningStats sim_anonymity;      // delivered runs only
 
+  // Loaded-traffic runs only (config.traffic enabled; empty otherwise).
+  // Per-run samples: sustained delivered msgs per time unit, and the p99
+  // delivery delay of the run's delivered messages. Under load,
+  // sim_delivered holds the per-run delivery *fraction* and sim_delay the
+  // per-run mean delay — same fields, per-workload instead of per-message.
+  util::RunningStats sim_throughput;
+  util::RunningStats sim_p99_delay;
+
   // Analysis side (model evaluated per realization, averaged). The security
   // and cost models depend only on (K, g, L, c/n, n), so their per-run
   // samples coincide; keeping them as accumulators makes shard merging

@@ -1,14 +1,28 @@
 #include "sim/network_sim.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <queue>
 #include <set>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "faults/faults.hpp"
+#include "routing/utility_forwarder.hpp"
 
 namespace odtn::sim {
+
+void ContactBandwidth::validate() const {
+  if (mean_duration < 0.0 || transfer_time < 0.0) {
+    throw std::invalid_argument(
+        "bandwidth: duration model fields must be >= 0");
+  }
+  if ((mean_duration > 0.0) != (transfer_time > 0.0)) {
+    throw std::invalid_argument(
+        "bandwidth: mean_duration and transfer_time must be set together");
+  }
+}
 
 double NetworkSimReport::delivery_rate() const {
   if (outcomes.empty()) return 0.0;
@@ -31,17 +45,25 @@ double NetworkSimReport::mean_delay() const {
 
 namespace {
 
+constexpr std::size_t kUnlimited = std::numeric_limits<std::size_t>::max();
+
 struct Copy {
   std::size_t msg;
   std::size_t hop;  // onion groups traversed so far (1..K)
   NodeId holder;
   Time arrival = 0.0;  // when the current holder received it
   bool alive = true;
+  /// Utility-forwarder mode only: spray tickets this copy still owns.
+  std::size_t tickets = 1;
+  /// First time an eligible transfer of this copy was deferred by contact
+  /// bandwidth; kTimeInfinity = not queued (feeds "sim.queue_wait").
+  Time queued_since = kTimeInfinity;
 };
 
 struct SourceToken {
   std::size_t tickets;
   bool alive = true;
+  Time queued_since = kTimeInfinity;
 };
 
 struct Engine {
@@ -50,13 +72,20 @@ struct Engine {
   const NetworkSimConfig* config;
 
   std::vector<InjectedMessage> messages;
+  std::vector<std::uint8_t> priorities;  // empty = all class 0
   std::vector<std::vector<GroupId>> relay_groups;  // per message
   std::vector<SourceToken> tokens;                 // per message
   std::vector<std::unordered_set<NodeId>> seen;    // per message
 
   std::vector<Copy> copies;
+  std::vector<std::vector<NodeId>> copy_paths;  // record_paths only
   std::vector<std::set<std::size_t>> holdings;  // node -> copy ids
   std::vector<std::size_t> load;                // node -> buffered items
+
+  // Scheduled drainage (bandwidth / priorities / utility forwarder); when
+  // false the engine runs the exact legacy per-direction loops.
+  bool scheduled = false;
+  routing::UtilityForwarder* utility = nullptr;
 
   // Observability handles (inert when config->metrics is null).
   metrics::CounterHandle m_transfers;
@@ -73,6 +102,12 @@ struct Engine {
   metrics::CounterHandle m_transfer_failures;
   metrics::CounterHandle m_crash_flushed;
   metrics::CounterHandle m_blackhole_absorbed;
+  // Congestion accounting (resolved only on the scheduled path — same
+  // byte-identity contract as the fault handles).
+  metrics::CounterHandle m_queue_deferred;
+  metrics::CounterHandle m_contacts_saturated;
+  metrics::HistogramHandle m_queue_wait;
+  metrics::HistogramHandle m_contact_capacity;
   std::size_t crash_cursor = 0;
 
   // (deadline, kind, id): kind 0 = source token (id = msg), 1 = copy.
@@ -84,7 +119,22 @@ struct Engine {
   // snapshots never overlap in time.
   std::vector<std::size_t> holdings_scratch;
 
+  // One contact's transfer candidates (scheduled path), reused.
+  struct Cand {
+    std::uint8_t pri;
+    std::uint32_t seq;   // collection order = the legacy execution order
+    std::uint8_t kind;   // 0 = source token, 1 = copy
+    std::size_t id;      // msg index (kind 0) or copy id (kind 1)
+    NodeId sender;
+    NodeId receiver;
+  };
+  std::vector<Cand> cand_scratch;
+
   NetworkSimReport report;
+
+  std::uint8_t pri(std::size_t m) const {
+    return priorities.empty() ? 0 : priorities[m];
+  }
 
   bool buffer_full(NodeId v) const {
     return config->buffer_capacity != 0 &&
@@ -101,13 +151,18 @@ struct Engine {
       m_rejections.inc();
       return false;
     }
-    // kDropOldest: evict the relayed copy that has waited longest. Source
-    // tokens are locally originated and never evicted, so if the buffer is
-    // all tokens the transfer is refused anyway.
+    // kDropOldest: evict the relayed copy that has waited longest.
+    // Locally-originated state is never evicted: source tokens are not
+    // copies at all, and (utility mode) a copy still held by its own
+    // source is skipped. Tie-break on equal arrival times: the scan walks
+    // the ordered holdings set and keeps the *first* minimum, so the
+    // lowest copy id — the earliest-created copy — wins deterministically.
     std::size_t victim = SIZE_MAX;
     Time oldest = kTimeInfinity;
     for (std::size_t id : holdings[v]) {
-      if (copies[id].alive && copies[id].arrival < oldest) {
+      if (!copies[id].alive) continue;
+      if (copies[id].holder == messages[copies[id].msg].src) continue;
+      if (copies[id].arrival < oldest) {
         oldest = copies[id].arrival;
         victim = id;
       }
@@ -135,6 +190,18 @@ struct Engine {
     if (buffer_full(msg.src)) {
       report.outcomes[m].injection_failed = true;
       m_injection_failures.inc();
+      return;
+    }
+    if (utility != nullptr) {
+      // Utility mode: the source holds a real copy carrying all L spray
+      // tickets (no token/relay-group machinery).
+      std::size_t id = copies.size();
+      copies.push_back({m, 0, msg.src, msg.start, true, msg.copies});
+      if (config->record_paths) copy_paths.emplace_back();
+      holdings[msg.src].insert(id);
+      ++load[msg.src];
+      seen[m].insert(msg.src);
+      expiries.emplace(deadline_of(m), 1, id);
       return;
     }
     tokens[m].tickets = msg.copies;
@@ -204,7 +271,230 @@ struct Engine {
     return receiver == msg.dst;
   }
 
-  // Attempts every transfer from `sender` to `receiver` at time t.
+  // Flushes a completed queue-wait interval into "sim.queue_wait".
+  void note_served(Time& queued_since, Time t) {
+    if (queued_since != kTimeInfinity) {
+      m_queue_wait.observe(t - queued_since);
+      queued_since = kTimeInfinity;
+    }
+  }
+
+  // record_paths bookkeeping: `receiver` just became the relay at 0-based
+  // hop position `pos` for message m (one copy's path extends; the
+  // per-message hop set dedups across copies).
+  void record_relay(std::size_t m, std::size_t pos, NodeId receiver) {
+    auto& rph = report.outcomes[m].relays_per_hop;
+    if (rph.size() <= pos) rph.resize(pos + 1);
+    auto& at = rph[pos];
+    if (std::find(at.begin(), at.end(), receiver) == at.end()) {
+      at.push_back(receiver);
+    }
+  }
+
+  // --- transfer eligibility + execution ------------------------------
+  // Split so the legacy per-direction loops and the scheduled (bandwidth/
+  // priority) drainage share one set of semantics. An attempt_* helper
+  // assumes eligibility was just checked and returns true iff a transfer
+  // actually executed (the unit that consumes contact bandwidth); fault
+  // losses and buffer refusals return false and consume nothing.
+
+  bool token_eligible(std::size_t m, NodeId sender, NodeId receiver,
+                      Time t) const {
+    return tokens[m].alive && messages[m].src == sender &&
+           t <= deadline_of(m) && qualifies(m, 0, receiver);
+  }
+
+  bool attempt_token(std::size_t m, NodeId sender, NodeId receiver, Time t) {
+    faults::FaultPlan* fp = config->faults;
+    // A failed handoff consumes no spray ticket and leaves the receiver
+    // eligible for a retry at the next contact.
+    if (fp != nullptr && fp->transfer_fails(sender, receiver)) {
+      ++report.transfer_failures;
+      m_transfer_failures.inc();
+      return false;
+    }
+    if (!make_room(receiver, m)) return false;
+    std::size_t id = copies.size();
+    copies.push_back({m, 1, receiver, t, true});
+    if (config->record_paths) {
+      copy_paths.emplace_back(1, receiver);
+      record_relay(m, 0, receiver);
+    }
+    holdings[receiver].insert(id);
+    ++load[receiver];
+    seen[m].insert(receiver);
+    expiries.emplace(deadline_of(m), 1, id);
+    ++report.outcomes[m].transmissions;
+    ++report.total_transmissions;
+    m_transfers.inc();
+    m_hop_delay.observe(t - messages[m].start);
+    if (fp != nullptr && fp->is_blackhole(receiver)) {
+      ++report.blackhole_absorbed;
+      m_blackhole_absorbed.inc();
+    }
+    if (--tokens[m].tickets == 0) {
+      tokens[m].alive = false;
+      --load[sender];
+    }
+    note_served(tokens[m].queued_since, t);
+    // A message with num_relays == 0 would deliver straight from the
+    // token; the constructor rejects that case, so hop 1 is always a
+    // relay position here.
+    return true;
+  }
+
+  bool copy_eligible(std::size_t id, NodeId sender, NodeId receiver,
+                     Time t) const {
+    const Copy& c = copies[id];
+    return c.alive && c.holder == sender && t <= deadline_of(c.msg) &&
+           qualifies(c.msg, c.hop, receiver);
+  }
+
+  bool attempt_copy(std::size_t id, NodeId sender, NodeId receiver, Time t) {
+    faults::FaultPlan* fp = config->faults;
+    Copy& c = copies[id];
+    std::size_t m = c.msg;
+    // Mid-contact failure: the sender keeps its copy; retry later.
+    if (fp != nullptr && fp->transfer_fails(sender, receiver)) {
+      ++report.transfer_failures;
+      m_transfer_failures.inc();
+      return false;
+    }
+
+    if (receiver == messages[m].dst && c.hop == messages[m].num_relays) {
+      // Delivery: the destination consumes the message (no buffer cost).
+      ++report.outcomes[m].transmissions;
+      ++report.total_transmissions;
+      m_transfers.inc();
+      m_hop_delay.observe(t - c.arrival);
+      seen[m].insert(receiver);
+      if (!report.outcomes[m].delivered) {
+        report.outcomes[m].delivered = true;
+        report.outcomes[m].delay = t - messages[m].start;
+        m_deliveries.inc();
+        m_delivery_delay.observe(t - messages[m].start);
+        if (config->record_paths) {
+          report.outcomes[m].relay_path = copy_paths[id];
+        }
+      }
+      c.alive = false;
+      holdings[sender].erase(id);
+      --load[sender];
+      note_served(c.queued_since, t);
+      return true;
+    }
+
+    if (!make_room(receiver, m)) return false;
+    if (!c.alive) return false;  // evicted by make_room on its own holder
+    // Forward and free the sender's slot (single ticket per copy).
+    ++report.outcomes[m].transmissions;
+    ++report.total_transmissions;
+    m_transfers.inc();
+    m_hop_delay.observe(t - c.arrival);
+    holdings[sender].erase(id);
+    --load[sender];
+    c.holder = receiver;
+    c.arrival = t;
+    if (config->record_paths) {
+      record_relay(m, c.hop, receiver);
+      copy_paths[id].push_back(receiver);
+    }
+    ++c.hop;
+    holdings[receiver].insert(id);
+    ++load[receiver];
+    seen[m].insert(receiver);
+    if (fp != nullptr && fp->is_blackhole(receiver)) {
+      ++report.blackhole_absorbed;
+      m_blackhole_absorbed.inc();
+    }
+    note_served(c.queued_since, t);
+    return true;
+  }
+
+  // Utility-forwarder mode: a copy may deliver to the destination or
+  // binary-split its spray tickets toward a higher-utility, uncongested
+  // custodian. Decisions are pure functions of simulated state (no RNG).
+  bool ucopy_eligible(std::size_t id, NodeId sender, NodeId receiver,
+                      Time t) const {
+    const Copy& c = copies[id];
+    if (!c.alive || c.holder != sender || t > deadline_of(c.msg)) {
+      return false;
+    }
+    std::size_t m = c.msg;
+    if (seen[m].count(receiver) > 0) return false;
+    if (receiver == messages[m].dst) return true;
+    return c.tickets > 1 &&
+           utility->should_replicate(sender, receiver, messages[m].dst,
+                                     load[receiver],
+                                     config->buffer_capacity);
+  }
+
+  bool attempt_ucopy(std::size_t id, NodeId sender, NodeId receiver, Time t) {
+    faults::FaultPlan* fp = config->faults;
+    std::size_t m = copies[id].msg;
+    if (fp != nullptr && fp->transfer_fails(sender, receiver)) {
+      ++report.transfer_failures;
+      m_transfer_failures.inc();
+      return false;
+    }
+
+    if (receiver == messages[m].dst) {
+      Copy& c = copies[id];
+      ++report.outcomes[m].transmissions;
+      ++report.total_transmissions;
+      m_transfers.inc();
+      m_hop_delay.observe(t - c.arrival);
+      seen[m].insert(receiver);
+      if (!report.outcomes[m].delivered) {
+        report.outcomes[m].delivered = true;
+        report.outcomes[m].delay = t - messages[m].start;
+        m_deliveries.inc();
+        m_delivery_delay.observe(t - messages[m].start);
+        if (config->record_paths) {
+          report.outcomes[m].relay_path = copy_paths[id];
+        }
+      }
+      c.alive = false;
+      holdings[sender].erase(id);
+      --load[sender];
+      note_served(c.queued_since, t);
+      return true;
+    }
+
+    if (!make_room(receiver, m)) return false;
+    if (!copies[id].alive) return false;  // evicted out from under us
+    // Replicate: the receiver takes half the tickets, the sender keeps
+    // the rest (spray-and-wait binary splitting).
+    const std::size_t give = copies[id].tickets / 2;  // >= 1: tickets > 1
+    const std::size_t hop = copies[id].hop;
+    std::size_t id2 = copies.size();
+    copies.push_back({m, hop + 1, receiver, t, true, give});
+    if (config->record_paths) {
+      copy_paths.push_back(copy_paths[id]);
+      copy_paths[id2].push_back(receiver);
+      record_relay(m, hop, receiver);
+    }
+    Copy& c = copies[id];  // re-resolve: push_back may reallocate
+    c.tickets -= give;
+    holdings[receiver].insert(id2);
+    ++load[receiver];
+    seen[m].insert(receiver);
+    expiries.emplace(deadline_of(m), 1, id2);
+    ++report.outcomes[m].transmissions;
+    ++report.total_transmissions;
+    m_transfers.inc();
+    m_hop_delay.observe(t - c.arrival);
+    if (fp != nullptr && fp->is_blackhole(receiver)) {
+      ++report.blackhole_absorbed;
+      m_blackhole_absorbed.inc();
+    }
+    note_served(c.queued_since, t);
+    return true;
+  }
+
+  // Attempts every transfer from `sender` to `receiver` at time t — the
+  // legacy unlimited-bandwidth drainage (exact historical order: source
+  // tokens in message order, then relayed copies in copy-id order).
   void transfer_direction(NodeId sender, NodeId receiver, Time t) {
     faults::FaultPlan* fp = config->faults;
     // Blackholes accept copies but never forward them.
@@ -212,97 +502,100 @@ struct Engine {
 
     // Source token: hand a fresh copy into R_1.
     for (std::size_t m = 0; m < messages.size(); ++m) {
-      if (!tokens[m].alive || messages[m].src != sender) continue;
-      if (t > deadline_of(m)) continue;
-      if (!qualifies(m, 0, receiver)) continue;
-      // A failed handoff consumes no spray ticket and leaves the receiver
-      // eligible for a retry at the next contact.
-      if (fp != nullptr && fp->transfer_fails(sender, receiver)) {
-        ++report.transfer_failures;
-        m_transfer_failures.inc();
-        continue;
-      }
-      if (!make_room(receiver, m)) continue;
-      std::size_t id = copies.size();
-      copies.push_back({m, 1, receiver, t, true});
-      holdings[receiver].insert(id);
-      ++load[receiver];
-      seen[m].insert(receiver);
-      expiries.emplace(deadline_of(m), 1, id);
-      ++report.outcomes[m].transmissions;
-      ++report.total_transmissions;
-      m_transfers.inc();
-      m_hop_delay.observe(t - messages[m].start);
-      if (fp != nullptr && fp->is_blackhole(receiver)) {
-        ++report.blackhole_absorbed;
-        m_blackhole_absorbed.inc();
-      }
-      if (--tokens[m].tickets == 0) {
-        tokens[m].alive = false;
-        --load[sender];
-      }
-      // A message with num_relays == 0 would deliver straight from the
-      // token; the constructor rejects that case, so hop 1 is always a
-      // relay position here.
+      if (!token_eligible(m, sender, receiver, t)) continue;
+      attempt_token(m, sender, receiver, t);
     }
 
     // Relayed copies.
     holdings_scratch.assign(holdings[sender].begin(), holdings[sender].end());
     for (std::size_t id : holdings_scratch) {
-      Copy& c = copies[id];
-      if (!c.alive) continue;
-      std::size_t m = c.msg;
-      if (t > deadline_of(m)) continue;
-      if (!qualifies(m, c.hop, receiver)) continue;
-      // Mid-contact failure: the sender keeps its copy; retry later.
-      if (fp != nullptr && fp->transfer_fails(sender, receiver)) {
-        ++report.transfer_failures;
-        m_transfer_failures.inc();
-        continue;
-      }
+      if (!copy_eligible(id, sender, receiver, t)) continue;
+      attempt_copy(id, sender, receiver, t);
+    }
+  }
 
-      if (receiver == messages[m].dst && c.hop == messages[m].num_relays) {
-        // Delivery: the destination consumes the message (no buffer cost).
-        ++report.outcomes[m].transmissions;
-        ++report.total_transmissions;
-        m_transfers.inc();
-        m_hop_delay.observe(t - c.arrival);
-        seen[m].insert(receiver);
-        if (!report.outcomes[m].delivered) {
-          report.outcomes[m].delivered = true;
-          report.outcomes[m].delay = t - messages[m].start;
-          m_deliveries.inc();
-          m_delivery_delay.observe(t - messages[m].start);
+  // Scheduled drainage: both directions' candidates are collected against
+  // the state at contact start (collection order = the legacy execution
+  // order), sorted by (priority, collection order), and executed within
+  // the shared bandwidth budget. Eligibility is re-checked at execution —
+  // earlier transfers may have evicted a candidate or consumed a token —
+  // and eligible candidates past the budget are deferred to a later
+  // contact (that wait is "sim.queue_wait"). With a uniform priority
+  // class and an unlimited budget this executes the identical transfer
+  // sequence as the two legacy transfer_direction passes.
+  void transfer_scheduled(NodeId a, NodeId b, Time t, std::size_t budget) {
+    faults::FaultPlan* fp = config->faults;
+    cand_scratch.clear();
+    std::uint32_t seq = 0;
+    auto collect = [&](NodeId sender, NodeId receiver) {
+      if (fp != nullptr && fp->is_blackhole(sender)) return;
+      if (utility != nullptr) {
+        for (std::size_t id : holdings[sender]) {
+          if (!ucopy_eligible(id, sender, receiver, t)) continue;
+          cand_scratch.push_back(
+              {pri(copies[id].msg), seq++, 1, id, sender, receiver});
         }
-        c.alive = false;
-        holdings[sender].erase(id);
-        --load[sender];
+        return;
+      }
+      for (std::size_t m = 0; m < messages.size(); ++m) {
+        if (!token_eligible(m, sender, receiver, t)) continue;
+        cand_scratch.push_back({pri(m), seq++, 0, m, sender, receiver});
+      }
+      for (std::size_t id : holdings[sender]) {
+        if (!copy_eligible(id, sender, receiver, t)) continue;
+        cand_scratch.push_back(
+            {pri(copies[id].msg), seq++, 1, id, sender, receiver});
+      }
+    };
+    collect(a, b);
+    collect(b, a);
+    // (pri, seq) pairs are unique, so plain sort is a total order.
+    std::sort(cand_scratch.begin(), cand_scratch.end(),
+              [](const Cand& x, const Cand& y) {
+                if (x.pri != y.pri) return x.pri < y.pri;
+                return x.seq < y.seq;
+              });
+
+    std::size_t executed = 0;
+    bool saturated = false;
+    for (const Cand& c : cand_scratch) {
+      const bool eligible =
+          utility != nullptr ? ucopy_eligible(c.id, c.sender, c.receiver, t)
+          : c.kind == 0      ? token_eligible(c.id, c.sender, c.receiver, t)
+                             : copy_eligible(c.id, c.sender, c.receiver, t);
+      if (!eligible) continue;
+      if (executed >= budget) {
+        // Out of bandwidth: the item starts (or continues) queueing.
+        saturated = true;
+        ++report.queue_deferred;
+        m_queue_deferred.inc();
+        Time& qs = c.kind == 0 ? tokens[c.id].queued_since
+                               : copies[c.id].queued_since;
+        if (qs == kTimeInfinity) qs = t;
         continue;
       }
-
-      if (!make_room(receiver, m)) continue;
-      if (!c.alive) continue;  // evicted by make_room on its own holder
-      // Forward and free the sender's slot (single ticket per copy).
-      ++report.outcomes[m].transmissions;
-      ++report.total_transmissions;
-      m_transfers.inc();
-      m_hop_delay.observe(t - c.arrival);
-      holdings[sender].erase(id);
-      --load[sender];
-      c.holder = receiver;
-      c.arrival = t;
-      ++c.hop;
-      holdings[receiver].insert(id);
-      ++load[receiver];
-      seen[m].insert(receiver);
-      if (fp != nullptr && fp->is_blackhole(receiver)) {
-        ++report.blackhole_absorbed;
-        m_blackhole_absorbed.inc();
-      }
+      const bool done =
+          utility != nullptr ? attempt_ucopy(c.id, c.sender, c.receiver, t)
+          : c.kind == 0      ? attempt_token(c.id, c.sender, c.receiver, t)
+                             : attempt_copy(c.id, c.sender, c.receiver, t);
+      if (done) ++executed;
+    }
+    if (executed > report.max_contact_transfers) {
+      report.max_contact_transfers = executed;
+    }
+    if (saturated) {
+      ++report.contacts_saturated;
+      m_contacts_saturated.inc();
     }
   }
 
   NetworkSimReport run(util::Rng& rng) {
+    utility = config->utility;
+    const bool bandwidth_on = config->bandwidth.enabled();
+    bool priorities_on = false;
+    for (std::uint8_t p : priorities) priorities_on |= (p != 0);
+    scheduled = bandwidth_on || priorities_on || utility != nullptr;
+
     metrics::Registry* reg = config->metrics;
     m_transfers = metrics::counter(reg, "sim.transfers");
     m_rejections = metrics::counter(reg, "sim.buffer_rejections");
@@ -323,18 +616,30 @@ struct Engine {
       metrics::counter(reg, "faults.blackhole_nodes")
           .inc(config->faults->blackhole_count());
     }
+    if (scheduled) {
+      // Same contract: the unloaded export carries no sim.queue_* entries.
+      m_queue_deferred = metrics::counter(reg, "sim.queue_deferred");
+      m_contacts_saturated = metrics::counter(reg, "sim.contacts_saturated");
+      m_queue_wait = metrics::histogram(reg, "sim.queue_wait");
+      if (bandwidth_on) {
+        m_contact_capacity = metrics::histogram(reg, "sim.contact_capacity");
+      }
+    }
 
     report.outcomes.assign(messages.size(), {});
-    tokens.assign(messages.size(), SourceToken{0, false});
+    tokens.assign(messages.size(), SourceToken{0, false, kTimeInfinity});
     seen.assign(messages.size(), {});
     holdings.assign(trace->node_count(), {});
     load.assign(trace->node_count(), 0);
 
-    // Select relay groups per message.
-    relay_groups.resize(messages.size());
-    for (std::size_t m = 0; m < messages.size(); ++m) {
-      relay_groups[m] = directory->select_relay_groups(
-          messages[m].src, messages[m].dst, messages[m].num_relays, rng);
+    // Select relay groups per message (skipped — with no RNG drawn — in
+    // utility-forwarder mode, which routes without onion groups).
+    if (utility == nullptr) {
+      relay_groups.resize(messages.size());
+      for (std::size_t m = 0; m < messages.size(); ++m) {
+        relay_groups[m] = directory->select_relay_groups(
+            messages[m].src, messages[m].dst, messages[m].num_relays, rng);
+      }
     }
 
     // Injection order by start time.
@@ -364,8 +669,28 @@ struct Engine {
           continue;
         }
       }
-      transfer_direction(event.a, event.b, event.time);
-      transfer_direction(event.b, event.a, event.time);
+      if (utility != nullptr) {
+        // The forwarder learns from every surviving contact, including
+        // the one it is about to route over.
+        utility->observe_contact(event.a, event.b, event.time);
+      }
+      if (scheduled) {
+        std::size_t budget = kUnlimited;
+        if (bandwidth_on) {
+          const auto& bw = config->bandwidth;
+          if (bw.mean_duration > 0.0) {
+            const double duration = rng.exponential(1.0 / bw.mean_duration);
+            budget = static_cast<std::size_t>(duration / bw.transfer_time);
+          } else {
+            budget = bw.messages_per_contact;
+          }
+          m_contact_capacity.observe(static_cast<double>(budget));
+        }
+        transfer_scheduled(event.a, event.b, event.time, budget);
+      } else {
+        transfer_direction(event.a, event.b, event.time);
+        transfer_direction(event.b, event.a, event.time);
+      }
     }
     // Messages injected after the last event simply never move.
     while (next_injection < order.size()) {
@@ -383,12 +708,33 @@ NetworkSimReport run_network_sim(const trace::ContactTrace& trace,
                                  std::vector<InjectedMessage> messages,
                                  const NetworkSimConfig& config,
                                  util::Rng& rng) {
+  return run_network_sim(trace, directory, std::move(messages), {}, config,
+                         rng);
+}
+
+NetworkSimReport run_network_sim(const trace::ContactTrace& trace,
+                                 const groups::GroupDirectory& directory,
+                                 std::vector<InjectedMessage> messages,
+                                 std::vector<std::uint8_t> priorities,
+                                 const NetworkSimConfig& config,
+                                 util::Rng& rng) {
   if (trace.node_count() != directory.node_count()) {
     throw std::invalid_argument("run_network_sim: node count mismatch");
   }
   if (config.faults != nullptr &&
       config.faults->node_count() != trace.node_count()) {
     throw std::invalid_argument("run_network_sim: fault plan node count mismatch");
+  }
+  if (!priorities.empty() && priorities.size() != messages.size()) {
+    throw std::invalid_argument(
+        "run_network_sim: priorities must be empty or parallel to messages");
+  }
+  config.bandwidth.validate();
+  const bool utility_mode = config.utility != nullptr;
+  if (utility_mode &&
+      config.utility->node_count() != trace.node_count()) {
+    throw std::invalid_argument(
+        "run_network_sim: utility forwarder node count mismatch");
   }
   for (const auto& m : messages) {
     if (m.src == m.dst) {
@@ -397,7 +743,7 @@ NetworkSimReport run_network_sim(const trace::ContactTrace& trace,
     if (m.src >= trace.node_count() || m.dst >= trace.node_count()) {
       throw std::invalid_argument("run_network_sim: unknown endpoint");
     }
-    if (m.num_relays == 0) {
+    if (!utility_mode && m.num_relays == 0) {
       throw std::invalid_argument("run_network_sim: need >= 1 relay group");
     }
     if (m.copies == 0) {
@@ -409,6 +755,7 @@ NetworkSimReport run_network_sim(const trace::ContactTrace& trace,
   engine.directory = &directory;
   engine.config = &config;
   engine.messages = std::move(messages);
+  engine.priorities = std::move(priorities);
   return engine.run(rng);
 }
 

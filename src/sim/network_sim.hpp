@@ -13,6 +13,19 @@
 // a contact (a, b) iff b is in the message's next onion group (or is the
 // destination on the last hop), b does not already hold or relay the
 // message, and b has buffer space.
+//
+// Under sustained load (odtn::traffic) two more dimensions open up:
+//   * finite contact bandwidth — each contact carries at most a budget of
+//     transfers (fixed, or floor(duration / transfer_time) with contact
+//     durations drawn Exp(mean_duration)); eligible transfers beyond the
+//     budget wait for a later contact (queueing delay, "sim.queue_*"
+//     metrics);
+//   * priority classes — transfers drain in (priority, arrival-order)
+//     order, so an urgent class is never starved behind bulk traffic at
+//     the same contact.
+// With bandwidth off, priorities uniform, and no utility forwarder, the
+// engine runs the exact historical code path: behavior, metrics export,
+// and RNG draw order are byte-identical to builds before the load layer.
 #pragma once
 
 #include <vector>
@@ -27,6 +40,9 @@
 namespace odtn::faults {
 class FaultPlan;
 }
+namespace odtn::routing {
+class UtilityForwarder;
+}
 
 namespace odtn::sim {
 
@@ -35,7 +51,34 @@ namespace odtn::sim {
 enum class BufferPolicy {
   kRejectNew,   // refuse the transfer (the sender keeps its copy)
   kDropOldest,  // evict the longest-buffered relayed copy to admit the new
-                // one (locally-originated messages are never evicted)
+                // one (locally-originated messages are never evicted).
+                // Tie-break on equal buffered-since times: the lowest copy
+                // id, i.e. the earliest-created copy — explicitly
+                // deterministic (holdings are ordered sets and the scan
+                // keeps the first minimum).
+};
+
+/// Finite contact bandwidth: how many transfers one contact event can
+/// carry. Both directions of the contact share the budget.
+struct ContactBandwidth {
+  /// Fixed budget per contact. Used when the duration model below is off.
+  std::size_t messages_per_contact = 0;
+  /// Duration model (takes precedence when both fields are > 0): each
+  /// contact's duration is drawn Exp(mean `mean_duration`) from the
+  /// simulation RNG and carries floor(duration / transfer_time) messages
+  /// — possibly zero, a contact too brief to push anything through.
+  double mean_duration = 0.0;
+  double transfer_time = 0.0;
+
+  /// Whether any bandwidth limit is configured. All-defaults = unlimited
+  /// (the analytical model's assumption, and the byte-identity contract:
+  /// a disabled model draws nothing from the RNG).
+  bool enabled() const {
+    return messages_per_contact > 0 ||
+           (mean_duration > 0.0 && transfer_time > 0.0);
+  }
+  /// Throws std::invalid_argument (one-line message) on bad knobs.
+  void validate() const;
 };
 
 struct NetworkSimConfig {
@@ -57,6 +100,20 @@ struct NetworkSimConfig {
   /// build without the fault layer). Mutable because the per-link loss
   /// processes advance state as the simulation queries them.
   faults::FaultPlan* faults = nullptr;
+  /// Contact bandwidth limit; default-constructed = unlimited.
+  ContactBandwidth bandwidth;
+  /// Record each message's relay sets and the first delivered copy's path
+  /// into MessageOutcome (the anonymity-under-load measurements need
+  /// them). Off by default: the fields stay empty and cost nothing.
+  bool record_paths = false;
+  /// Non-null replaces onion-group forwarding with the congestion/
+  /// utility-aware forwarder (routing::UtilityForwarder): no relay groups
+  /// are selected (and no RNG is drawn for them), the source holds a copy
+  /// with MessageSpec::copies spray tickets, tickets binary-split toward
+  /// higher-utility custodians, and replication backs off from saturated
+  /// receivers. The forwarder learns from every surviving contact in
+  /// trace order, so runs stay bit-identical across thread counts.
+  routing::UtilityForwarder* utility = nullptr;
 };
 
 /// Messages share the routing-layer parameter block (src, dst, start, ttl,
@@ -75,6 +132,13 @@ struct MessageOutcome {
   /// True if the message never left the source (source buffer full at
   /// injection time).
   bool injection_failed = false;
+  /// record_paths only: relays of the first delivered copy in hop order
+  /// (excludes src and dst; empty if undelivered or recording is off).
+  std::vector<NodeId> relay_path;
+  /// record_paths only: for hop k (0-based), every node that relayed any
+  /// copy at that hop — the DeliveryResult::relays_per_hop shape the
+  /// multi-copy anonymity measurement consumes.
+  std::vector<std::vector<NodeId>> relays_per_hop;
 };
 
 struct NetworkSimReport {
@@ -93,6 +157,15 @@ struct NetworkSimReport {
   std::size_t crash_flushed_copies = 0;
   /// Copies handed to blackhole nodes (absorbed, never forwarded).
   std::size_t blackhole_absorbed = 0;
+  // Congestion accounting (all zero without bandwidth/priority/utility —
+  // the legacy unlimited-contact path).
+  /// Eligible transfers pushed past a contact's bandwidth budget.
+  std::size_t queue_deferred = 0;
+  /// Contacts whose budget ran out with eligible transfers still waiting.
+  std::size_t contacts_saturated = 0;
+  /// Largest number of transfers any single contact carried (the
+  /// bandwidth-cap conservation invariant: <= the per-contact budget).
+  std::size_t max_contact_transfers = 0;
 
   double delivery_rate() const;
   double mean_delay() const;  // over delivered messages
@@ -104,6 +177,17 @@ struct NetworkSimReport {
 NetworkSimReport run_network_sim(const trace::ContactTrace& trace,
                                  const groups::GroupDirectory& directory,
                                  std::vector<InjectedMessage> messages,
+                                 const NetworkSimConfig& config,
+                                 util::Rng& rng);
+
+/// As above with per-message priority classes (0 = most urgent; parallel
+/// to `messages`, empty = all class 0). Contact drainage is ordered by
+/// (priority, arrival order); with every priority equal to 0 this is the
+/// exact legacy engine.
+NetworkSimReport run_network_sim(const trace::ContactTrace& trace,
+                                 const groups::GroupDirectory& directory,
+                                 std::vector<InjectedMessage> messages,
+                                 std::vector<std::uint8_t> priorities,
                                  const NetworkSimConfig& config,
                                  util::Rng& rng);
 

@@ -99,6 +99,32 @@ ContactTrace sample_poisson_trace(const graph::ContactGraph& graph,
   return ContactTrace(graph.node_count(), std::move(events));
 }
 
+ContactTrace sample_poisson_trace(const graph::ContactRates& rates,
+                                  Time horizon, util::Rng& rng) {
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument("sample_poisson_trace: horizon must be > 0");
+  }
+  std::vector<ContactEvent> events;
+  std::vector<NodeId> neighbors;
+  const std::size_t n = rates.node_count();
+  for (NodeId i = 0; i < n; ++i) {
+    neighbors.clear();
+    rates.append_neighbors(i, neighbors);
+    for (NodeId j : neighbors) {
+      if (j <= i) continue;  // each pair once, from its lower endpoint
+      double rate = rates.rate(i, j);
+      if (rate <= 0.0) continue;
+      Time t = 0.0;
+      while (true) {
+        t += rng.exponential(rate);
+        if (t >= horizon) break;
+        events.push_back({t, i, j});
+      }
+    }
+  }
+  return ContactTrace(n, std::move(events));
+}
+
 ContactTrace make_infocom_like(std::uint64_t seed) {
   DiurnalTraceParams p;
   p.nodes = 41;

@@ -54,4 +54,13 @@ ContactTrace make_infocom_like(std::uint64_t seed);
 ContactTrace sample_poisson_trace(const graph::ContactGraph& graph,
                                   Time horizon, util::Rng& rng);
 
+/// Backend-neutral overload over the ContactRates surface (dense graphs
+/// bind the exact-match overload above). Pairs are visited in ascending
+/// (i, j), i < j — append_neighbors' documented order — so on a dense
+/// graph this draws the identical RNG sequence as the dense sampler. Used
+/// by the loaded-traffic experiments on the sparse backend, where
+/// enumerating all n² pairs is exactly what the CSR representation avoids.
+ContactTrace sample_poisson_trace(const graph::ContactRates& rates,
+                                  Time horizon, util::Rng& rng);
+
 }  // namespace odtn::trace

@@ -1,0 +1,113 @@
+// odtn::traffic — deterministic open-loop workload generation.
+//
+// The paper (and the closed forms in src/analysis) injects one message per
+// run. This subsystem generates *sustained* offered load so the simulator
+// can answer deployment questions: how many msgs/sec does a deployment
+// carry at a given delivery rate, what happens to p99 delay and to the
+// anonymity set as load grows (bench/ablation_anonymity_vs_load)?
+//
+// A TrafficPlan expands a TrafficConfig into a time-ordered message list.
+// Each flow draws from its own util::derive_seed(seed, flow) sub-stream,
+// so a plan is a pure function of (config, nodes, seed): bit-identical at
+// every --threads count, independent of how runs are sharded.
+//
+// Arrival processes per flow:
+//   * kPoisson       — i.i.d. Exp(1/rate) gaps (M/·/· offered load).
+//   * kDeterministic — fixed gaps of 1/rate (paced CBR traffic).
+//   * kMmpp          — 2-state Markov-modulated Poisson process: an ON
+//     state emitting at rate * burst_factor alternates with a silent OFF
+//     state; dwell times are Exp(mean_burst) / Exp(mean_idle). The OFF/ON
+//     split is chosen so the *long-run* average rate equals `rate`, which
+//     makes the three processes comparable at equal offered load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "routing/types.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace odtn::traffic {
+
+enum class Arrival : std::uint8_t { kPoisson, kDeterministic, kMmpp };
+
+/// "poisson", "deterministic", or "mmpp".
+const char* arrival_name(Arrival arrival);
+/// Inverse of arrival_name; throws std::invalid_argument on unknown names.
+Arrival parse_arrival(const std::string& name);
+
+/// One traffic flow: an arrival process plus the message template its
+/// arrivals are stamped from. Endpoint ranges are half-open [lo, hi);
+/// lo == hi == 0 means "the whole network".
+struct FlowConfig {
+  Arrival arrival = Arrival::kPoisson;
+  /// Long-run mean arrival rate, messages per time unit (> 0).
+  double rate = 0.0;
+  /// kMmpp only: the ON-state rate is rate * burst_factor. Must satisfy
+  /// 1 <= burst_factor <= (mean_burst + mean_idle) / mean_burst, or the
+  /// OFF state would need a negative rate to average out to `rate`.
+  double burst_factor = 4.0;
+  /// kMmpp only: mean ON / OFF dwell times.
+  double mean_burst = 60.0;
+  double mean_idle = 180.0;
+  /// Drainage class: 0 is the most urgent. Under contact bandwidth,
+  /// transfers are served in (priority, arrival-order) order.
+  std::uint8_t priority = 0;
+  /// Source / destination node ranges, [lo, hi); 0,0 = all nodes.
+  NodeId src_lo = 0;
+  NodeId src_hi = 0;
+  NodeId dst_lo = 0;
+  NodeId dst_hi = 0;
+  /// Per-flow onion parameters (routing::MessageSpec's K / L / TTL).
+  std::size_t num_relays = 3;
+  std::size_t copies = 1;
+  Time ttl = 1800.0;
+};
+
+struct TrafficConfig {
+  std::vector<FlowConfig> flows;
+  /// Arrivals are generated on [0, horizon).
+  Time horizon = 0.0;
+
+  /// A default-constructed config disables the traffic path entirely
+  /// (the zero-knob byte-identity contract).
+  bool enabled() const { return horizon > 0.0 && !flows.empty(); }
+  /// Sum of flow rates: the total offered load in msgs per time unit.
+  double offered_rate() const;
+  /// Throws std::invalid_argument (one-line message) on bad knobs.
+  void validate(std::size_t nodes) const;
+};
+
+/// One generated message: the routing-layer spec plus the scheduling
+/// attributes the simulator's drainage order needs.
+struct TrafficMessage {
+  routing::MessageSpec spec;
+  std::uint8_t priority = 0;
+  /// Index of the flow that emitted it (stable across thread counts).
+  std::uint32_t flow = 0;
+};
+
+/// Expands a TrafficConfig into a time-ordered message list. Flow f draws
+/// from Rng(derive_seed(seed, f)); the merged list is sorted by
+/// (start, flow, per-flow sequence), so it is a pure function of the
+/// arguments — no dependence on thread count or evaluation order.
+class TrafficPlan {
+ public:
+  TrafficPlan(const TrafficConfig& config, std::size_t nodes,
+              std::uint64_t seed);
+
+  const std::vector<TrafficMessage>& messages() const { return messages_; }
+  std::size_t size() const { return messages_.size(); }
+
+  /// Split views for sim::run_network_sim: the specs and the parallel
+  /// priority vector (same order as messages()).
+  std::vector<routing::MessageSpec> specs() const;
+  std::vector<std::uint8_t> priorities() const;
+
+ private:
+  std::vector<TrafficMessage> messages_;
+};
+
+}  // namespace odtn::traffic

@@ -1,0 +1,135 @@
+// Loaded experiments through core::Experiment: bit-identical results and
+// metrics exports across thread counts, config validation, and the
+// checkpoint config-hash compatibility contract.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/checkpoint.hpp"
+#include "core/experiment.hpp"
+#include "metrics/writer.hpp"
+
+namespace odtn::core {
+namespace {
+
+ExperimentConfig loaded_config() {
+  ExperimentConfig cfg;
+  cfg.nodes = 30;
+  cfg.runs = 6;
+  cfg.seed = 11;
+  cfg.collect_metrics = true;
+  traffic::FlowConfig flow;
+  flow.rate = 0.4;
+  flow.ttl = 900.0;
+  flow.copies = 2;
+  cfg.traffic.flows.push_back(flow);
+  flow.priority = 1;
+  flow.arrival = traffic::Arrival::kMmpp;
+  cfg.traffic.flows.push_back(flow);
+  cfg.traffic.horizon = 300.0;
+  cfg.bandwidth.messages_per_contact = 2;
+  cfg.buffer_capacity = 8;
+  cfg.buffer_policy = sim::BufferPolicy::kDropOldest;
+  return cfg;
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.sim_delivered.mean(), b.sim_delivered.mean());
+  EXPECT_EQ(a.sim_delay.mean(), b.sim_delay.mean());
+  EXPECT_EQ(a.sim_throughput.mean(), b.sim_throughput.mean());
+  EXPECT_EQ(a.sim_p99_delay.mean(), b.sim_p99_delay.mean());
+  EXPECT_EQ(a.sim_transmissions.mean(), b.sim_transmissions.mean());
+  EXPECT_EQ(a.sim_traceable.mean(), b.sim_traceable.mean());
+  EXPECT_EQ(a.sim_anonymity.mean(), b.sim_anonymity.mean());
+  EXPECT_EQ(metrics::to_jsonl(a.metrics), metrics::to_jsonl(b.metrics));
+}
+
+// The tentpole determinism contract: a loaded sweep (traffic + bandwidth
+// + finite buffers, every arrival process in play) folds to bit-identical
+// stats and a byte-identical metrics export at every thread count.
+TEST(TrafficExperiment, LoadedRunsAreBitIdenticalAcrossThreadCounts) {
+  ExperimentConfig cfg = loaded_config();
+  cfg.threads = 1;
+  auto t1 = Experiment(cfg).run(RandomGraphScenario{});
+  cfg.threads = 4;
+  auto t4 = Experiment(cfg).run(RandomGraphScenario{});
+
+  EXPECT_GT(t1.sim_throughput.mean(), 0.0);
+  expect_identical(t1, t4);
+}
+
+TEST(TrafficExperiment, UtilityForwarderIsDeterministicAcrossThreads) {
+  ExperimentConfig cfg = loaded_config();
+  cfg.load_forwarder = LoadForwarder::kUtility;
+  cfg.copies = 4;
+  for (auto& f : cfg.traffic.flows) f.copies = 4;
+  cfg.threads = 1;
+  auto t1 = Experiment(cfg).run(RandomGraphScenario{});
+  cfg.threads = 4;
+  auto t4 = Experiment(cfg).run(RandomGraphScenario{});
+  expect_identical(t1, t4);
+}
+
+TEST(TrafficExperiment, LoadedRunsReportThroughputAndTailDelay) {
+  ExperimentConfig cfg = loaded_config();
+  auto r = Experiment(cfg).run(RandomGraphScenario{});
+  // ~0.8 msgs/unit offered over 300 units; sustained throughput must be
+  // positive and the p99 at least the mean delay.
+  EXPECT_GT(r.sim_throughput.mean(), 0.0);
+  EXPECT_LE(r.sim_throughput.mean(), cfg.traffic.offered_rate());
+  EXPECT_GE(r.sim_p99_delay.mean(), r.sim_delay.mean());
+  // Under load sim_delivered is the per-run delivery fraction.
+  EXPECT_GT(r.sim_delivered.mean(), 0.0);
+  EXPECT_LE(r.sim_delivered.mean(), 1.0);
+}
+
+TEST(TrafficExperiment, LoadKnobsWithoutTrafficAreRejected) {
+  ExperimentConfig cfg;
+  cfg.runs = 1;
+  cfg.bandwidth.messages_per_contact = 2;
+  EXPECT_THROW(Experiment(cfg).run(RandomGraphScenario{}),
+               std::invalid_argument);
+
+  ExperimentConfig cfg2;
+  cfg2.runs = 1;
+  cfg2.buffer_capacity = 4;
+  EXPECT_THROW(Experiment(cfg2).run(RandomGraphScenario{}),
+               std::invalid_argument);
+
+  ExperimentConfig cfg3;
+  cfg3.runs = 1;
+  cfg3.load_forwarder = LoadForwarder::kUtility;
+  EXPECT_THROW(Experiment(cfg3).run(RandomGraphScenario{}),
+               std::invalid_argument);
+}
+
+TEST(TrafficExperiment, TrafficRequiresRandomGraphScenario) {
+  ExperimentConfig cfg = loaded_config();
+  trace::ContactTrace trace(4, {{1.0, 0, 1}, {2.0, 2, 3}});
+  EXPECT_THROW(Experiment(cfg).run(TraceScenario{&trace}),
+               std::invalid_argument);
+}
+
+// Appending the traffic fields must not move the config hash of any
+// zero-traffic config (old checkpoints keep resuming), while any loaded
+// knob must move it (a resumed loaded sweep can't silently mix configs).
+TEST(TrafficExperiment, ConfigHashIsStableForZeroTrafficConfigs) {
+  ExperimentConfig base;
+  ExperimentConfig with_load_knobs = base;
+  // Load knobs without enabled traffic never reach the hash (they are
+  // rejected by validation before any checkpoint is read).
+  EXPECT_EQ(checkpoint_config_hash(base, "random"),
+            checkpoint_config_hash(with_load_knobs, "random"));
+
+  ExperimentConfig loaded = loaded_config();
+  EXPECT_NE(checkpoint_config_hash(loaded, "random"),
+            checkpoint_config_hash(base, "random"));
+
+  ExperimentConfig loaded2 = loaded_config();
+  loaded2.traffic.flows[0].rate *= 2.0;
+  EXPECT_NE(checkpoint_config_hash(loaded, "random"),
+            checkpoint_config_hash(loaded2, "random"));
+}
+
+}  // namespace
+}  // namespace odtn::core

@@ -40,6 +40,9 @@ ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 echo "== metrics suite (ctest -L metrics) =="
 ctest --test-dir "$repo/build" -L metrics --output-on-failure -j "$jobs"
 
+echo "== traffic suite (ctest -L traffic) =="
+ctest --test-dir "$repo/build" -L traffic --output-on-failure -j "$jobs"
+
 echo "== checkpoint/resume byte-identity smoke check =="
 smoke="$repo/build/ci-checkpoint-smoke"
 rm -rf "$smoke" && mkdir -p "$smoke"
@@ -80,13 +83,30 @@ echo "== scale smoke: fig_scale at n=1e5 on the sparse backend =="
     --max-bytes-per-node=256 > /dev/null
 echo "scale smoke within memory bound"
 
+echo "== sustained-load smoke: n=1e4 sparse backend under offered load =="
+# The scheduled drainage path (finite bandwidth + finite buffers + spray
+# replication) at 10^4 nodes must stay interactive: ~2 s today, bounded
+# at 120 s so a superlinear regression in the queueing path fails CI.
+load_start=$(date +%s)
+"$cli" simulate --n=10000 --contact-backend=sparse --avg-degree=12 \
+    --group-shards=64 --runs=2 --threads="$jobs" --seed=3 --L=8 \
+    --traffic-rate=2 --traffic-horizon=300 --bandwidth-capacity=2 \
+    --buffer-capacity=8 --load-forwarder=utility > /dev/null
+load_elapsed=$(( $(date +%s) - load_start ))
+if [ "$load_elapsed" -gt 120 ]; then
+    echo "sustained-load smoke took ${load_elapsed}s (bound 120s)" >&2
+    exit 1
+fi
+echo "sustained-load smoke within wall-time bound (${load_elapsed}s)"
+
 echo "== perf smoke: micro_sim hot paths vs BENCH_micro_sim.json =="
-# Medians over 5 repetitions of the two gate benchmarks; micro_sim exits
-# non-zero when either regresses more than 20% against the committed
-# baseline. Noise-prone under load — rerun pinned (taskset -c 0) before
-# treating a failure as real.
+# Medians over 5 repetitions of the gate benchmarks (routing, the engine,
+# and the loaded workload/queueing path); micro_sim exits non-zero when
+# any regresses more than 20% against the committed baseline. Noise-prone
+# under load — rerun pinned (taskset -c 0) before treating a failure as
+# real.
 "$repo/build/bench/micro_sim" \
-    --benchmark_filter='^BM_MultiCopyRoute/3$|^BM_ExperimentRun$' \
+    --benchmark_filter='^BM_MultiCopyRoute/3$|^BM_ExperimentRun$|^BM_TrafficGen/10$|^BM_LoadedSimStep$' \
     --benchmark_repetitions=5 \
     --baseline="$repo/BENCH_micro_sim.json" --max-regression-pct=20 \
     > /dev/null
