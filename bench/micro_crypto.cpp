@@ -1,6 +1,11 @@
 // Micro-benchmarks (google-benchmark) for the crypto substrate: the
 // per-forward cost a deployment would actually pay.
+//
+// Driver flags (--json / --baseline / --max-regression-pct): see
+// bench_gate.hpp — the shared median-capture + regression-gate driver.
 #include <benchmark/benchmark.h>
+
+#include "bench_gate.hpp"
 
 #include "crypto/aead.hpp"
 #include "crypto/chacha20.hpp"
@@ -111,4 +116,6 @@ BENCHMARK(BM_OnionPeel);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return odtn::bench_gate::run(argc, argv, "micro_crypto");
+}

@@ -112,6 +112,21 @@ std::uint64_t checkpoint_config_hash(const ExperimentConfig& c,
          << "," << f.num_relays << "," << f.copies << "," << fmt(f.ttl);
     }
   }
+  // Recovery fields follow the same append-only-when-enabled pattern:
+  // zero-knob configs hash identically to builds without the layer.
+  if (c.recovery.enabled()) {
+    const auto& r = c.recovery;
+    os << "|r.ack=" << (r.acks ? 1 : 0) << "|r.to=" << fmt(r.retx_timeout)
+       << "|r.max=" << r.retx_max << "|r.bo=" << fmt(r.retx_backoff)
+       << "|r.j=" << fmt(r.retx_jitter) << "|r.sa=" << fmt(r.suspicion_alpha)
+       << "|r.st=" << fmt(r.suspicion_threshold)
+       << "|r.so=" << fmt(r.shed_occupancy)
+       << "|r.ss=" << fmt(r.shed_saturation)
+       << "|r.sp=" << static_cast<int>(r.shed_priority_floor);
+  }
+  if (c.utility_failure_penalty > 0.0) {
+    os << "|r.ufp=" << fmt(c.utility_failure_penalty);
+  }
   return fnv1a(os.str());
 }
 

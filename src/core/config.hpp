@@ -5,6 +5,7 @@
 #include <string>
 
 #include "faults/faults.hpp"
+#include "recovery/recovery.hpp"
 #include "routing/onion_routing.hpp"
 #include "routing/types.hpp"
 #include "sim/network_sim.hpp"
@@ -123,6 +124,19 @@ struct ExperimentConfig {
   sim::BufferPolicy buffer_policy = sim::BufferPolicy::kRejectNew;
   /// Forwarding family under load (requires traffic).
   LoadForwarder load_forwarder = LoadForwarder::kOnion;
+  /// Utility/spray-blind forwarders only: discount a receiver's utility by
+  /// an EWMA of its observed transfer failures (recovery feedback; see
+  /// routing::UtilityForwarderConfig::failure_penalty). 0 disables.
+  double utility_failure_penalty = 0.0;
+
+  // End-to-end reliability (see odtn::recovery). Default-disabled with the
+  // same zero-knob contract as faults and traffic: no recovery RNG stream
+  // is derived, no recovery.* metrics register, and every export is
+  // byte-identical to a build without the layer. Retransmission and
+  // suspicion-biased retry groups apply to both the unloaded onion
+  // protocols and loaded runs; ACK anti-packets and overload shedding are
+  // network-simulator semantics and require traffic (validated).
+  recovery::RecoveryConfig recovery;
 };
 
 }  // namespace odtn::core

@@ -19,6 +19,7 @@
 #include "groups/group_directory.hpp"
 #include "groups/key_manager.hpp"
 #include "onion/onion.hpp"
+#include "recovery/recovery.hpp"
 #include "routing/onion_routing.hpp"
 #include "routing/utility_forwarder.hpp"
 #include "sim/contact_model.hpp"
@@ -119,6 +120,19 @@ RunOutcome run_once(const ExperimentConfig& cfg, sim::ContactModel& contacts,
   ctx.codec = &codec;
   ctx.crypto = cfg.crypto;
   ctx.metrics = reg;
+
+  // Recovery layer (retransmission + suspicion-biased retries). The
+  // tracker is run-local: it converges within one message's retries. No
+  // RNG is drawn here, so the disabled path is untouched.
+  std::optional<recovery::SuspicionTracker> suspicion;
+  if (cfg.recovery.enabled()) {
+    ctx.recovery = &cfg.recovery;
+    if (cfg.recovery.suspicion_alpha > 0.0) {
+      suspicion.emplace(cfg.recovery.suspicion_alpha,
+                        cfg.recovery.suspicion_threshold);
+      ctx.suspicion = &*suspicion;
+    }
+  }
 
   routing::MessageSpec spec;
   spec.src = src;
@@ -224,6 +238,7 @@ RunOutcome run_loaded(const ExperimentConfig& cfg,
       fc.min_utility_ratio = 0.0;  // replicate to anyone...
       fc.backoff_occupancy = 2.0;  // ...and never back off
     }
+    fc.failure_penalty = cfg.utility_failure_penalty;
     forwarder.emplace(n, fc);
   }
 
@@ -235,6 +250,22 @@ RunOutcome run_loaded(const ExperimentConfig& cfg,
   sim_cfg.bandwidth = cfg.bandwidth;
   sim_cfg.record_paths = onion;  // the anonymity measurement needs paths
   sim_cfg.utility = forwarder ? &*forwarder : nullptr;
+
+  // Recovery layer: the per-message retry/jitter sub-streams derive from
+  // one seed drawn here — after every other per-run draw, and only when
+  // the layer is on, so disabled runs consume the identical RNG sequence.
+  // The suspicion tracker is run-local (shared by all of the run's
+  // messages, so later flows avoid groups earlier flows timed out on).
+  std::optional<recovery::SuspicionTracker> suspicion;
+  if (cfg.recovery.enabled()) {
+    sim_cfg.recovery = &cfg.recovery;
+    sim_cfg.recovery_seed = rng.next();
+    if (cfg.recovery.suspicion_alpha > 0.0) {
+      suspicion.emplace(cfg.recovery.suspicion_alpha,
+                        cfg.recovery.suspicion_threshold);
+      sim_cfg.suspicion = &*suspicion;
+    }
+  }
 
   sim::NetworkSimReport report = sim::run_network_sim(
       contact_trace, directory, plan.specs(), plan.priorities(), sim_cfg, rng);
@@ -507,6 +538,17 @@ void validate_backend(const ExperimentConfig& cfg, const Scenario& scenario) {
 // passes untouched.
 void validate_traffic(const ExperimentConfig& cfg, const Scenario& scenario) {
   cfg.bandwidth.validate();
+  cfg.recovery.validate();
+  if (cfg.utility_failure_penalty < 0.0 || cfg.utility_failure_penalty > 1.0) {
+    throw std::invalid_argument(
+        "experiment: --utility-failure-penalty must be in [0, 1]");
+  }
+  if (cfg.utility_failure_penalty > 0.0 &&
+      cfg.load_forwarder == LoadForwarder::kOnion) {
+    throw std::invalid_argument(
+        "experiment: --utility-failure-penalty applies to the utility/"
+        "spray-blind forwarders only (--load-forwarder=utility)");
+  }
   if (!cfg.traffic.enabled()) {
     cfg.traffic.validate(cfg.nodes);  // catches horizon-without-flows etc.
     if (cfg.bandwidth.enabled() || cfg.buffer_capacity != 0 ||
@@ -514,6 +556,11 @@ void validate_traffic(const ExperimentConfig& cfg, const Scenario& scenario) {
       throw std::invalid_argument(
           "experiment: bandwidth/buffer/load-forwarder knobs require "
           "--traffic-* flows (they only apply to loaded runs)");
+    }
+    if (cfg.recovery.acks || cfg.recovery.shedding()) {
+      throw std::invalid_argument(
+          "experiment: --ack-vaccine/--shed-* are network-simulator "
+          "semantics; they require --traffic-* flows");
     }
     return;
   }

@@ -7,6 +7,7 @@
 
 #include "crypto/aead.hpp"
 #include "faults/faults.hpp"
+#include "recovery/recovery.hpp"
 
 namespace odtn::routing {
 
@@ -41,6 +42,9 @@ struct Walker {
   /// Number of onion layers peeled so far; hop h < K means the copy still
   /// needs to reach relay group R_{h+1}; h == K means next stop is dst.
   std::size_t hop = 0;
+  /// Which retransmission generation's relay groups this copy follows
+  /// (0 = the original send). Fixed at spray time.
+  std::size_t gen = 0;
   Time arrival = 0.0;        // when the current holder received the copy
   std::vector<NodeId> path;  // relays visited (r_1..)
   util::Bytes wire;          // current onion packet (kReal mode)
@@ -106,6 +110,39 @@ struct FaultMetrics {
 // unaffected.
 Time skip_past(Time t) { return std::nextafter(t, kTimeInfinity); }
 
+// The recovery config iff source-side retransmission is configured; null
+// keeps the historical zero-recovery code path (no extra RNG draws, no
+// recovery.* metrics).
+const recovery::RecoveryConfig* retx_config(const OnionContext& ctx) {
+  return (ctx.recovery != nullptr && ctx.recovery->retx_timeout > 0.0)
+             ? ctx.recovery
+             : nullptr;
+}
+
+// Length of the next retransmission window: the backed-off base interval,
+// desynchronized by +-retx_jitter (one uniform draw iff jitter is on).
+Time retx_window(const recovery::RecoveryConfig& rc, double base,
+                 util::Rng& rng) {
+  double win = base;
+  if (rc.retx_jitter > 0.0) {
+    win *= 1.0 + rc.retx_jitter * (2.0 * rng.uniform01() - 1.0);
+  }
+  return win;
+}
+
+// Fresh relay groups for a retransmission: suspicion-biased when a tracker
+// is attached, plain re-selection otherwise.
+std::vector<GroupId> retry_groups_for(const OnionContext& ctx,
+                                      const groups::GroupDirectory& dir,
+                                      NodeId src, NodeId dst, std::size_t k,
+                                      util::Rng& rng) {
+  if (ctx.suspicion != nullptr) {
+    return recovery::select_relay_groups_avoiding(dir, *ctx.suspicion, src,
+                                                  dst, k, rng);
+  }
+  return dir.select_relay_groups(src, dst, k, rng);
+}
+
 }  // namespace
 
 SingleCopyOnionRouting::SingleCopyOnionRouting(const OnionContext& context)
@@ -144,19 +181,21 @@ DeliveryResult SingleCopyOnionRouting::route(
   cs.enabled = (ctx_.crypto == CryptoMode::kReal);
   cs.ctx = &ctx_;
   util::Bytes wire;
-  if (cs.enabled) {
-    cs.drbg = crypto::Drbg(rng.next());
-    wire = ctx_.codec->build(spec.payload, spec.dst, result.relay_groups,
-                             *ctx_.keys, cs.drbg, dst_group);
-  }
+  if (cs.enabled) cs.drbg = crypto::Drbg(rng.next());
 
   const Time deadline = spec.start + spec.ttl;
   NodeId holder = spec.src;
   Time now = spec.start;
   Time hold_since = spec.start;  // when `holder` received the copy
+  Time horizon = deadline;       // current attempt's time budget
   RoutingMetrics rm = RoutingMetrics::resolve(ctx_.metrics);
   faults::FaultPlan* fp = ctx_.faults;
   FaultMetrics fm = FaultMetrics::resolve(ctx_);
+  const recovery::RecoveryConfig* rc = retx_config(ctx_);
+  metrics::CounterHandle m_retx;
+  if (rc != nullptr) {
+    m_retx = metrics::counter(ctx_.metrics, "recovery.retransmits");
+  }
 
   // One prepared (holder -> targets) query per hop, reused across fault
   // retries; `targets` is the hop's scratch buffer.
@@ -165,13 +204,13 @@ DeliveryResult SingleCopyOnionRouting::route(
 
   // Finds the holder's next usable contact via the current `plan`: skips
   // contacts with a powered-down endpoint and retries failed transfers at
-  // the next contact. Returns nullopt when the deadline passes or the
-  // holder crash-reboots first (its buffered onion state is flushed, not
-  // leaked).
+  // the next contact. Returns nullopt when the attempt's horizon passes or
+  // the holder crash-reboots first (its buffered onion state is flushed,
+  // not leaked).
   auto next_good_contact = [&](NodeId from,
                                Time after) -> std::optional<sim::CrossContact> {
     for (;;) {
-      auto contact = contacts.first_cross_contact(plan, after, deadline);
+      auto contact = contacts.first_cross_contact(plan, after, horizon);
       if (fp == nullptr || !contact.has_value()) return contact;
       const Time t = contact->time;
       if (fp->crashed_in(from, hold_since, t)) {
@@ -192,143 +231,195 @@ DeliveryResult SingleCopyOnionRouting::route(
     }
   };
 
-  // Relay phase: hops through R_1..R_K.
-  for (std::size_t hop = 0; hop < k; ++hop) {
-    targets.clear();
-    for (NodeId m : dir.members(result.relay_groups[hop])) {
-      if (m != holder) targets.push_back(m);
-    }
-    contacts.prepare(plan, std::span<const NodeId>(&holder, 1), targets);
-    auto contact = next_good_contact(holder, now);
-    if (!contact.has_value()) return result;  // deadline passed: Algorithm 1 FAIL
-
-    NodeId receiver = contact->b;
-    rm.hop_delay.observe(contact->time - now);
-    now = contact->time;
-    ++result.transmissions;
-    rm.forwards.inc();
-
+  // One end-to-end copy: re-onions `groups` (when crypto is on) and walks
+  // it from the source starting at `from`, bounded by `horizon`. Returns
+  // true iff the destination received the copy; a false return leaves
+  // `result` holding the partial path (cost counters always accumulate).
+  auto attempt = [&](const std::vector<GroupId>& groups, Time from) -> bool {
+    holder = spec.src;
+    now = from;
+    hold_since = from;
     if (cs.enabled) {
-      util::Bytes received = cross_secure_link(cs, holder, receiver, wire);
-      rm.peels.inc();
-      auto peeled = ctx_.codec->peel(
-          received, ctx_.keys->group_key(result.relay_groups[hop]), cs.drbg);
-      bool last = (hop + 1 == k);
-      bool expected =
-          peeled.has_value() &&
-          ((!last && peeled->type == onion::Peeled::Type::kRelay &&
-            peeled->next_group == result.relay_groups[hop + 1]) ||
-           (last && !group_mode &&
-            peeled->type == onion::Peeled::Type::kDeliver &&
-            peeled->dest == spec.dst) ||
-           (last && group_mode &&
-            peeled->type == onion::Peeled::Type::kRelay &&
-            peeled->next_group == dst_group));
-      if (!expected) {
-        cs.ok = false;
-        rm.peel_failures.inc();
-      } else {
-        wire = std::move(peeled->next_wire);
-      }
+      wire = ctx_.codec->build(spec.payload, spec.dst, groups, *ctx_.keys,
+                               cs.drbg, dst_group);
     }
 
-    result.relay_path.push_back(receiver);
-    result.relays_per_hop[hop].push_back(receiver);
-    if (fp != nullptr && fp->is_blackhole(receiver)) {
-      fm.blackhole_absorbed.inc();
-      return result;  // the relay accepts the copy but never forwards it
-    }
-    holder = receiver;
-    hold_since = now;
-  }
-
-  // Delivery phase.
-  if (!group_mode) {
-    contacts.prepare(plan, std::span<const NodeId>(&holder, 1),
-                     std::span<const NodeId>(&spec.dst, 1));
-    auto contact = next_good_contact(holder, now);
-    if (!contact.has_value()) return result;
-    rm.hop_delay.observe(contact->time - now);
-    now = contact->time;
-    ++result.transmissions;
-    rm.forwards.inc();
-    if (cs.enabled) {
-      util::Bytes received = cross_secure_link(cs, holder, spec.dst, wire);
-      rm.peels.inc();
-      auto final_layer =
-          ctx_.codec->peel(received, ctx_.keys->inbox_key(spec.dst), cs.drbg);
-      bool final_ok = final_layer.has_value() &&
-                      final_layer->type == onion::Peeled::Type::kFinal &&
-                      final_layer->payload == spec.payload;
-      if (!final_ok) rm.peel_failures.inc();
-      cs.ok = cs.ok && final_ok;
-    }
-  } else {
-    // Destination-group phase: the R_K relay hands the onion to *any*
-    // member of the destination's group; the packet then walks the group
-    // (skipping members that already held it) until the destination opens
-    // the final layer. Relays and carriers learn only the group.
-    std::unordered_set<NodeId> visited = {holder};
-    bool group_layer_peeled = false;
-    while (holder != spec.dst) {
+    // Relay phase: hops through R_1..R_K.
+    for (std::size_t hop = 0; hop < k; ++hop) {
       targets.clear();
-      for (NodeId m : dir.members(dst_group)) {
-        if (m != holder && visited.count(m) == 0) targets.push_back(m);
+      for (NodeId m : dir.members(groups[hop])) {
+        if (m != holder) targets.push_back(m);
       }
       contacts.prepare(plan, std::span<const NodeId>(&holder, 1), targets);
       auto contact = next_good_contact(holder, now);
-      if (!contact.has_value()) return result;
+      if (!contact.has_value()) return false;  // horizon passed: Algorithm 1 FAIL
+
       NodeId receiver = contact->b;
       rm.hop_delay.observe(contact->time - now);
       now = contact->time;
       ++result.transmissions;
       rm.forwards.inc();
-      if (group_layer_peeled) ++result.intra_group_hops;
 
       if (cs.enabled) {
         util::Bytes received = cross_secure_link(cs, holder, receiver, wire);
-        if (!group_layer_peeled) {
-          rm.peels.inc();
-          auto peeled =
-              ctx_.codec->peel(received, ctx_.keys->group_key(dst_group),
-                               cs.drbg);
-          if (!peeled.has_value() ||
-              peeled->type != onion::Peeled::Type::kDeliverGroup ||
-              peeled->next_group != dst_group) {
-            cs.ok = false;
-            rm.peel_failures.inc();
-          } else {
-            wire = std::move(peeled->next_wire);
-          }
+        rm.peels.inc();
+        auto peeled = ctx_.codec->peel(
+            received, ctx_.keys->group_key(groups[hop]), cs.drbg);
+        bool last = (hop + 1 == k);
+        bool expected =
+            peeled.has_value() &&
+            ((!last && peeled->type == onion::Peeled::Type::kRelay &&
+              peeled->next_group == groups[hop + 1]) ||
+             (last && !group_mode &&
+              peeled->type == onion::Peeled::Type::kDeliver &&
+              peeled->dest == spec.dst) ||
+             (last && group_mode &&
+              peeled->type == onion::Peeled::Type::kRelay &&
+              peeled->next_group == dst_group));
+        if (!expected) {
+          cs.ok = false;
+          rm.peel_failures.inc();
         } else {
-          wire = std::move(received);
-        }
-        if (receiver == spec.dst) {
-          rm.peels.inc();
-          auto final_layer = ctx_.codec->peel(
-              wire, ctx_.keys->inbox_key(spec.dst), cs.drbg);
-          bool final_ok = final_layer.has_value() &&
-                          final_layer->type == onion::Peeled::Type::kFinal &&
-                          final_layer->payload == spec.payload;
-          if (!final_ok) rm.peel_failures.inc();
-          cs.ok = cs.ok && final_ok;
+          wire = std::move(peeled->next_wire);
         }
       }
-      group_layer_peeled = true;
-      visited.insert(receiver);
-      if (receiver != spec.dst && fp != nullptr && fp->is_blackhole(receiver)) {
+
+      result.relay_path.push_back(receiver);
+      result.relays_per_hop[hop].push_back(receiver);
+      if (fp != nullptr && fp->is_blackhole(receiver)) {
         fm.blackhole_absorbed.inc();
-        return result;  // absorbed inside the destination group
+        return false;  // the relay accepts the copy but never forwards it
       }
       holder = receiver;
       hold_since = now;
     }
-  }
 
-  result.delivered = true;
-  result.delay = now - spec.start;
-  result.crypto_verified = cs.enabled && cs.ok;
-  rm.deliveries.inc();
+    // Delivery phase.
+    if (!group_mode) {
+      contacts.prepare(plan, std::span<const NodeId>(&holder, 1),
+                       std::span<const NodeId>(&spec.dst, 1));
+      auto contact = next_good_contact(holder, now);
+      if (!contact.has_value()) return false;
+      rm.hop_delay.observe(contact->time - now);
+      now = contact->time;
+      ++result.transmissions;
+      rm.forwards.inc();
+      if (cs.enabled) {
+        util::Bytes received = cross_secure_link(cs, holder, spec.dst, wire);
+        rm.peels.inc();
+        auto final_layer =
+            ctx_.codec->peel(received, ctx_.keys->inbox_key(spec.dst), cs.drbg);
+        bool final_ok = final_layer.has_value() &&
+                        final_layer->type == onion::Peeled::Type::kFinal &&
+                        final_layer->payload == spec.payload;
+        if (!final_ok) rm.peel_failures.inc();
+        cs.ok = cs.ok && final_ok;
+      }
+    } else {
+      // Destination-group phase: the R_K relay hands the onion to *any*
+      // member of the destination's group; the packet then walks the group
+      // (skipping members that already held it) until the destination opens
+      // the final layer. Relays and carriers learn only the group.
+      std::unordered_set<NodeId> visited = {holder};
+      bool group_layer_peeled = false;
+      while (holder != spec.dst) {
+        targets.clear();
+        for (NodeId m : dir.members(dst_group)) {
+          if (m != holder && visited.count(m) == 0) targets.push_back(m);
+        }
+        contacts.prepare(plan, std::span<const NodeId>(&holder, 1), targets);
+        auto contact = next_good_contact(holder, now);
+        if (!contact.has_value()) return false;
+        NodeId receiver = contact->b;
+        rm.hop_delay.observe(contact->time - now);
+        now = contact->time;
+        ++result.transmissions;
+        rm.forwards.inc();
+        if (group_layer_peeled) ++result.intra_group_hops;
+
+        if (cs.enabled) {
+          util::Bytes received = cross_secure_link(cs, holder, receiver, wire);
+          if (!group_layer_peeled) {
+            rm.peels.inc();
+            auto peeled =
+                ctx_.codec->peel(received, ctx_.keys->group_key(dst_group),
+                                 cs.drbg);
+            if (!peeled.has_value() ||
+                peeled->type != onion::Peeled::Type::kDeliverGroup ||
+                peeled->next_group != dst_group) {
+              cs.ok = false;
+              rm.peel_failures.inc();
+            } else {
+              wire = std::move(peeled->next_wire);
+            }
+          } else {
+            wire = std::move(received);
+          }
+          if (receiver == spec.dst) {
+            rm.peels.inc();
+            auto final_layer = ctx_.codec->peel(
+                wire, ctx_.keys->inbox_key(spec.dst), cs.drbg);
+            bool final_ok = final_layer.has_value() &&
+                            final_layer->type == onion::Peeled::Type::kFinal &&
+                            final_layer->payload == spec.payload;
+            if (!final_ok) rm.peel_failures.inc();
+            cs.ok = cs.ok && final_ok;
+          }
+        }
+        group_layer_peeled = true;
+        visited.insert(receiver);
+        if (receiver != spec.dst && fp != nullptr &&
+            fp->is_blackhole(receiver)) {
+          fm.blackhole_absorbed.inc();
+          return false;  // absorbed inside the destination group
+        }
+        holder = receiver;
+        hold_since = now;
+      }
+    }
+    return true;
+  };
+
+  // Attempt loop. The first attempt uses the original (analysis-shared,
+  // never biased) groups; each retransmission re-onions through a fresh
+  // selection after the previous attempt's timeout window elapses. The
+  // final permitted attempt runs to the message deadline. With recovery
+  // off this is exactly one attempt bounded by the deadline.
+  double base_interval = rc != nullptr ? rc->retx_timeout : 0.0;
+  Time attempt_start = spec.start;
+  std::vector<GroupId> retry_groups;
+  const std::vector<GroupId>* groups = &result.relay_groups;
+  for (std::size_t a = 0;; ++a) {
+    const bool final_attempt = rc == nullptr || a == rc->retx_max;
+    horizon = final_attempt
+                  ? deadline
+                  : std::min(deadline, attempt_start +
+                                           retx_window(*rc, base_interval, rng));
+    if (attempt(*groups, attempt_start)) {
+      result.delivered = true;
+      result.delay = now - spec.start;
+      result.crypto_verified = cs.enabled && cs.ok;
+      rm.deliveries.inc();
+      if (ctx_.suspicion != nullptr && rc != nullptr) {
+        for (GroupId g : *groups) ctx_.suspicion->record(g, true);
+      }
+      break;
+    }
+    if (final_attempt || horizon >= deadline) break;  // out of time budget
+    // Timed out: the source assumes the copy is lost (there is no ACK
+    // channel in the abstract model), suspects this attempt's groups, and
+    // retransmits through a fresh selection.
+    if (ctx_.suspicion != nullptr) {
+      for (GroupId g : *groups) ctx_.suspicion->record(g, false);
+    }
+    retry_groups = retry_groups_for(ctx_, dir, spec.src, spec.dst, k, rng);
+    groups = &retry_groups;
+    result.relay_path.clear();  // only the delivered copy's path is reported
+    ++result.retransmissions;
+    m_retx.inc();
+    attempt_start = horizon;
+    base_interval *= rc->retx_backoff;
+  }
   return result;
 }
 
@@ -381,6 +472,24 @@ DeliveryResult MultiCopyOnionRouting::route(
   faults::FaultPlan* fp = ctx_.faults;
   FaultMetrics fm = FaultMetrics::resolve(ctx_);
   Time source_retry_from = spec.start;
+  Time source_since = spec.start;  // crash window start for the source
+
+  // Retransmission generations: gens[g] are the relay groups generation g
+  // follows, gen_wires[g] its onion packet. Generation 0 is the original
+  // (analysis-shared, never biased) selection; the source sprays the
+  // newest generation, and copies of old generations keep racing.
+  const recovery::RecoveryConfig* rc = retx_config(ctx_);
+  metrics::CounterHandle m_retx;
+  std::vector<std::vector<GroupId>> gens = {result.relay_groups};
+  std::vector<util::Bytes> gen_wires = {std::move(original_wire)};
+  std::size_t cur_gen = 0;
+  double base_interval = 0.0;
+  Time next_retx = kTimeInfinity;
+  if (rc != nullptr) {
+    m_retx = metrics::counter(ctx_.metrics, "recovery.retransmits");
+    base_interval = rc->retx_timeout;
+    next_retx = spec.start + retx_window(*rc, base_interval, rng);
+  }
 
   // Nodes that have ever held (or been handed) the message; Forward() in
   // Algorithm 2 declines peers that already have m. `seen_version` bumps
@@ -402,7 +511,7 @@ DeliveryResult MultiCopyOnionRouting::route(
     w.holder = spec.src;
     w.hop = 0;
     w.arrival = spec.start;
-    w.wire = original_wire;
+    w.wire = gen_wires[0];
     walkers.push_back(std::move(w));
   }
 
@@ -416,7 +525,7 @@ DeliveryResult MultiCopyOnionRouting::route(
     if (w.plan_version == seen_version && w.plan_hop == w.hop) return;
     targets.clear();
     if (w.hop < k) {
-      for (NodeId m : dir.members(result.relay_groups[w.hop])) {
+      for (NodeId m : dir.members(gens[w.gen][w.hop])) {
         if (m != w.holder && seen.count(m) == 0) targets.push_back(m);
       }
     } else if (seen.count(spec.dst) == 0) {
@@ -429,15 +538,17 @@ DeliveryResult MultiCopyOnionRouting::route(
     w.plan_hop = w.hop;
   };
 
-  // The source sprayer's prepared query, rebuilt only when `seen` grows.
+  // The source sprayer's prepared query, rebuilt only when `seen` grows or
+  // a retransmission starts a new generation (whose R_1 differs).
   sim::ContactQuery spray_plan;
   std::uint64_t spray_plan_version = 0;
+  std::size_t spray_plan_gen = 0;
   std::vector<NodeId> excluded;  // scratch for complement plans
   auto ensure_spray_plan = [&] {
-    if (spray_plan_version == seen_version) return;
+    if (spray_plan_version == seen_version && spray_plan_gen == cur_gen) return;
     if (mode_ == SprayMode::kDirectToFirstGroup) {
       targets.clear();
-      for (NodeId m : dir.members(result.relay_groups[0])) {
+      for (NodeId m : dir.members(gens[cur_gen][0])) {
         if (seen.count(m) == 0) targets.push_back(m);
       }
       contacts.prepare(spray_plan, std::span<const NodeId>(&spec.src, 1),
@@ -457,6 +568,7 @@ DeliveryResult MultiCopyOnionRouting::route(
           spray_plan, std::span<const NodeId>(&spec.src, 1), excluded);
     }
     spray_plan_version = seen_version;
+    spray_plan_gen = cur_gen;
   };
 
   while (true) {
@@ -485,17 +597,56 @@ DeliveryResult MultiCopyOnionRouting::route(
         best = Pending{ev->time, static_cast<int>(i), ev->b};
       }
     }
+    // A pending retransmission fires if it comes due before the earliest
+    // contact (or if every copy is stuck): the source assumes the message
+    // is lost, suspects the current generation's groups, and sprays a new
+    // generation through a fresh (bias-aware) selection. Old-generation
+    // copies keep racing.
+    if (rc != nullptr && !result.delivered &&
+        result.retransmissions < rc->retx_max && next_retx < deadline &&
+        (!best.has_value() || next_retx <= best->time)) {
+      now = std::max(now, next_retx);
+      if (ctx_.suspicion != nullptr) {
+        for (GroupId g : gens[cur_gen]) ctx_.suspicion->record(g, false);
+      }
+      gens.push_back(retry_groups_for(ctx_, dir, spec.src, spec.dst, k, rng));
+      cur_gen = gens.size() - 1;
+      gen_wires.emplace_back();
+      if (cs.enabled) {
+        gen_wires.back() = ctx_.codec->build(spec.payload, spec.dst,
+                                             gens[cur_gen], *ctx_.keys, cs.drbg);
+      }
+      source_tickets = (mode_ == SprayMode::kSprayAndWait) ? l - 1 : l;
+      source_active = source_tickets > 0;
+      source_since = now;  // a reboot regenerates the message at the app layer
+      if (mode_ == SprayMode::kSprayAndWait) {
+        Walker w;
+        w.holder = spec.src;
+        w.hop = 0;
+        w.gen = cur_gen;
+        w.arrival = now;
+        w.wire = gen_wires[cur_gen];
+        walkers.push_back(std::move(w));
+      }
+      ++result.retransmissions;
+      m_retx.inc();
+      base_interval *= rc->retx_backoff;
+      next_retx = now + retx_window(*rc, base_interval, rng);
+      continue;
+    }
     if (!best.has_value()) break;  // every copy is stuck until the deadline
     now = best->time;
 
     if (best->agent == -1) {
       if (fp != nullptr) {
-        if (fp->crashed_in(spec.src, spec.start, now)) {
+        if (fp->crashed_in(spec.src, source_since, now)) {
           // The source crash-rebooted: its remaining spray tickets (copies
-          // it had yet to hand out) were flushed with its buffer.
+          // it had yet to hand out) were flushed with its buffer. A later
+          // retransmission re-arms the source from the reboot onward.
           fm.source_flushes.inc();
           source_tickets = 0;
           source_active = false;
+          source_since = now;
           continue;
         }
         if (!fp->node_up(spec.src, now) || !fp->node_up(best->receiver, now)) {
@@ -522,16 +673,18 @@ DeliveryResult MultiCopyOnionRouting::route(
 
       Walker w;
       w.holder = best->receiver;
+      w.gen = cur_gen;
       w.arrival = now;
-      w.wire = original_wire;
+      w.wire = gen_wires[cur_gen];
       if (mode_ == SprayMode::kDirectToFirstGroup) {
         // Receiver is a member of R_1 and peels layer 1 immediately.
         if (cs.enabled) {
-          util::Bytes received =
-              cross_secure_link(cs, spec.src, best->receiver, original_wire);
+          util::Bytes received = cross_secure_link(cs, spec.src,
+                                                   best->receiver,
+                                                   gen_wires[cur_gen]);
           rm.peels.inc();
           auto peeled = ctx_.codec->peel(
-              received, ctx_.keys->group_key(result.relay_groups[0]), cs.drbg);
+              received, ctx_.keys->group_key(gens[cur_gen][0]), cs.drbg);
           w.crypto_ok = peeled.has_value();
           if (!peeled.has_value()) rm.peel_failures.inc();
           if (peeled.has_value()) w.wire = std::move(peeled->next_wire);
@@ -542,7 +695,8 @@ DeliveryResult MultiCopyOnionRouting::route(
       } else {
         // Receiver is a plain carrier; it cannot peel anything.
         if (cs.enabled) {
-          w.wire = cross_secure_link(cs, spec.src, best->receiver, original_wire);
+          w.wire = cross_secure_link(cs, spec.src, best->receiver,
+                                     gen_wires[cur_gen]);
         }
         w.hop = 0;
       }
@@ -587,7 +741,7 @@ DeliveryResult MultiCopyOnionRouting::route(
       rm.peels.inc();
       if (w.hop < k) {
         auto peeled = ctx_.codec->peel(
-            received, ctx_.keys->group_key(result.relay_groups[w.hop]), cs.drbg);
+            received, ctx_.keys->group_key(gens[w.gen][w.hop]), cs.drbg);
         if (!peeled.has_value()) {
           w.crypto_ok = false;
           rm.peel_failures.inc();
@@ -624,6 +778,10 @@ DeliveryResult MultiCopyOnionRouting::route(
         result.delay = now - spec.start;
         result.relay_path = w.path;
         result.crypto_verified = cs.enabled && cs.ok && w.crypto_ok;
+        if (ctx_.suspicion != nullptr && rc != nullptr) {
+          // The delivering generation's groups are exonerated.
+          for (GroupId g : gens[w.gen]) ctx_.suspicion->record(g, true);
+        }
       }
     }
   }

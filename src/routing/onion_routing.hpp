@@ -28,6 +28,10 @@
 namespace odtn::faults {
 class FaultPlan;
 }
+namespace odtn::recovery {
+struct RecoveryConfig;
+class SuspicionTracker;
+}
 
 namespace odtn::routing {
 
@@ -52,6 +56,22 @@ struct OnionContext {
   /// protocols then perform no fault branches or RNG draws, keeping
   /// results byte-identical to a build without the fault layer.
   faults::FaultPlan* faults = nullptr;
+  /// End-to-end reliability (see odtn::recovery). With retx_timeout > 0
+  /// the source retransmits an undelivered message after a (backed-off,
+  /// jittered) timeout, re-onioning it through freshly sampled relay
+  /// groups. Single-copy: each retransmission supersedes the outstanding
+  /// copy (the walk restarts — the abstract model has no ACK channel, so
+  /// the source assumes the copy is lost at timeout). Multi-copy: each
+  /// retransmission sprays a new generation of copies that races the old
+  /// ones. The first relay-group selection is never biased (it is shared
+  /// with the fault-blind analysis); only retry selections consult the
+  /// suspicion tracker. Null or disabled = the protocols draw no recovery
+  /// RNG and behave byte-identically to a build without the layer.
+  const recovery::RecoveryConfig* recovery = nullptr;
+  /// Suspicion state biasing retry relay-group selection; typically shared
+  /// across a run's messages so later flows avoid groups earlier flows
+  /// timed out on. Null = unbiased retries even when recovery is on.
+  recovery::SuspicionTracker* suspicion = nullptr;
 };
 
 class SingleCopyOnionRouting {

@@ -63,6 +63,10 @@ struct DeliveryResult {
   /// kReal mode only: destination decrypted the onion payload and it
   /// matched the original message.
   bool crypto_verified = false;
+  /// Recovery layer only: source-side retransmissions performed (each one
+  /// re-onions the message through freshly sampled relay groups). Zero
+  /// when the recovery layer is off.
+  std::size_t retransmissions = 0;
 };
 
 }  // namespace odtn::routing

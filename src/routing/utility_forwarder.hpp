@@ -42,6 +42,15 @@ struct UtilityForwarderConfig {
   /// (load / capacity) is at or above this fraction. > 1 disables the
   /// congestion check (unlimited buffers never back off either).
   double backoff_occupancy = 0.9;
+  /// Recovery feedback: discount a receiver's utility by
+  /// (1 - failure_penalty * failure_score(receiver)), where the score is
+  /// an EWMA (weight `ewma_alpha`) of that node's observed transfer
+  /// outcomes (1 = every recent transfer to it failed). Copies steer away
+  /// from nodes that keep dropping them — the observed-outcome adaptation
+  /// of Shaghaghian-Coates, in its simplest deterministic form. 0 (the
+  /// default) disables the feedback: outcomes are not recorded and
+  /// replication decisions are byte-identical to builds without the knob.
+  double failure_penalty = 0.0;
 };
 
 class UtilityForwarder {
@@ -71,6 +80,22 @@ class UtilityForwarder {
     return 1.0 / it->second.ewma_interval;
   }
 
+  /// Feeds one observed transfer outcome to `receiver` (success = the copy
+  /// was handed over; failure = the mid-contact transfer failed). No-op
+  /// with failure_penalty == 0, keeping the zero-knob path byte-identical.
+  void observe_transfer_outcome(NodeId receiver, bool success) {
+    if (config_.failure_penalty <= 0.0) return;
+    double& s = failure_score_[receiver];
+    s = (1.0 - config_.ewma_alpha) * s +
+        config_.ewma_alpha * (success ? 0.0 : 1.0);
+  }
+
+  /// EWMA of observed transfer failures to `v` (0 until a failure is seen).
+  double failure_score(NodeId v) const {
+    auto it = failure_score_.find(v);
+    return it == failure_score_.end() ? 0.0 : it->second;
+  }
+
   /// Replication decision at a contact: should `holder` spend a ticket on
   /// `receiver` for a message to `dst`, given the receiver's current
   /// buffer occupancy? Pure (no state change, no RNG).
@@ -82,7 +107,12 @@ class UtilityForwarder {
                                static_cast<double>(receiver_capacity);
       if (occupancy >= config_.backoff_occupancy) return false;
     }
-    const double gain = utility(receiver, dst);
+    double gain = utility(receiver, dst);
+    if (config_.failure_penalty > 0.0) {
+      const double discount =
+          1.0 - config_.failure_penalty * failure_score(receiver);
+      gain *= discount > 0.0 ? discount : 0.0;
+    }
     const double have = utility(holder, dst);
     return gain >= have * config_.min_utility_ratio;
   }
@@ -106,6 +136,8 @@ class UtilityForwarder {
   // Ordered map: iteration order (debug dumps, future export) is the pair
   // key order, never hash-bucket order.
   std::map<std::uint64_t, Pair> pairs_;
+  // Per-node transfer-failure EWMA; only populated when failure_penalty > 0.
+  std::map<NodeId, double> failure_score_;
 };
 
 }  // namespace odtn::routing

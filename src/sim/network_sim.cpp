@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <limits>
+#include <optional>
 #include <queue>
 #include <set>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
 #include "faults/faults.hpp"
+#include "recovery/recovery.hpp"
 #include "routing/utility_forwarder.hpp"
 
 namespace odtn::sim {
@@ -58,12 +62,18 @@ struct Copy {
   /// First time an eligible transfer of this copy was deferred by contact
   /// bandwidth; kTimeInfinity = not queued (feeds "sim.queue_wait").
   Time queued_since = kTimeInfinity;
+  /// Recovery generation that sent this copy: 0 = the original send, n =
+  /// the n-th retransmission. Each generation routes through its own
+  /// freshly sampled relay groups; in-flight copies keep theirs.
+  std::uint32_t gen = 0;
 };
 
 struct SourceToken {
   std::size_t tickets;
   bool alive = true;
   Time queued_since = kTimeInfinity;
+  /// Generation the source is currently spraying (see Copy::gen).
+  std::uint32_t gen = 0;
 };
 
 struct Engine {
@@ -87,6 +97,41 @@ struct Engine {
   bool scheduled = false;
   routing::UtilityForwarder* utility = nullptr;
 
+  // Recovery layer (null = off; every recovery branch below is guarded on
+  // this pointer so the zero-knob path is byte-identical to pre-recovery
+  // builds: no RNG draws, no metrics entries, no behavior change).
+  const recovery::RecoveryConfig* rec = nullptr;
+  recovery::SuspicionTracker* suspicion = nullptr;
+  std::optional<recovery::SuspicionTracker> own_tracker;
+  std::size_t tracker_flips_at_start = 0;
+  /// node -> delivery ACKs known (ordered: the exchange fold is
+  /// deterministic and lint-clean).
+  std::vector<std::set<std::size_t>> ack_known;
+  std::vector<std::uint8_t> ack_exists;  // msg -> ACK record born at dst
+  std::vector<std::uint8_t> src_acked;   // msg -> source learned the ACK
+  std::vector<std::size_t> retx_attempts;      // msg -> retransmissions so far
+  std::vector<double> retx_interval;           // msg -> current backoff interval
+  std::vector<std::uint32_t> delivered_gen;    // msg -> generation that delivered
+  /// msg -> relay groups of generation n at [n-1] (generation 0 lives in
+  /// relay_groups, untouched by recovery).
+  std::vector<std::vector<std::vector<GroupId>>> retx_groups;
+  /// Per-message recovery RNG sub-streams: jitter and retry group
+  /// resampling draw from derive_seed(recovery_seed, msg index), so the
+  /// draw sequence is independent of event interleaving across messages
+  /// and the main simulation RNG is never consulted.
+  std::vector<util::Rng> msg_rng;
+  // (due time, msg); at most one outstanding entry per message.
+  std::priority_queue<std::pair<Time, std::size_t>,
+                      std::vector<std::pair<Time, std::size_t>>,
+                      std::greater<>>
+      retx_due;
+  recovery::SaturationWindow sat_window;
+  std::vector<std::size_t> ack_diff_scratch;  // exchange_acks reuse
+  // learn_ack's private holdings snapshot. It must NOT share
+  // holdings_scratch: ACKs are born inside attempt_copy, which
+  // transfer_direction reaches while iterating holdings_scratch.
+  std::vector<std::size_t> ack_gc_scratch;
+
   // Observability handles (inert when config->metrics is null).
   metrics::CounterHandle m_transfers;
   metrics::CounterHandle m_rejections;
@@ -108,6 +153,15 @@ struct Engine {
   metrics::CounterHandle m_contacts_saturated;
   metrics::HistogramHandle m_queue_wait;
   metrics::HistogramHandle m_contact_capacity;
+  // Recovery accounting (resolved only when the recovery layer is
+  // enabled — same byte-identity contract again).
+  metrics::CounterHandle m_retransmits;
+  metrics::HistogramHandle m_ack_delay;
+  metrics::CounterHandle m_shed;
+  metrics::CounterHandle m_acks_created;
+  metrics::CounterHandle m_acked_at_source;
+  metrics::CounterHandle m_ack_gc;
+  metrics::CounterHandle m_suspicion_flips;
   std::size_t crash_cursor = 0;
 
   // (deadline, kind, id): kind 0 = source token (id = msg), 1 = copy.
@@ -185,12 +239,46 @@ struct Engine {
     return messages[msg].start + messages[msg].ttl;
   }
 
+  /// Relay groups of one recovery generation of message m (generation 0
+  /// is the original selection; later generations were freshly sampled at
+  /// retransmission time).
+  const std::vector<GroupId>& groups_of(std::size_t m,
+                                        std::uint32_t gen) const {
+    return gen == 0 ? relay_groups[m] : retx_groups[m][gen - 1];
+  }
+
+  /// Overload shedding (recovery layer): admission control may refuse a
+  /// sheddable-priority message when either congestion signal crossed its
+  /// threshold. Pure function of simulated state — no RNG.
+  bool should_shed(std::size_t m) const {
+    if (rec == nullptr || !rec->shedding()) return false;
+    if (pri(m) < rec->shed_priority_floor) return false;
+    if (rec->shed_occupancy > 0.0 && config->buffer_capacity > 0 &&
+        static_cast<double>(load[messages[m].src]) >=
+            rec->shed_occupancy *
+                static_cast<double>(config->buffer_capacity)) {
+      return true;
+    }
+    return rec->shed_saturation > 0.0 &&
+           sat_window.fraction() >= rec->shed_saturation;
+  }
+
   void inject(std::size_t m) {
     const auto& msg = messages[m];
+    if (should_shed(m)) {
+      report.outcomes[m].shed = true;
+      ++report.shed_messages;
+      m_shed.inc();
+      return;
+    }
     if (buffer_full(msg.src)) {
       report.outcomes[m].injection_failed = true;
       m_injection_failures.inc();
       return;
+    }
+    if (rec != nullptr && rec->retx_timeout > 0.0) {
+      retx_interval[m] = rec->retx_timeout;
+      schedule_retx(m, msg.start);
     }
     if (utility != nullptr) {
       // Utility mode: the source holds a real copy carrying all L spray
@@ -211,62 +299,240 @@ struct Engine {
     expiries.emplace(deadline_of(m), 0, m);
   }
 
-  void expire_until(Time t) {
-    while (!expiries.empty() && std::get<0>(expiries.top()) < t) {
-      auto [deadline, kind, id] = expiries.top();
-      expiries.pop();
-      if (kind == 0) {
-        if (tokens[id].alive) {
-          tokens[id].alive = false;
-          --load[messages[id].src];
-          ++report.expired_copies;
-          m_expirations.inc();
-        }
-      } else if (copies[id].alive) {
-        copies[id].alive = false;
-        holdings[copies[id].holder].erase(id);
-        --load[copies[id].holder];
+  // Pops exactly one expiry-heap entry (the caller checked it is due).
+  void expire_one() {
+    auto [deadline, kind, id] = expiries.top();
+    expiries.pop();
+    if (kind == 0) {
+      if (tokens[id].alive) {
+        tokens[id].alive = false;
+        --load[messages[id].src];
         ++report.expired_copies;
         m_expirations.inc();
       }
+    } else if (copies[id].alive) {
+      copies[id].alive = false;
+      holdings[copies[id].holder].erase(id);
+      --load[copies[id].holder];
+      ++report.expired_copies;
+      m_expirations.inc();
     }
   }
 
-  // Crash-reboots up to (and including) time t: the crashed node's
-  // buffered copies — relayed copies and its own spray state — are
-  // flushed. Lost, not leaked: a flushed copy simply ceases to exist.
-  void flush_crashes_until(Time t) {
+  // Processes exactly one crash-reboot event (the caller checked it is
+  // due): the crashed node's buffered copies — relayed copies and its own
+  // spray state — are flushed. Lost, not leaked: a flushed copy simply
+  // ceases to exist. The node's learned ACK set survives (it is durable
+  // metadata, not buffered payload).
+  void flush_one_crash() {
     const auto& events = config->faults->crashes();
-    while (crash_cursor < events.size() &&
-           events[crash_cursor].time <= t) {
-      NodeId v = events[crash_cursor].node;
-      ++crash_cursor;
-      holdings_scratch.assign(holdings[v].begin(), holdings[v].end());
-      for (std::size_t id : holdings_scratch) {
-        if (!copies[id].alive) continue;
-        copies[id].alive = false;
-        holdings[v].erase(id);
+    NodeId v = events[crash_cursor].node;
+    ++crash_cursor;
+    holdings_scratch.assign(holdings[v].begin(), holdings[v].end());
+    for (std::size_t id : holdings_scratch) {
+      if (!copies[id].alive) continue;
+      copies[id].alive = false;
+      holdings[v].erase(id);
+      --load[v];
+      ++report.crash_flushed_copies;
+      m_crash_flushed.inc();
+    }
+    for (std::size_t m = 0; m < messages.size(); ++m) {
+      if (tokens[m].alive && messages[m].src == v) {
+        tokens[m].alive = false;
         --load[v];
         ++report.crash_flushed_copies;
         m_crash_flushed.inc();
       }
-      for (std::size_t m = 0; m < messages.size(); ++m) {
-        if (tokens[m].alive && messages[m].src == v) {
-          tokens[m].alive = false;
-          --load[v];
-          ++report.crash_flushed_copies;
-          m_crash_flushed.inc();
+    }
+  }
+
+  // Advances simulated time to t, interleaving TTL expirations (due
+  // strictly before t) and crash-reboots (due at or before t) in global
+  // timestamp order. The interleave matters under churn: a copy whose
+  // holder crash-reboots at c and whose TTL runs out at e > c must be
+  // reclaimed by the crash (crash_flushed_copies), not counted as expired
+  // — and vice versa — so buffer-occupancy metrics and kDropOldest
+  // pressure stay accurate between events. Ties (expiry == crash time)
+  // expire first, matching the historical all-expiries-then-crashes pass.
+  void advance_time(Time t) {
+    if (config->faults == nullptr) {
+      while (!expiries.empty() && std::get<0>(expiries.top()) < t) {
+        expire_one();
+      }
+      return;
+    }
+    const auto& crashes = config->faults->crashes();
+    for (;;) {
+      const Time next_expiry = expiries.empty()
+                                   ? kTimeInfinity
+                                   : std::get<0>(expiries.top());
+      const Time next_crash = crash_cursor < crashes.size()
+                                  ? crashes[crash_cursor].time
+                                  : kTimeInfinity;
+      if (next_expiry < t && next_expiry <= next_crash) {
+        expire_one();
+      } else if (next_crash <= t) {
+        flush_one_crash();
+      } else {
+        return;
+      }
+    }
+  }
+
+  // --- recovery layer -------------------------------------------------
+  // Every method below is reached only with the layer enabled (rec !=
+  // nullptr); the zero-knob engine never calls them.
+
+  /// A copy of generation `gen` just delivered message m to `dst` via the
+  /// final relay `sender`: the ACK record is born (exactly once per
+  /// message) and both contact endpoints learn it immediately.
+  void born_ack(std::size_t m, std::uint32_t gen, NodeId sender, NodeId dst,
+                Time t) {
+    if (rec == nullptr || !rec->acks || ack_exists[m]) return;
+    ack_exists[m] = 1;
+    delivered_gen[m] = gen;
+    ++report.acks_created;
+    m_acks_created.inc();
+    learn_ack(dst, m, t);
+    learn_ack(sender, m, t);
+  }
+
+  /// Node v learns the delivery ACK of message m: its outstanding copies
+  /// of m are garbage-collected (vaccine), and — at the source — the
+  /// pending retransmission is canceled, the ack delay recorded, and the
+  /// delivering generation's groups exonerated in the suspicion tracker.
+  void learn_ack(NodeId v, std::size_t m, Time t) {
+    if (!ack_known[v].insert(m).second) return;
+    ack_gc_scratch.assign(holdings[v].begin(), holdings[v].end());
+    for (std::size_t id : ack_gc_scratch) {
+      if (!copies[id].alive || copies[id].msg != m) continue;
+      copies[id].alive = false;
+      holdings[v].erase(id);
+      --load[v];
+      ++report.ack_gc_copies;
+      m_ack_gc.inc();
+    }
+    if (messages[m].src != v) return;
+    if (tokens[m].alive) {
+      // The source stops spraying a message it knows was delivered.
+      tokens[m].alive = false;
+      --load[v];
+      ++report.ack_gc_copies;
+      m_ack_gc.inc();
+    }
+    if (!src_acked[m]) {
+      src_acked[m] = 1;
+      ++report.acked_at_source;
+      m_acked_at_source.inc();
+      m_ack_delay.observe(t - messages[m].start);
+      if (suspicion != nullptr && utility == nullptr) {
+        for (GroupId g : groups_of(m, delivered_gen[m])) {
+          suspicion->record(g, /*acked=*/true);
         }
       }
     }
   }
 
-  // Whether `receiver` is a valid next hop for message m at `hop`.
-  bool qualifies(std::size_t m, std::size_t hop, NodeId receiver) const {
+  /// Anti-packet exchange at a surviving contact: both endpoints end up
+  /// knowing the union of their ACK sets. Metadata-sized, so it consumes
+  /// no contact bandwidth budget.
+  void exchange_acks(NodeId a, NodeId b, Time t) {
+    auto pull = [&](NodeId to, NodeId from) {
+      ack_diff_scratch.clear();
+      std::set_difference(ack_known[from].begin(), ack_known[from].end(),
+                          ack_known[to].begin(), ack_known[to].end(),
+                          std::back_inserter(ack_diff_scratch));
+      for (std::size_t m : ack_diff_scratch) learn_ack(to, m, t);
+    };
+    pull(a, b);
+    pull(b, a);
+  }
+
+  /// Arms the next retransmission timer for m from `from`, consuming one
+  /// jitter draw from the message's recovery sub-stream. The interval
+  /// grows by retx_backoff per attempt; timers past the message deadline
+  /// or the attempt cap are not armed.
+  void schedule_retx(std::size_t m, Time from) {
+    double interval = retx_interval[m];
+    if (rec->retx_jitter > 0.0) {
+      interval *= 1.0 + rec->retx_jitter * (2.0 * msg_rng[m].uniform01() - 1.0);
+    }
+    retx_interval[m] *= rec->retx_backoff;
+    const Time due = from + interval;
+    if (due <= deadline_of(m) && retx_attempts[m] < rec->retx_max) {
+      retx_due.emplace(due, m);
+    }
+  }
+
+  /// Fires every due retransmission timer up to time t, in due-time order
+  /// (ties by message index — the pair ordering of the heap).
+  void process_retx_until(Time t) {
+    while (!retx_due.empty() && retx_due.top().first <= t) {
+      auto [due, m] = retx_due.top();
+      retx_due.pop();
+      if (src_acked[m]) continue;  // ACK arrived: retransmission canceled
+      // The timeout is the sender's failure signal: the timed-out
+      // generation's relay groups take a suspicion penalty.
+      if (suspicion != nullptr && utility == nullptr) {
+        for (GroupId g : groups_of(m, tokens[m].gen)) {
+          suspicion->record(g, /*acked=*/false);
+        }
+      }
+      if (retx_attempts[m] >= rec->retx_max) continue;
+      retransmit(m, due);
+      schedule_retx(m, due);
+    }
+  }
+
+  /// Re-onions message m at time t: a fresh generation through freshly
+  /// sampled relay groups (suspicion-biased when the tracker is on), and
+  /// a full ticket allotment at the source. Utility mode re-injects a
+  /// fresh spray copy instead (no relay groups to sample).
+  void retransmit(std::size_t m, Time t) {
+    const auto& msg = messages[m];
+    ++retx_attempts[m];
+    ++report.retransmissions;
+    ++report.outcomes[m].retransmissions;
+    m_retransmits.inc();
+    if (utility != nullptr) {
+      if (buffer_full(msg.src)) return;  // no room: the attempt is spent
+      std::size_t id = copies.size();
+      copies.push_back({m, 0, msg.src, t, true, msg.copies});
+      if (config->record_paths) copy_paths.emplace_back();
+      holdings[msg.src].insert(id);
+      ++load[msg.src];
+      expiries.emplace(deadline_of(m), 1, id);
+      return;
+    }
+    retx_groups[m].push_back(
+        suspicion != nullptr
+            ? recovery::select_relay_groups_avoiding(
+                  *directory, *suspicion, msg.src, msg.dst, msg.num_relays,
+                  msg_rng[m])
+            : directory->select_relay_groups(msg.src, msg.dst,
+                                             msg.num_relays, msg_rng[m]));
+    tokens[m].gen = static_cast<std::uint32_t>(retx_groups[m].size());
+    tokens[m].tickets = msg.copies;
+    if (!tokens[m].alive) {
+      if (buffer_full(msg.src)) {
+        tokens[m].tickets = 0;
+        return;  // no room to re-enqueue: the attempt is spent
+      }
+      tokens[m].alive = true;
+      ++load[msg.src];
+      expiries.emplace(deadline_of(m), 0, m);
+    }
+  }
+
+  // Whether `receiver` is a valid next hop for message m at `hop` of
+  // recovery generation `gen` (always 0 without the recovery layer).
+  bool qualifies(std::size_t m, std::uint32_t gen, std::size_t hop,
+                 NodeId receiver) const {
     const auto& msg = messages[m];
     if (seen[m].count(receiver) > 0) return false;  // Forward() dedup
     if (hop < msg.num_relays) {
-      return directory->in_group(receiver, relay_groups[m][hop]);
+      return directory->in_group(receiver, groups_of(m, gen)[hop]);
     }
     return receiver == msg.dst;
   }
@@ -301,7 +567,7 @@ struct Engine {
   bool token_eligible(std::size_t m, NodeId sender, NodeId receiver,
                       Time t) const {
     return tokens[m].alive && messages[m].src == sender &&
-           t <= deadline_of(m) && qualifies(m, 0, receiver);
+           t <= deadline_of(m) && qualifies(m, tokens[m].gen, 0, receiver);
   }
 
   bool attempt_token(std::size_t m, NodeId sender, NodeId receiver, Time t) {
@@ -315,7 +581,8 @@ struct Engine {
     }
     if (!make_room(receiver, m)) return false;
     std::size_t id = copies.size();
-    copies.push_back({m, 1, receiver, t, true});
+    copies.push_back({m, 1, receiver, t, true, 1, kTimeInfinity,
+                      tokens[m].gen});
     if (config->record_paths) {
       copy_paths.emplace_back(1, receiver);
       record_relay(m, 0, receiver);
@@ -347,7 +614,7 @@ struct Engine {
                      Time t) const {
     const Copy& c = copies[id];
     return c.alive && c.holder == sender && t <= deadline_of(c.msg) &&
-           qualifies(c.msg, c.hop, receiver);
+           qualifies(c.msg, c.gen, c.hop, receiver);
   }
 
   bool attempt_copy(std::size_t id, NodeId sender, NodeId receiver, Time t) {
@@ -377,10 +644,12 @@ struct Engine {
           report.outcomes[m].relay_path = copy_paths[id];
         }
       }
+      const std::uint32_t gen = c.gen;
       c.alive = false;
       holdings[sender].erase(id);
       --load[sender];
       note_served(c.queued_since, t);
+      born_ack(m, gen, sender, receiver, t);
       return true;
     }
 
@@ -435,6 +704,7 @@ struct Engine {
     if (fp != nullptr && fp->transfer_fails(sender, receiver)) {
       ++report.transfer_failures;
       m_transfer_failures.inc();
+      utility->observe_transfer_outcome(receiver, false);
       return false;
     }
 
@@ -454,10 +724,13 @@ struct Engine {
           report.outcomes[m].relay_path = copy_paths[id];
         }
       }
+      const std::uint32_t gen = c.gen;
       c.alive = false;
       holdings[sender].erase(id);
       --load[sender];
       note_served(c.queued_since, t);
+      born_ack(m, gen, sender, receiver, t);
+      utility->observe_transfer_outcome(receiver, true);
       return true;
     }
 
@@ -489,6 +762,7 @@ struct Engine {
       m_blackhole_absorbed.inc();
     }
     note_served(c.queued_since, t);
+    utility->observe_transfer_outcome(receiver, true);
     return true;
   }
 
@@ -587,6 +861,9 @@ struct Engine {
       ++report.contacts_saturated;
       m_contacts_saturated.inc();
     }
+    if (rec != nullptr && rec->shed_saturation > 0.0) {
+      sat_window.record(saturated);
+    }
   }
 
   NetworkSimReport run(util::Rng& rng) {
@@ -595,6 +872,9 @@ struct Engine {
     bool priorities_on = false;
     for (std::uint8_t p : priorities) priorities_on |= (p != 0);
     scheduled = bandwidth_on || priorities_on || utility != nullptr;
+    rec = (config->recovery != nullptr && config->recovery->enabled())
+              ? config->recovery
+              : nullptr;
 
     metrics::Registry* reg = config->metrics;
     m_transfers = metrics::counter(reg, "sim.transfers");
@@ -623,6 +903,42 @@ struct Engine {
       m_queue_wait = metrics::histogram(reg, "sim.queue_wait");
       if (bandwidth_on) {
         m_contact_capacity = metrics::histogram(reg, "sim.contact_capacity");
+      }
+    }
+    if (rec != nullptr) {
+      // Same contract once more: the recovery-free export carries no
+      // recovery.* entries.
+      m_retransmits = metrics::counter(reg, "recovery.retransmits");
+      m_ack_delay = metrics::histogram(reg, "recovery.ack_delay");
+      m_shed = metrics::counter(reg, "recovery.shed_messages");
+      m_acks_created = metrics::counter(reg, "recovery.acks_created");
+      m_acked_at_source = metrics::counter(reg, "recovery.acked_at_source");
+      m_ack_gc = metrics::counter(reg, "recovery.ack_gc_copies");
+      m_suspicion_flips = metrics::counter(reg, "recovery.suspicion_flips");
+
+      ack_known.assign(trace->node_count(), {});
+      ack_exists.assign(messages.size(), 0);
+      src_acked.assign(messages.size(), 0);
+      delivered_gen.assign(messages.size(), 0);
+      if (rec->retx_timeout > 0.0) {
+        retx_attempts.assign(messages.size(), 0);
+        retx_interval.assign(messages.size(), 0.0);
+        retx_groups.assign(messages.size(), {});
+        msg_rng.reserve(messages.size());
+        for (std::size_t m = 0; m < messages.size(); ++m) {
+          msg_rng.emplace_back(util::derive_seed(config->recovery_seed, m));
+        }
+      }
+      if (rec->suspicion_alpha > 0.0) {
+        suspicion = config->suspicion;
+        if (suspicion == nullptr) {
+          own_tracker.emplace(rec->suspicion_alpha, rec->suspicion_threshold);
+          suspicion = &*own_tracker;
+        }
+        tracker_flips_at_start = suspicion->flips();
+      }
+      if (rec->shed_saturation > 0.0) {
+        sat_window = recovery::SaturationWindow();
       }
     }
 
@@ -654,20 +970,30 @@ struct Engine {
     for (const auto& event : trace->events()) {
       while (next_injection < order.size() &&
              messages[order[next_injection]].start <= event.time) {
-        expire_until(messages[order[next_injection]].start);
-        if (fp != nullptr) flush_crashes_until(messages[order[next_injection]].start);
+        advance_time(messages[order[next_injection]].start);
+        if (rec != nullptr && rec->retx_timeout > 0.0) {
+          process_retx_until(messages[order[next_injection]].start);
+        }
         inject(order[next_injection]);
         ++next_injection;
       }
-      expire_until(event.time);
+      advance_time(event.time);
+      if (rec != nullptr && rec->retx_timeout > 0.0) {
+        process_retx_until(event.time);
+      }
       if (fp != nullptr) {
-        flush_crashes_until(event.time);
         if (!fp->node_up(event.a, event.time) ||
             !fp->node_up(event.b, event.time)) {
           ++report.suppressed_contacts;
           m_suppressed.inc();
           continue;
         }
+      }
+      if (rec != nullptr && rec->acks) {
+        // Anti-packets ride every surviving contact, ahead of payload
+        // transfers: a vaccine may free buffer space the transfers below
+        // then use.
+        exchange_acks(event.a, event.b, event.time);
       }
       if (utility != nullptr) {
         // The forwarder learns from every surviving contact, including
@@ -692,10 +1018,19 @@ struct Engine {
         transfer_direction(event.b, event.a, event.time);
       }
     }
-    // Messages injected after the last event simply never move.
+    // Messages injected after the last event never move, but simulated
+    // time still advances to each injection instant: expired and
+    // crash-flushed copies are reclaimed first, so the source's
+    // buffer-occupancy check sees live copies only (a stale-buffer
+    // injection failure here would be an accounting artifact).
     while (next_injection < order.size()) {
+      advance_time(messages[order[next_injection]].start);
       inject(order[next_injection]);
       ++next_injection;
+    }
+    if (suspicion != nullptr) {
+      report.suspicion_flips = suspicion->flips() - tracker_flips_at_start;
+      m_suspicion_flips.inc(report.suspicion_flips);
     }
     return std::move(report);
   }
@@ -730,6 +1065,9 @@ NetworkSimReport run_network_sim(const trace::ContactTrace& trace,
         "run_network_sim: priorities must be empty or parallel to messages");
   }
   config.bandwidth.validate();
+  if (config.recovery != nullptr) {
+    config.recovery->validate();
+  }
   const bool utility_mode = config.utility != nullptr;
   if (utility_mode &&
       config.utility->node_count() != trace.node_count()) {

@@ -40,6 +40,10 @@
 namespace odtn::faults {
 class FaultPlan;
 }
+namespace odtn::recovery {
+struct RecoveryConfig;
+class SuspicionTracker;
+}
 namespace odtn::routing {
 class UtilityForwarder;
 }
@@ -114,6 +118,24 @@ struct NetworkSimConfig {
   /// receivers. The forwarder learns from every surviving contact in
   /// trace order, so runs stay bit-identical across thread counts.
   routing::UtilityForwarder* utility = nullptr;
+  /// End-to-end reliability layer (see odtn::recovery): delivery ACKs
+  /// spreading as anti-packets that garbage-collect outstanding copies,
+  /// sender-side retransmission through freshly sampled relay groups with
+  /// seeded backoff + jitter, suspicion-biased group selection, and
+  /// priority-aware overload shedding. Null or all-knobs-zero = off: the
+  /// engine draws no recovery RNG, registers no recovery.* metrics, and
+  /// behaves byte-identically to a build without the layer.
+  const recovery::RecoveryConfig* recovery = nullptr;
+  /// Base seed for the per-message recovery RNG sub-streams (jitter and
+  /// retry group resampling draw from derive_seed(recovery_seed, msg
+  /// index), never from the simulation RNG — the main draw sequence is
+  /// identical with recovery on or off). Callers derive it from the run's
+  /// RNG stream only when recovery is enabled.
+  std::uint64_t recovery_seed = 0;
+  /// Optional externally-owned suspicion tracker (lets callers persist or
+  /// inspect it); when null and suspicion_alpha > 0 the engine keeps a
+  /// run-local tracker.
+  recovery::SuspicionTracker* suspicion = nullptr;
 };
 
 /// Messages share the routing-layer parameter block (src, dst, start, ttl,
@@ -132,6 +154,11 @@ struct MessageOutcome {
   /// True if the message never left the source (source buffer full at
   /// injection time).
   bool injection_failed = false;
+  /// True if admission control shed the message at injection time
+  /// (recovery overload shedding; never delivered, never injected).
+  bool shed = false;
+  /// Recovery retransmissions the source performed for this message.
+  std::size_t retransmissions = 0;
   /// record_paths only: relays of the first delivered copy in hop order
   /// (excludes src and dst; empty if undelivered or recording is off).
   std::vector<NodeId> relay_path;
@@ -166,6 +193,20 @@ struct NetworkSimReport {
   /// Largest number of transfers any single contact carried (the
   /// bandwidth-cap conservation invariant: <= the per-contact budget).
   std::size_t max_contact_transfers = 0;
+  // Recovery accounting (all zero when NetworkSimConfig::recovery is null
+  // or disabled).
+  /// Source-side retransmissions (re-onioned sends through fresh groups).
+  std::size_t retransmissions = 0;
+  /// ACK records born at destinations (exactly one per delivered message).
+  std::size_t acks_created = 0;
+  /// Messages whose source learned the delivery ACK.
+  std::size_t acked_at_source = 0;
+  /// Outstanding copies garbage-collected by ACK anti-packets.
+  std::size_t ack_gc_copies = 0;
+  /// Messages shed by admission control at injection time.
+  std::size_t shed_messages = 0;
+  /// Suspicion-tracker threshold crossings during this run.
+  std::size_t suspicion_flips = 0;
 
   double delivery_rate() const;
   double mean_delay() const;  // over delivered messages

@@ -1,0 +1,138 @@
+// Unit tests for the odtn::recovery building blocks: config validation,
+// the suspicion tracker's EWMA and flip accounting, suspicion-biased
+// relay-group selection, and the saturation window.
+#include "recovery/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "groups/group_directory.hpp"
+#include "util/rng.hpp"
+
+namespace odtn::recovery {
+namespace {
+
+TEST(RecoveryConfig, DefaultsAreDisabledAndValid) {
+  RecoveryConfig rc;
+  EXPECT_FALSE(rc.enabled());
+  EXPECT_FALSE(rc.shedding());
+  EXPECT_NO_THROW(rc.validate());
+}
+
+TEST(RecoveryConfig, RejectsBadKnobs) {
+  RecoveryConfig rc;
+  rc.retx_timeout = -1.0;
+  EXPECT_THROW(rc.validate(), std::invalid_argument);
+
+  rc = {};
+  rc.retx_timeout = 10.0;
+  rc.retx_max = 0;
+  EXPECT_THROW(rc.validate(), std::invalid_argument);
+
+  rc = {};
+  rc.retx_timeout = 10.0;
+  rc.retx_backoff = 0.5;  // must not shrink the interval
+  EXPECT_THROW(rc.validate(), std::invalid_argument);
+
+  rc = {};
+  rc.retx_timeout = 10.0;
+  rc.retx_jitter = 1.0;  // jitter fraction must stay below 1
+  EXPECT_THROW(rc.validate(), std::invalid_argument);
+
+  rc = {};
+  rc.suspicion_alpha = 0.5;  // suspicion learns from timeouts: needs retx
+  EXPECT_THROW(rc.validate(), std::invalid_argument);
+
+  rc = {};
+  rc.retx_timeout = 10.0;
+  rc.suspicion_alpha = 1.5;
+  EXPECT_THROW(rc.validate(), std::invalid_argument);
+
+  rc = {};
+  rc.shed_occupancy = 1.5;
+  EXPECT_THROW(rc.validate(), std::invalid_argument);
+}
+
+TEST(SuspicionTracker, ConvergesOnFailuresAndHealsOnAcks) {
+  SuspicionTracker tracker(0.5, 0.75);
+  EXPECT_EQ(tracker.suspicion(7), 0.0);
+  EXPECT_FALSE(tracker.suspected(7));
+
+  // Three straight timeouts: 0 -> 0.5 -> 0.75 -> 0.875; the threshold is
+  // crossed (>=) at the second record.
+  tracker.record(7, false);
+  EXPECT_FALSE(tracker.suspected(7));
+  tracker.record(7, false);
+  EXPECT_TRUE(tracker.suspected(7));
+  tracker.record(7, false);
+  EXPECT_DOUBLE_EQ(tracker.suspicion(7), 0.875);
+  EXPECT_EQ(tracker.flips(), 1u);
+  EXPECT_EQ(tracker.suspected_count(), 1u);
+
+  // Acked sends exonerate: 0.875 -> 0.4375 drops below the threshold.
+  tracker.record(7, true);
+  EXPECT_FALSE(tracker.suspected(7));
+  EXPECT_EQ(tracker.flips(), 2u);
+  EXPECT_EQ(tracker.suspected_count(), 0u);
+}
+
+TEST(SuspicionTracker, TracksGroupsIndependently) {
+  SuspicionTracker tracker(1.0, 0.75);  // alpha 1: last outcome wins
+  tracker.record(1, false);
+  tracker.record(2, true);
+  EXPECT_TRUE(tracker.suspected(1));
+  EXPECT_FALSE(tracker.suspected(2));
+  EXPECT_EQ(tracker.suspected_count(), 1u);
+}
+
+// With clean candidate groups available, the biased selection must return
+// a set free of suspected groups; node i is group i (g = 1), so groups
+// are identifiable exactly.
+TEST(SelectRelayGroupsAvoiding, AvoidsSuspectedGroupsWhenPossible) {
+  groups::GroupDirectory dir(20, 1);
+  SuspicionTracker tracker(1.0, 0.5);
+  // Poison four relay candidates (endpoints 0 and 1 are excluded from
+  // selection anyway). With 32 attempts a draw free of all four is found
+  // with near-certainty, so every returned set must be clean.
+  for (GroupId g = 2; g < 6; ++g) tracker.record(g, false);
+
+  util::Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto groups =
+        select_relay_groups_avoiding(dir, tracker, 0, 1, 3, rng, 32);
+    ASSERT_EQ(groups.size(), 3u);
+    for (GroupId g : groups) {
+      EXPECT_FALSE(tracker.suspected(g)) << "picked suspected group " << g;
+    }
+  }
+}
+
+// When every draw is tainted the selection degrades gracefully to the
+// least-suspected candidate set instead of looping forever.
+TEST(SelectRelayGroupsAvoiding, FallsBackWhenAllGroupsSuspected) {
+  groups::GroupDirectory dir(6, 1);
+  SuspicionTracker tracker(1.0, 0.5);
+  for (GroupId g = 0; g < 6; ++g) tracker.record(g, false);
+  util::Rng rng(1);
+  auto groups = select_relay_groups_avoiding(dir, tracker, 0, 1, 2, rng);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(SaturationWindow, TracksSlidingFraction) {
+  SaturationWindow w(4);
+  EXPECT_EQ(w.fraction(), 0.0);
+  w.record(true);
+  EXPECT_DOUBLE_EQ(w.fraction(), 1.0);
+  w.record(false);
+  EXPECT_DOUBLE_EQ(w.fraction(), 0.5);
+  w.record(false);
+  w.record(false);
+  EXPECT_DOUBLE_EQ(w.fraction(), 0.25);
+  // The window slides: the original `true` falls out.
+  w.record(false);
+  EXPECT_DOUBLE_EQ(w.fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace odtn::recovery

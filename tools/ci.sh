@@ -4,13 +4,15 @@
 #   tools/ci.sh [JOBS]
 #
 # 1. Configures and builds the plain tree, runs the full ctest suite
-#    (the tier-1 gate from ROADMAP.md), then the metrics suite by label,
-#    then a checkpoint/resume byte-identity smoke check on the CLI.
+#    (the tier-1 gate from ROADMAP.md), then the metrics, traffic, and
+#    recovery suites by label, then a checkpoint/resume byte-identity
+#    smoke check on the CLI.
 # 2. Runs the contact-query byte-identity suite by label, the scale suite
 #    (cross-backend equivalence; ctest -L scale) plus a fig_scale smoke at
-#    n=1e5 with a bytes/node bound, then a perf smoke: the micro_sim
+#    n=1e5 with a bytes/node bound, then the perf smokes: the micro_sim
 #    hot-path benchmarks against the committed BENCH_micro_sim.json
-#    baseline (fail on >20% regression).
+#    baseline (fail on >20% regression) and the micro_crypto per-forward
+#    costs against BENCH_micro_crypto.json (>25%).
 # 3. Static analysis: runs tools/odtn_lint over src/ bench/ tools/ (the
 #    determinism-contract rules; see DESIGN.md §5f) plus its fixture suite
 #    (ctest -L lint), then clang-tidy with the committed .clang-tidy
@@ -19,7 +21,8 @@
 # 4. Configures a -DODTN_SANITIZE=thread tree in build-tsan/, builds only
 #    the tsan-labelled test targets, and runs `ctest -L tsan` under TSan.
 # 5. Configures a -DODTN_SANITIZE=address tree in build-asan/, builds the
-#    fault-injection test targets, and runs `ctest -L faults` under ASan.
+#    fault-injection and recovery test targets, and runs `ctest -L faults`
+#    and `ctest -L recovery` under ASan.
 # 6. Configures a -DODTN_SANITIZE=undefined tree in build-ubsan/, builds
 #    the analysis + crypto test targets (the numeric and bit-twiddling
 #    code most prone to UB), and runs `ctest -L ubsan` under UBSan.
@@ -42,6 +45,9 @@ ctest --test-dir "$repo/build" -L metrics --output-on-failure -j "$jobs"
 
 echo "== traffic suite (ctest -L traffic) =="
 ctest --test-dir "$repo/build" -L traffic --output-on-failure -j "$jobs"
+
+echo "== recovery suite (ctest -L recovery) =="
+ctest --test-dir "$repo/build" -L recovery --output-on-failure -j "$jobs"
 
 echo "== checkpoint/resume byte-identity smoke check =="
 smoke="$repo/build/ci-checkpoint-smoke"
@@ -106,11 +112,22 @@ echo "== perf smoke: micro_sim hot paths vs BENCH_micro_sim.json =="
 # under load — rerun pinned (taskset -c 0) before treating a failure as
 # real.
 "$repo/build/bench/micro_sim" \
-    --benchmark_filter='^BM_MultiCopyRoute/3$|^BM_ExperimentRun$|^BM_TrafficGen/10$|^BM_LoadedSimStep$' \
+    --benchmark_filter='^BM_MultiCopyRoute/3$|^BM_ExperimentRun$|^BM_TrafficGen/10$|^BM_LoadedSimStep$|^BM_RecoveryStep$' \
     --benchmark_repetitions=5 \
     --baseline="$repo/BENCH_micro_sim.json" --max-regression-pct=20 \
     > /dev/null
 echo "perf smoke within budget"
+
+echo "== perf smoke: micro_crypto per-forward costs vs BENCH_micro_crypto.json =="
+# Same gate over the crypto substrate (the per-forward cost a deployment
+# pays). Crypto microbenches are noisier at the ~10us scale, hence the
+# wider 25% band.
+"$repo/build/bench/micro_crypto" \
+    --benchmark_filter='^BM_HmacSha256$|^BM_X25519$|^BM_OnionBuild/3$|^BM_OnionPeel$' \
+    --benchmark_repetitions=5 \
+    --baseline="$repo/BENCH_micro_crypto.json" --max-regression-pct=25 \
+    > /dev/null
+echo "crypto perf smoke within budget"
 
 echo "== lint: odtn_lint over src/ bench/ tools/ =="
 "$repo/build/tools/odtn_lint" "$repo/src" "$repo/bench" "$repo/tools"
@@ -137,13 +154,17 @@ cmake --build "$repo/build-tsan" -j "$jobs" --target \
 echo "== tsan: ctest -L tsan =="
 ctest --test-dir "$repo/build-tsan" -L tsan --output-on-failure -j "$jobs"
 
-echo "== asan: configure + build fault test targets =="
+echo "== asan: configure + build fault + recovery test targets =="
 cmake -B "$repo/build-asan" -S "$repo" -DODTN_SANITIZE=address
 cmake --build "$repo/build-asan" -j "$jobs" --target \
-    faults_test fault_sim_test fault_experiment_test
+    faults_test fault_sim_test fault_experiment_test \
+    recovery_unit_test recovery_sim_test recovery_experiment_test
 
 echo "== asan: ctest -L faults =="
 ctest --test-dir "$repo/build-asan" -L faults --output-on-failure -j "$jobs"
+
+echo "== asan: ctest -L recovery =="
+ctest --test-dir "$repo/build-asan" -L recovery --output-on-failure -j "$jobs"
 
 echo "== ubsan: configure + build analysis + crypto test targets =="
 cmake -B "$repo/build-ubsan" -S "$repo" -DODTN_SANITIZE=undefined

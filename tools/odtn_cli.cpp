@@ -55,7 +55,14 @@ int usage() {
       "                  --bandwidth-transfer-time=S]\n"
       "                 [--buffer-capacity=B --buffer-policy=reject-new|\n"
       "                  drop-oldest --load-forwarder=onion|utility|\n"
-      "                  spray-blind]\n"
+      "                  spray-blind --utility-failure-penalty=P]\n"
+      "                 [--ack-vaccine\n"
+      "                  --recovery-retx-timeout=T --recovery-retx-max=3\n"
+      "                  --recovery-retx-backoff=2 --recovery-retx-jitter=0.1\n"
+      "                  --recovery-suspicion-alpha=A\n"
+      "                  --recovery-suspicion-threshold=0.75\n"
+      "                  --shed-occupancy=F --shed-saturation=F\n"
+      "                  --shed-priority-floor=1]\n"
       "\n"
       "simulate shards runs over --threads workers (0 = all hardware\n"
       "threads); results are bit-identical at every thread count.\n"
@@ -88,7 +95,21 @@ int usage() {
       "model instead. --buffer-capacity/--buffer-policy bound per-node\n"
       "buffers; --load-forwarder picks onion (the paper's protocol),\n"
       "utility (congestion/utility-aware replication) or spray-blind\n"
-      "(the congestion-ignorant control).\n"
+      "(the congestion-ignorant control). --utility-failure-penalty\n"
+      "discounts a receiver's utility by an EWMA of its observed transfer\n"
+      "failures (recovery feedback for the utility forwarders).\n"
+      "--recovery-retx-timeout enables end-to-end retransmission: an\n"
+      "undelivered message is re-onioned through freshly sampled relay\n"
+      "groups after a backed-off, jittered timeout (at most\n"
+      "--recovery-retx-max times). --recovery-suspicion-alpha biases retry\n"
+      "selection away from relay groups with a high EWMA of unacked sends.\n"
+      "--ack-vaccine spreads delivery ACKs as anti-packets that\n"
+      "garbage-collect outstanding copies (loaded runs only).\n"
+      "--shed-occupancy/--shed-saturation shed messages of priority >=\n"
+      "--shed-priority-floor at injection when the source buffer or the\n"
+      "recent contact-saturation fraction crosses the threshold (loaded\n"
+      "runs only). All knobs zero = the layer is off and output is\n"
+      "byte-identical to a build without it.\n"
       "\n"
       "exit codes: 0 ok, 1 runtime error, 2 usage or malformed input file\n"
       "(one-line file:line diagnostic on stderr).\n";
@@ -323,6 +344,26 @@ int cmd_simulate(const util::Args& args) {
                  "drop-oldest\n";
     return 2;
   }
+  cfg.recovery.acks = args.get_bool("ack-vaccine", false);
+  cfg.recovery.retx_timeout = args.get_double("recovery-retx-timeout", 0.0);
+  cfg.recovery.retx_max =
+      static_cast<std::size_t>(args.get_int("recovery-retx-max", 3));
+  cfg.recovery.retx_backoff = args.get_double("recovery-retx-backoff", 2.0);
+  cfg.recovery.retx_jitter = args.get_double("recovery-retx-jitter", 0.1);
+  cfg.recovery.suspicion_alpha =
+      args.get_double("recovery-suspicion-alpha", 0.0);
+  cfg.recovery.suspicion_threshold =
+      args.get_double("recovery-suspicion-threshold", 0.75);
+  cfg.recovery.shed_occupancy = args.get_double("shed-occupancy", 0.0);
+  cfg.recovery.shed_saturation = args.get_double("shed-saturation", 0.0);
+  int shed_floor = args.get_int("shed-priority-floor", 1);
+  if (shed_floor < 0 || shed_floor > 255) {
+    throw std::invalid_argument(
+        "simulate: --shed-priority-floor must be in [0, 255]");
+  }
+  cfg.recovery.shed_priority_floor = static_cast<std::uint8_t>(shed_floor);
+  cfg.recovery.validate();
+
   std::string forwarder = args.get("load-forwarder", "onion");
   if (forwarder == "utility") {
     cfg.load_forwarder = core::LoadForwarder::kUtility;
@@ -333,6 +374,7 @@ int cmd_simulate(const util::Args& args) {
                  "spray-blind\n";
     return 2;
   }
+  cfg.utility_failure_penalty = args.get_double("utility-failure-penalty", 0.0);
 
   core::Scenario scenario = core::RandomGraphScenario{};
   std::string trace_path = args.get("trace", "");
