@@ -5,8 +5,14 @@
 // bench_gate.hpp — the shared median-capture + regression-gate driver.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "bench_gate.hpp"
 
+#include "circuit/cell.hpp"
+#include "circuit/circuit_manager.hpp"
 #include "crypto/aead.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/drbg.hpp"
@@ -17,6 +23,30 @@
 #include "groups/key_manager.hpp"
 #include "onion/onion.hpp"
 #include "util/rng.hpp"
+
+// Global allocation counter: lets the cell/peel benches assert (and
+// record) that the steady-state _into paths perform zero heap allocations
+// (the PR-4 contract, extended to the circuit layer).
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -113,6 +143,91 @@ void BM_OnionPeel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OnionPeel);
+
+void BM_OnionPeelView(benchmark::State& state) {
+  groups::GroupDirectory dir(100, 5);
+  groups::KeyManager keys(dir, 1);
+  onion::OnionCodec codec;
+  crypto::Drbg drbg(std::uint64_t{9});
+  util::Bytes payload(200, 0x11);
+  std::vector<GroupId> route = {1, 2, 3};
+  util::Bytes wire = codec.build(payload, 99, route, keys, drbg);
+  onion::PeelScratch scratch;
+  // Warm the scratch buffers so the loop measures — and the counter
+  // asserts — the steady-state zero-allocation path.
+  benchmark::DoNotOptimize(
+      codec.peel_view(wire, keys.group_key(1), drbg, scratch));
+  const std::uint64_t allocs_before = g_alloc_count.load();
+  std::uint64_t peels = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec.peel_view(wire, keys.group_key(1), drbg, scratch));
+    ++peels;
+  }
+  const std::uint64_t allocs = g_alloc_count.load() - allocs_before;
+  state.counters["allocs_per_peel"] =
+      peels == 0 ? 0.0
+                 : static_cast<double>(allocs) / static_cast<double>(peels);
+}
+BENCHMARK(BM_OnionPeelView);
+
+void BM_CellSeal(benchmark::State& state) {
+  const auto cell_size = static_cast<std::size_t>(state.range(0));
+  circuit::CellCodec cells(cell_size);
+  crypto::Drbg drbg(std::uint64_t{11});
+  util::Bytes key(32, 7);
+  util::Bytes payload(cells.max_payload(), 0x5a);
+  util::Bytes out;
+  circuit::CellScratch scratch;
+  // Warm the scratch buffers (same zero-allocation assertion as above).
+  cells.seal_into(1, circuit::CellCommand::kRelay, payload, key, drbg, out,
+                  scratch);
+  const std::uint64_t allocs_before = g_alloc_count.load();
+  std::uint64_t sealed = 0;
+  for (auto _ : state) {
+    cells.seal_into(1, circuit::CellCommand::kRelay, payload, key, drbg, out,
+                    scratch);
+    benchmark::DoNotOptimize(out.data());
+    ++sealed;
+  }
+  const std::uint64_t allocs = g_alloc_count.load() - allocs_before;
+  state.counters["allocs_per_cell"] =
+      sealed == 0 ? 0.0
+                  : static_cast<double>(allocs) / static_cast<double>(sealed);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cell_size));
+}
+BENCHMARK(BM_CellSeal)->Arg(512)->Arg(4096);
+
+// One full circuit lifecycle — open, three extends, final delivery — with
+// the manager (and its circuit table) rebuilt per iteration so memory
+// stays bounded. Arg 0 = one-blob secure links, 1 = wire cells.
+void BM_CircuitExtend(benchmark::State& state) {
+  groups::GroupDirectory dir(100, 5);
+  groups::KeyManager keys(dir, 1);
+  onion::OnionCodec codec;
+  // odtn-lint: allow(rng) — bench-local stream: seeded directly from --seed
+  // so published figure/ablation tables stay pinned to their historical
+  // sequences
+  util::Rng rng(13);
+  circuit::CircuitContext cctx;
+  cctx.keys = &keys;
+  cctx.codec = &codec;
+  cctx.crypto = true;
+  cctx.wire = state.range(0) != 0;
+  util::Bytes payload(200, 0x11);
+  std::vector<GroupId> route = {1, 2, 3};
+  using Expect = circuit::CircuitManager::Expect;
+  for (auto _ : state) {
+    circuit::CircuitManager cm(cctx, rng);
+    circuit::CircuitId id = cm.open(payload, 99, route);
+    cm.extend(id, 0, 5, keys.group_key(1), Expect::relay_to(2));
+    cm.extend(id, 5, 9, keys.group_key(2), Expect::relay_to(3));
+    cm.extend(id, 9, 20, keys.group_key(3), Expect::deliver_to(99));
+    benchmark::DoNotOptimize(cm.deliver(id, 20, 99, payload));
+  }
+}
+BENCHMARK(BM_CircuitExtend)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -375,6 +375,41 @@ void BM_RecoveryStep(benchmark::State& state) {
 }
 BENCHMARK(BM_RecoveryStep)->Unit(benchmark::kMillisecond);
 
+// BM_LoadedSimStep with wire-accurate cell accounting on: each transfer
+// charges its cell cost against the (cell-denominated) contact budget —
+// the cost of the circuit layer on the loaded drainage path.
+void BM_WireSimStep(benchmark::State& state) {
+  // odtn-lint: allow(rng) — bench-local stream (same pinned sequence as
+  // BM_LoadedSimStep).
+  util::Rng rng(9);
+  auto g = graph::random_contact_graph(100, rng);
+  auto trace = trace::sample_poisson_trace(g, 2400.0, rng);
+  groups::GroupDirectory dir(100, 5, &rng);
+
+  traffic::TrafficConfig workload;
+  traffic::FlowConfig flow;
+  flow.rate = 0.25;
+  flow.ttl = 1800.0;
+  workload.flows.push_back(flow);
+  flow.priority = 1;
+  workload.flows.push_back(flow);
+  workload.horizon = 600.0;
+  traffic::TrafficPlan plan(workload, 100, rng.next());
+
+  sim::NetworkSimConfig cfg;
+  cfg.buffer_capacity = 8;
+  cfg.bandwidth.messages_per_contact = 4;  // cells, not messages
+  cfg.cells_per_message = 2;
+  cfg.cell_size = 512;
+  for (auto _ : state) {
+    // odtn-lint: allow(rng) — bench-local stream (same pinned sequence).
+    util::Rng run_rng(11);
+    benchmark::DoNotOptimize(sim::run_network_sim(
+        trace, dir, plan.specs(), plan.priorities(), cfg, run_rng));
+  }
+}
+BENCHMARK(BM_WireSimStep)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

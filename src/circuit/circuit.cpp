@@ -1,0 +1,54 @@
+#include "circuit/circuit.hpp"
+
+namespace odtn::circuit {
+
+const char* circuit_status_name(CircuitStatus status) {
+  switch (status) {
+    case CircuitStatus::kCreate:
+      return "create";
+    case CircuitStatus::kCreated:
+      return "created";
+    case CircuitStatus::kExtend:
+      return "extend";
+    case CircuitStatus::kEstablished:
+      return "established";
+    case CircuitStatus::kTruncated:
+      return "truncated";
+    case CircuitStatus::kDestroyed:
+      return "destroyed";
+  }
+  return "unknown";
+}
+
+bool legal_transition(CircuitStatus from, CircuitStatus to) {
+  switch (from) {
+    case CircuitStatus::kCreate:
+      return to == CircuitStatus::kCreated || to == CircuitStatus::kDestroyed;
+    case CircuitStatus::kCreated:
+      return to == CircuitStatus::kExtend ||
+             to == CircuitStatus::kEstablished ||
+             to == CircuitStatus::kTruncated ||
+             to == CircuitStatus::kDestroyed;
+    case CircuitStatus::kExtend:
+      return to == CircuitStatus::kExtend ||
+             to == CircuitStatus::kEstablished ||
+             to == CircuitStatus::kTruncated ||
+             to == CircuitStatus::kDestroyed;
+    case CircuitStatus::kEstablished:
+      return to == CircuitStatus::kTruncated ||
+             to == CircuitStatus::kDestroyed;
+    case CircuitStatus::kTruncated:
+      return to == CircuitStatus::kExtend || to == CircuitStatus::kDestroyed;
+    case CircuitStatus::kDestroyed:
+      return false;
+  }
+  return false;
+}
+
+bool Circuit::advance(CircuitStatus next) {
+  if (!legal_transition(status, next)) return false;
+  status = next;
+  return true;
+}
+
+}  // namespace odtn::circuit

@@ -1,0 +1,61 @@
+// Per-circuit state machine, mirroring minitor's CircuitStatus.
+//
+// A circuit is one message-copy's path through the relay groups, viewed as
+// a session: it is created on the first contact crossing, extended one hop
+// per relay peel, established when the destination opens the final layer,
+// truncated when a copy is lost mid-path (crash, blackhole, timeout), and
+// destroyed when the protocol abandons it. The legal-transition table is
+// enforced by Circuit::advance — an illegal transition is rejected
+// deterministically (the state is left unchanged and false is returned),
+// never "repaired".
+//
+//             +----------------------------------------------+
+//             v                                              |
+//   kCreate -> kCreated -> kExtend --+--> kEstablished -> kTruncated
+//      |          |   \      |  ^    |         |             |
+//      |          |    \     +--+    |         |             | (rebuild:
+//      |          |     +------------+---------+             |  kExtend)
+//      v          v                  v         v             v
+//   kDestroyed <-------------------------------+--------------
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/cell.hpp"
+#include "util/bytes.hpp"
+
+namespace odtn::circuit {
+
+enum class CircuitStatus : std::uint8_t {
+  kCreate = 0,       // opened locally; no hop crossed yet
+  kCreated = 1,      // first hop acknowledged the circuit
+  kExtend = 2,       // extending through further relay hops
+  kEstablished = 3,  // destination opened the final layer
+  kTruncated = 4,    // a copy/path was lost; may be rebuilt (kExtend)
+  kDestroyed = 5,    // terminal
+};
+
+/// Returns a stable lowercase name ("create", "established", ...).
+const char* circuit_status_name(CircuitStatus status);
+
+/// The legal-transition table (see the diagram above). Self-transitions
+/// are legal only for kExtend (each additional hop re-enters it).
+bool legal_transition(CircuitStatus from, CircuitStatus to);
+
+/// One circuit's record inside a CircuitManager.
+struct Circuit {
+  CircuitId id = 0;
+  CircuitStatus status = CircuitStatus::kCreate;
+  /// Current onion packet (crypto mode only; empty otherwise).
+  util::Bytes wire;
+  /// Relay layers peeled so far.
+  std::size_t hops = 0;
+  /// Every peel on this circuit matched the policy's expectation so far.
+  bool ok = true;
+
+  /// Advances the state machine. Illegal transitions are rejected: the
+  /// status is left unchanged and false is returned.
+  bool advance(CircuitStatus next);
+};
+
+}  // namespace odtn::circuit

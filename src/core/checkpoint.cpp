@@ -127,6 +127,11 @@ std::uint64_t checkpoint_config_hash(const ExperimentConfig& c,
   if (c.utility_failure_penalty > 0.0) {
     os << "|r.ufp=" << fmt(c.utility_failure_penalty);
   }
+  // Wire-accurate circuit fields: same append-only-when-enabled pattern,
+  // so wire-off configs keep every pre-circuit hash.
+  if (c.wire_cells) {
+    os << "|w.cells=1|w.cs=" << c.cell_size;
+  }
   return fnv1a(os.str());
 }
 

@@ -137,6 +137,18 @@ struct ExperimentConfig {
   // protocols and loaded runs; ACK anti-packets and overload shedding are
   // network-simulator semantics and require traffic (validated).
   recovery::RecoveryConfig recovery;
+
+  // Wire-accurate circuit layer (see src/circuit). Default-off with the
+  // same zero-knob contract as every other layer: the historical one-blob
+  // secure links are used, no circuit.* or sim.wire_* metrics register,
+  // and every export stays byte-identical. When on, unloaded runs
+  // fragment each contact crossing into sealed fixed-size cells (requires
+  // CryptoMode::kReal — validated) and loaded runs charge each transfer
+  // its cell cost against the contact-bandwidth budget.
+  bool wire_cells = false;
+  /// On-the-wire cell size in bytes (wire mode only; validated against
+  /// circuit::kMinCellSize/kMaxCellSize at run() time).
+  std::size_t cell_size = circuit::kDefaultCellSize;
 };
 
 }  // namespace odtn::core

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "adversary/adversary.hpp"
+#include "circuit/cell.hpp"
 #include "core/checkpoint.hpp"
 #include "faults/faults.hpp"
 #include "analysis/anonymity.hpp"
@@ -120,6 +121,8 @@ RunOutcome run_once(const ExperimentConfig& cfg, sim::ContactModel& contacts,
   ctx.codec = &codec;
   ctx.crypto = cfg.crypto;
   ctx.metrics = reg;
+  ctx.wire_cells = cfg.wire_cells;
+  ctx.cell_size = cfg.cell_size;
 
   // Recovery layer (retransmission + suspicion-biased retries). The
   // tracker is run-local: it converges within one message's retries. No
@@ -176,6 +179,14 @@ RunOutcome run_once(const ExperimentConfig& cfg, sim::ContactModel& contacts,
   metrics::counter(reg, "experiment.runs").inc();
   metrics::histogram(reg, "experiment.transmissions")
       .observe(out.transmissions);
+  if (cfg.wire_cells) {
+    // Registered only in wire mode: the zero-knob export carries no
+    // experiment.wire_* entries (byte-identity contract).
+    metrics::histogram(reg, "experiment.wire_cells")
+        .observe(static_cast<double>(result.wire_cells));
+    metrics::histogram(reg, "experiment.wire_bytes")
+        .observe(static_cast<double>(result.wire_bytes));
+  }
   if (result.delivered) {
     out.delivered = true;
     out.delay = result.delay;
@@ -250,6 +261,15 @@ RunOutcome run_loaded(const ExperimentConfig& cfg,
   sim_cfg.bandwidth = cfg.bandwidth;
   sim_cfg.record_paths = onion;  // the anonymity measurement needs paths
   sim_cfg.utility = forwarder ? &*forwarder : nullptr;
+  if (cfg.wire_cells) {
+    // Loaded runs route abstract copies; wire accounting charges every
+    // transfer the number of cells the full onion packet occupies on the
+    // contact, against the (cell-denominated) bandwidth budget.
+    onion::OnionCodec codec;
+    circuit::CellCodec cells(cfg.cell_size);
+    sim_cfg.cells_per_message = cells.cells_for(codec.wire_size());
+    sim_cfg.cell_size = cfg.cell_size;
+  }
 
   // Recovery layer: the per-message retry/jitter sub-streams derive from
   // one seed drawn here — after every other per-run draw, and only when
@@ -580,6 +600,24 @@ void validate_traffic(const ExperimentConfig& cfg, const Scenario& scenario) {
   }
 }
 
+// One-line diagnostics for the wire-accurate circuit layer; the zero-knob
+// default passes untouched.
+void validate_wire(const ExperimentConfig& cfg) {
+  if (!cfg.wire_cells) return;
+  if (cfg.crypto != routing::CryptoMode::kReal) {
+    throw std::invalid_argument(
+        "experiment: --wire-cells fragments real sealed packets; it "
+        "requires CryptoMode::kReal");
+  }
+  if (cfg.cell_size < circuit::kMinCellSize ||
+      cfg.cell_size > circuit::kMaxCellSize) {
+    throw std::invalid_argument(
+        "experiment: --cell-size must be in [" +
+        std::to_string(circuit::kMinCellSize) + ", " +
+        std::to_string(circuit::kMaxCellSize) + "]");
+  }
+}
+
 // Horizon the per-run contact trace must cover: the arrival window plus
 // the longest TTL any flow stamps on a message.
 Time loaded_trace_horizon(const ExperimentConfig& cfg) {
@@ -593,6 +631,7 @@ Time loaded_trace_horizon(const ExperimentConfig& cfg) {
 ExperimentResult Experiment::run(const Scenario& scenario) const {
   validate_backend(config_, scenario);
   validate_traffic(config_, scenario);
+  validate_wire(config_);
   return std::visit(
       [this](const auto& s) -> ExperimentResult {
         using S = std::decay_t<decltype(s)>;

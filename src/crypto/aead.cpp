@@ -1,5 +1,6 @@
 #include "crypto/aead.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "crypto/chacha20.hpp"
@@ -9,56 +10,84 @@ namespace odtn::crypto {
 
 namespace {
 
-util::Bytes poly_key(const util::Bytes& key, const util::Bytes& nonce) {
+void poly_key_into(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> nonce, util::Bytes& out) {
   auto block = chacha20_block(key, nonce, 0);
-  return util::Bytes(block.begin(), block.begin() + 32);
+  out.assign(block.begin(), block.begin() + 32);
 }
 
-util::Bytes mac_input(const util::Bytes& aad, const util::Bytes& ciphertext) {
-  util::Bytes mac_data;
-  mac_data.reserve(aad.size() + ciphertext.size() + 32);
-  util::append(mac_data, aad);
-  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
-  util::append(mac_data, ciphertext);
-  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
-  util::put_u64le(mac_data, aad.size());
-  util::put_u64le(mac_data, ciphertext.size());
-  return mac_data;
+void mac_input_into(std::span<const std::uint8_t> aad,
+                    std::span<const std::uint8_t> ciphertext,
+                    util::Bytes& out) {
+  out.clear();
+  out.reserve(aad.size() + ciphertext.size() + 32);
+  out.insert(out.end(), aad.begin(), aad.end());
+  out.resize((out.size() + 15) / 16 * 16, 0);
+  out.insert(out.end(), ciphertext.begin(), ciphertext.end());
+  out.resize((out.size() + 15) / 16 * 16, 0);
+  util::put_u64le(out, aad.size());
+  util::put_u64le(out, ciphertext.size());
 }
 
 }  // namespace
 
 util::Bytes aead_seal(const util::Bytes& key, const util::Bytes& nonce,
                       const util::Bytes& aad, const util::Bytes& plaintext) {
-  if (key.size() != kAeadKeySize) {
-    throw std::invalid_argument("aead_seal: key must be 32 bytes");
-  }
-  if (nonce.size() != kAeadNonceSize) {
-    throw std::invalid_argument("aead_seal: nonce must be 12 bytes");
-  }
-  util::Bytes ciphertext = chacha20_xor(key, nonce, 1, plaintext);
-  util::Bytes tag = poly1305_tag(poly_key(key, nonce),
-                                 mac_input(aad, ciphertext));
-  util::append(ciphertext, tag);
-  return ciphertext;
+  util::Bytes out;
+  AeadScratch scratch;
+  aead_seal_into(key, nonce, aad, plaintext, out, scratch);
+  return out;
 }
 
 std::optional<util::Bytes> aead_open(const util::Bytes& key,
                                      const util::Bytes& nonce,
                                      const util::Bytes& aad,
                                      const util::Bytes& sealed) {
-  if (key.size() != kAeadKeySize || nonce.size() != kAeadNonceSize) {
+  util::Bytes out;
+  AeadScratch scratch;
+  if (!aead_open_into(key, nonce, aad, sealed, out, scratch)) {
     return std::nullopt;
   }
-  if (sealed.size() < kAeadTagSize) return std::nullopt;
-  util::Bytes ciphertext(sealed.begin(),
-                         sealed.end() - static_cast<long>(kAeadTagSize));
-  util::Bytes tag(sealed.end() - static_cast<long>(kAeadTagSize),
-                  sealed.end());
-  util::Bytes expect = poly1305_tag(poly_key(key, nonce),
-                                    mac_input(aad, ciphertext));
-  if (!util::ct_equal(tag, expect)) return std::nullopt;
-  return chacha20_xor(key, nonce, 1, ciphertext);
+  return out;
+}
+
+void aead_seal_into(std::span<const std::uint8_t> key,
+                    std::span<const std::uint8_t> nonce,
+                    std::span<const std::uint8_t> aad,
+                    std::span<const std::uint8_t> plaintext, util::Bytes& out,
+                    AeadScratch& scratch) {
+  if (key.size() != kAeadKeySize) {
+    throw std::invalid_argument("aead_seal: key must be 32 bytes");
+  }
+  if (nonce.size() != kAeadNonceSize) {
+    throw std::invalid_argument("aead_seal: nonce must be 12 bytes");
+  }
+  chacha20_xor_into(key, nonce, 1, plaintext, out);
+  mac_input_into(aad, out, scratch.mac_data);
+  poly_key_into(key, nonce, scratch.poly_key);
+  poly1305_tag_into(scratch.poly_key, scratch.mac_data, scratch.tag);
+  out.insert(out.end(), scratch.tag.begin(), scratch.tag.end());
+}
+
+bool aead_open_into(std::span<const std::uint8_t> key,
+                    std::span<const std::uint8_t> nonce,
+                    std::span<const std::uint8_t> aad,
+                    std::span<const std::uint8_t> sealed, util::Bytes& out,
+                    AeadScratch& scratch) {
+  if (key.size() != kAeadKeySize || nonce.size() != kAeadNonceSize) {
+    return false;
+  }
+  if (sealed.size() < kAeadTagSize) return false;
+  const auto ciphertext = sealed.first(sealed.size() - kAeadTagSize);
+  const auto tag = sealed.last(kAeadTagSize);
+  mac_input_into(aad, ciphertext, scratch.mac_data);
+  poly_key_into(key, nonce, scratch.poly_key);
+  poly1305_tag_into(scratch.poly_key, scratch.mac_data, scratch.tag);
+  if (!util::ct_equal_span(scratch.tag, tag)) {
+    return false;
+  }
+  chacha20_xor_into(key, nonce, 1, ciphertext, out);
+  return true;
 }
 
 }  // namespace odtn::crypto

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "util/bytes.hpp"
 
@@ -24,5 +25,30 @@ std::optional<util::Bytes> aead_open(const util::Bytes& key,
                                      const util::Bytes& nonce,
                                      const util::Bytes& aad,
                                      const util::Bytes& sealed);
+
+/// Reusable intermediate buffers for the _into variants; one scratch per
+/// sealer/opener makes steady-state AEAD operations allocation-free (the
+/// PR-4 zero-allocation contract).
+struct AeadScratch {
+  util::Bytes mac_data;
+  util::Bytes poly_key;
+  util::Bytes tag;
+};
+
+/// In-place seal: writes ciphertext || tag into `out` (resized, capacity
+/// reused). `out` must not alias the inputs.
+void aead_seal_into(std::span<const std::uint8_t> key,
+                    std::span<const std::uint8_t> nonce,
+                    std::span<const std::uint8_t> aad,
+                    std::span<const std::uint8_t> plaintext, util::Bytes& out,
+                    AeadScratch& scratch);
+
+/// In-place open: writes the plaintext into `out`. Returns false exactly
+/// when aead_open would return nullopt; `out` is unspecified then.
+bool aead_open_into(std::span<const std::uint8_t> key,
+                    std::span<const std::uint8_t> nonce,
+                    std::span<const std::uint8_t> aad,
+                    std::span<const std::uint8_t> sealed, util::Bytes& out,
+                    AeadScratch& scratch);
 
 }  // namespace odtn::crypto

@@ -28,6 +28,13 @@ inline std::uint32_t load_u32le(const std::uint8_t* p) {
 std::array<std::uint8_t, 64> chacha20_block(const util::Bytes& key,
                                             const util::Bytes& nonce,
                                             std::uint32_t counter) {
+  return chacha20_block(std::span<const std::uint8_t>(key),
+                        std::span<const std::uint8_t>(nonce), counter);
+}
+
+std::array<std::uint8_t, 64> chacha20_block(std::span<const std::uint8_t> key,
+                                            std::span<const std::uint8_t> nonce,
+                                            std::uint32_t counter) {
   if (key.size() != kChaChaKeySize) {
     throw std::invalid_argument("chacha20: key must be 32 bytes");
   }
@@ -71,13 +78,22 @@ std::array<std::uint8_t, 64> chacha20_block(const util::Bytes& key,
 util::Bytes chacha20_xor(const util::Bytes& key, const util::Bytes& nonce,
                          std::uint32_t initial_counter,
                          const util::Bytes& data) {
+  util::Bytes out;
+  chacha20_xor_into(key, nonce, initial_counter, data, out);
+  return out;
+}
+
+void chacha20_xor_into(std::span<const std::uint8_t> key,
+                       std::span<const std::uint8_t> nonce,
+                       std::uint32_t initial_counter,
+                       std::span<const std::uint8_t> data, util::Bytes& out) {
   if (key.size() != kChaChaKeySize) {
     throw std::invalid_argument("chacha20: key must be 32 bytes");
   }
   if (nonce.size() != kChaChaNonceSize) {
     throw std::invalid_argument("chacha20: nonce must be 12 bytes");
   }
-  util::Bytes out(data.size());
+  out.resize(data.size());
   std::uint32_t counter = initial_counter;
   std::size_t offset = 0;
   while (offset < data.size()) {
@@ -88,7 +104,6 @@ util::Bytes chacha20_xor(const util::Bytes& key, const util::Bytes& nonce,
     }
     offset += take;
   }
-  return out;
 }
 
 }  // namespace odtn::crypto

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "util/bytes.hpp"
 
@@ -25,5 +26,17 @@ std::array<std::uint8_t, 64> chacha20_block(const util::Bytes& key,
 util::Bytes chacha20_xor(const util::Bytes& key, const util::Bytes& nonce,
                          std::uint32_t initial_counter,
                          const util::Bytes& data);
+
+/// Span-based block function (identical output; no owning-buffer inputs).
+std::array<std::uint8_t, 64> chacha20_block(std::span<const std::uint8_t> key,
+                                            std::span<const std::uint8_t> nonce,
+                                            std::uint32_t counter);
+
+/// In-place variant of chacha20_xor: writes into `out` (resized, capacity
+/// reused), allocation-free in steady state. `out` must not alias `data`.
+void chacha20_xor_into(std::span<const std::uint8_t> key,
+                       std::span<const std::uint8_t> nonce,
+                       std::uint32_t initial_counter,
+                       std::span<const std::uint8_t> data, util::Bytes& out);
 
 }  // namespace odtn::crypto

@@ -22,17 +22,18 @@ util::Bytes Drbg::generate(std::size_t n) {
 
 void Drbg::ratchet(std::size_t output_len, util::Bytes& out) {
   // Stream = next_key (32 bytes) || output (output_len bytes).
-  util::Bytes nonce(kChaChaNonceSize, 0);
+  std::uint8_t nonce[kChaChaNonceSize] = {0};
   for (int i = 0; i < 8; ++i) {
     nonce[i] = static_cast<std::uint8_t>(counter_ >> (8 * i));
   }
   ++counter_;
-  util::Bytes zeros(32 + output_len, 0);
-  util::Bytes stream = chacha20_xor(key_, nonce, 0, zeros);
-  util::Bytes next_key(stream.begin(), stream.begin() + 32);
-  out.assign(stream.begin() + 32, stream.end());
+  zeros_.assign(32 + output_len, 0);
+  chacha20_xor_into(key_, std::span<const std::uint8_t>(nonce), 0, zeros_,
+                    stream_);
+  out.assign(stream_.begin() + 32, stream_.end());
   util::secure_zero(key_);
-  key_ = std::move(next_key);
+  key_.assign(stream_.begin(), stream_.begin() + 32);
+  util::secure_zero(stream_);
 }
 
 }  // namespace odtn::crypto

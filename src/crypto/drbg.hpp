@@ -23,6 +23,11 @@ class Drbg {
   /// Produces `n` pseudo-random bytes and ratchets the internal key.
   util::Bytes generate(std::size_t n);
 
+  /// In-place variant of generate(): writes `n` bytes into `out` (resized,
+  /// capacity reused). Identical output stream; allocation-free in steady
+  /// state (the internal keystream buffers are reused across calls).
+  void generate_into(std::size_t n, util::Bytes& out) { ratchet(n, out); }
+
   /// Produces a 32-byte key.
   util::Bytes generate_key() { return generate(32); }
 
@@ -34,6 +39,8 @@ class Drbg {
 
   util::Bytes key_;        // 32-byte current key
   std::uint64_t counter_ = 0;  // nonce counter (never reused per key)
+  util::Bytes zeros_;      // reusable keystream input/output buffers
+  util::Bytes stream_;
 };
 
 }  // namespace odtn::crypto

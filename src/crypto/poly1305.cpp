@@ -86,7 +86,7 @@ void poly_block(Poly1305State& st, const std::uint8_t* block,
   st.h[0] = h0; st.h[1] = h1; st.h[2] = h2; st.h[3] = h3; st.h[4] = h4;
 }
 
-util::Bytes poly_finish(Poly1305State& st) {
+void poly_finish(Poly1305State& st, std::uint8_t out[16]) {
   std::uint32_t h0 = st.h[0], h1 = st.h[1], h2 = st.h[2], h3 = st.h[3],
                 h4 = st.h[4];
 
@@ -129,20 +129,25 @@ util::Bytes poly_finish(Poly1305State& st) {
   f = (std::uint64_t)h2 + st.pad[2] + (f >> 32); h2 = (std::uint32_t)f;
   f = (std::uint64_t)h3 + st.pad[3] + (f >> 32); h3 = (std::uint32_t)f;
 
-  util::Bytes tag(kPolyTagSize);
   std::uint32_t words[4] = {h0, h1, h2, h3};
   for (int i = 0; i < 4; ++i) {
-    tag[4 * i] = static_cast<std::uint8_t>(words[i]);
-    tag[4 * i + 1] = static_cast<std::uint8_t>(words[i] >> 8);
-    tag[4 * i + 2] = static_cast<std::uint8_t>(words[i] >> 16);
-    tag[4 * i + 3] = static_cast<std::uint8_t>(words[i] >> 24);
+    out[4 * i] = static_cast<std::uint8_t>(words[i]);
+    out[4 * i + 1] = static_cast<std::uint8_t>(words[i] >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(words[i] >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(words[i] >> 24);
   }
-  return tag;
 }
 
 }  // namespace
 
 util::Bytes poly1305_tag(const util::Bytes& key, const util::Bytes& data) {
+  util::Bytes tag;
+  poly1305_tag_into(key, data, tag);
+  return tag;
+}
+
+void poly1305_tag_into(std::span<const std::uint8_t> key,
+                       std::span<const std::uint8_t> data, util::Bytes& out) {
   if (key.size() != kPolyKeySize) {
     throw std::invalid_argument("poly1305: key must be 32 bytes");
   }
@@ -161,7 +166,8 @@ util::Bytes poly1305_tag(const util::Bytes& key, const util::Bytes& data) {
     last[rem] = 1;
     poly_block(st, last, 0);
   }
-  return poly_finish(st);
+  out.resize(kPolyTagSize);
+  poly_finish(st, out.data());
 }
 
 }  // namespace odtn::crypto

@@ -5,6 +5,8 @@
 // a layer.
 #pragma once
 
+#include <span>
+
 #include "util/bytes.hpp"
 
 namespace odtn::crypto {
@@ -14,5 +16,10 @@ constexpr std::size_t kPolyTagSize = 16;
 
 /// Computes the 16-byte Poly1305 tag of `data` under a 32-byte one-time key.
 util::Bytes poly1305_tag(const util::Bytes& key, const util::Bytes& data);
+
+/// In-place variant: writes the tag into `out` (resized to 16 bytes,
+/// capacity reused), allocation-free in steady state.
+void poly1305_tag_into(std::span<const std::uint8_t> key,
+                       std::span<const std::uint8_t> data, util::Bytes& out);
 
 }  // namespace odtn::crypto

@@ -195,4 +195,55 @@ std::optional<Peeled> OnionCodec::peel(const util::Bytes& wire,
   return std::nullopt;
 }
 
+std::optional<PeeledView> OnionCodec::peel_view(const util::Bytes& wire,
+                                                const util::Bytes& key,
+                                                crypto::Drbg& drbg,
+                                                PeelScratch& scratch) const {
+  if (wire.size() != wire_size_) return std::nullopt;
+
+  const std::span<const std::uint8_t> wire_span(wire);
+  for (std::size_t layers = config_.max_layers + 1; layers-- > 0;) {
+    std::size_t frag_len = fragment_size(layers);
+    if (frag_len > wire.size()) continue;
+    auto nonce = wire_span.first(crypto::kAeadNonceSize);
+    auto sealed = wire_span.subspan(crypto::kAeadNonceSize,
+                                    frag_len - crypto::kAeadNonceSize);
+    if (!crypto::aead_open_into(key, nonce, onion_aad(), sealed, scratch.plain,
+                                scratch.aead)) {
+      continue;
+    }
+
+    auto header = parse_header(scratch.plain);
+    if (!header.has_value()) return std::nullopt;
+    if (kHeaderSize + header->len > scratch.plain.size()) return std::nullopt;
+
+    PeeledView result;
+    switch (static_cast<Peeled::Type>(header->type)) {
+      case Peeled::Type::kFinal: {
+        result.type = Peeled::Type::kFinal;
+        result.payload = std::span<const std::uint8_t>(scratch.plain)
+                             .subspan(kHeaderSize, header->len);
+        return result;
+      }
+      case Peeled::Type::kDeliver:
+      case Peeled::Type::kDeliverGroup:
+      case Peeled::Type::kRelay: {
+        result.type = static_cast<Peeled::Type>(header->type);
+        result.next_group = header->next_group;
+        result.dest = header->dest;
+        scratch.next.assign(scratch.plain.begin() + kHeaderSize,
+                            scratch.plain.begin() + kHeaderSize + header->len);
+        drbg.generate_into(wire_size_ - scratch.next.size(), scratch.pad);
+        scratch.next.insert(scratch.next.end(), scratch.pad.begin(),
+                            scratch.pad.end());
+        result.next_wire = std::span<const std::uint8_t>(scratch.next);
+        return result;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace odtn::onion

@@ -25,8 +25,10 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "crypto/aead.hpp"
 #include "crypto/drbg.hpp"
 #include "groups/key_manager.hpp"
 #include "util/bytes.hpp"
@@ -61,6 +63,25 @@ struct Peeled {
   util::Bytes next_wire;               // kRelay/kDeliver: padded packet to pass on
 };
 
+/// Reusable buffers for peel_view(); one scratch per peeler makes
+/// steady-state peeling allocation-free (the PR-4 zero-allocation contract).
+struct PeelScratch {
+  util::Bytes plain;  // decrypted layer (header || inner fragment)
+  util::Bytes next;   // re-padded next wire packet
+  util::Bytes pad;    // fresh random padding
+  crypto::AeadScratch aead;
+};
+
+/// Zero-copy result of peel_view(): the spans point into the PeelScratch
+/// passed to the call and are valid until its next use.
+struct PeeledView {
+  Peeled::Type type;
+  GroupId next_group = kInvalidGroup;        // kRelay/kDeliverGroup only
+  NodeId dest = kInvalidNode;                // kDeliver only
+  std::span<const std::uint8_t> payload;     // kFinal only
+  std::span<const std::uint8_t> next_wire;   // kRelay/kDeliver/kDeliverGroup
+};
+
 class OnionCodec {
  public:
   explicit OnionCodec(OnionConfig config = {});
@@ -90,6 +111,15 @@ class OnionCodec {
   /// the layer's group. Re-pads `next_wire` with fresh random bytes.
   std::optional<Peeled> peel(const util::Bytes& wire, const util::Bytes& key,
                              crypto::Drbg& drbg) const;
+
+  /// Allocation-free variant of peel(): all intermediate buffers live in
+  /// `scratch` and the returned view borrows from it. Draws the DRBG
+  /// identically to peel() (one padding draw on relay-type success, none on
+  /// failure or final delivery), so the two are interchangeable bit-for-bit.
+  std::optional<PeeledView> peel_view(const util::Bytes& wire,
+                                      const util::Bytes& key,
+                                      crypto::Drbg& drbg,
+                                      PeelScratch& scratch) const;
 
   /// Fragment length of a packet with `layers_remaining` wraps above the
   /// final layer (exposed for tests).

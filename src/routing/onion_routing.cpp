@@ -5,7 +5,6 @@
 #include <stdexcept>
 #include <unordered_set>
 
-#include "crypto/aead.hpp"
 #include "faults/faults.hpp"
 #include "recovery/recovery.hpp"
 
@@ -13,27 +12,31 @@ namespace odtn::routing {
 
 namespace {
 
-// Per-copy crypto state and helpers, shared by both protocols.
-struct CryptoState {
-  bool enabled = false;
-  const OnionContext* ctx = nullptr;
-  crypto::Drbg drbg{std::uint64_t{0}};
-  bool ok = true;  // all link/peel operations succeeded so far
-};
+using circuit::CircuitId;
+using circuit::CircuitManager;
+using Expect = circuit::CircuitManager::Expect;
 
-// Models the "secure link" of Algorithms 1-2: the wire packet crosses the
-// contact encrypted under the pair's ECDH session key.
-util::Bytes cross_secure_link(CryptoState& cs, NodeId sender, NodeId receiver,
-                              const util::Bytes& wire) {
-  const util::Bytes& sk = cs.ctx->keys->session_key(sender, receiver);
-  util::Bytes nonce = cs.drbg.generate_nonce();
-  util::Bytes sealed = crypto::aead_seal(sk, nonce, {}, wire);
-  auto opened = crypto::aead_open(sk, nonce, {}, sealed);
-  if (!opened.has_value()) {
-    cs.ok = false;
-    return wire;
-  }
-  return *opened;
+// All cryptographic work — onion build, secure-link crossings, layer peels,
+// cell framing — lives in circuit::CircuitManager; the protocols below are
+// pure forwarding policies deciding *when* and *between whom* the manager's
+// wire operations happen.
+circuit::CircuitContext circuit_context(const OnionContext& ctx) {
+  circuit::CircuitContext cc;
+  cc.keys = ctx.keys;
+  cc.codec = ctx.codec;
+  cc.crypto = (ctx.crypto == CryptoMode::kReal);
+  cc.metrics = ctx.metrics;
+  cc.wire = ctx.wire_cells;
+  cc.cell_size = ctx.cell_size;
+  cc.tap = ctx.cell_tap;
+  return cc;
+}
+
+// Placeholder key for CryptoMode::kNone: the manager returns before touching
+// it, and the historical code path never resolved key material either.
+const util::Bytes& empty_key() {
+  static const util::Bytes k;
+  return k;
 }
 
 // One copy of the message in flight.
@@ -47,8 +50,7 @@ struct Walker {
   std::size_t gen = 0;
   Time arrival = 0.0;        // when the current holder received the copy
   std::vector<NodeId> path;  // relays visited (r_1..)
-  util::Bytes wire;          // current onion packet (kReal mode)
-  bool crypto_ok = true;
+  CircuitId circ = 0;        // this copy's circuit in the manager
   bool delivered = false;
   bool lost = false;      // copy destroyed by a fault (crash or blackhole)
   Time retry_from = 0.0;  // after a failed transfer, re-query from here
@@ -62,10 +64,9 @@ struct Walker {
 };
 
 // Observability handles shared by both protocols; inert when reg is null.
+// (The peel counters moved into CircuitManager with the peels themselves.)
 struct RoutingMetrics {
   metrics::CounterHandle forwards;
-  metrics::CounterHandle peels;
-  metrics::CounterHandle peel_failures;
   metrics::CounterHandle tickets;
   metrics::CounterHandle deliveries;
   metrics::HistogramHandle hop_delay;
@@ -73,8 +74,6 @@ struct RoutingMetrics {
   static RoutingMetrics resolve(metrics::Registry* reg) {
     RoutingMetrics rm;
     rm.forwards = metrics::counter(reg, "routing.forwards");
-    rm.peels = metrics::counter(reg, "routing.peels");
-    rm.peel_failures = metrics::counter(reg, "routing.peel_failures");
     rm.tickets = metrics::counter(reg, "routing.tickets_spent");
     rm.deliveries = metrics::counter(reg, "routing.deliveries");
     rm.hop_delay = metrics::histogram(reg, "routing.hop_delay");
@@ -177,11 +176,12 @@ DeliveryResult SingleCopyOnionRouting::route(
   const bool group_mode = spec.destination_group_delivery;
   const GroupId dst_group = group_mode ? dir.group_of(spec.dst) : kInvalidGroup;
 
-  CryptoState cs;
-  cs.enabled = (ctx_.crypto == CryptoMode::kReal);
-  cs.ctx = &ctx_;
-  util::Bytes wire;
-  if (cs.enabled) cs.drbg = crypto::Drbg(rng.next());
+  // kReal: one rng draw here (the DRBG-seed position); kNone: none.
+  CircuitManager cm(circuit_context(ctx_), rng);
+  auto key_for = [&](GroupId g) -> const util::Bytes& {
+    return cm.crypto_enabled() ? ctx_.keys->group_key(g) : empty_key();
+  };
+  CircuitId circ = 0;
 
   const Time deadline = spec.start + spec.ttl;
   NodeId holder = spec.src;
@@ -231,18 +231,16 @@ DeliveryResult SingleCopyOnionRouting::route(
     }
   };
 
-  // One end-to-end copy: re-onions `groups` (when crypto is on) and walks
-  // it from the source starting at `from`, bounded by `horizon`. Returns
-  // true iff the destination received the copy; a false return leaves
-  // `result` holding the partial path (cost counters always accumulate).
+  // One end-to-end copy: opens a fresh circuit over `groups` (re-onioning
+  // when crypto is on) and walks it from the source starting at `from`,
+  // bounded by `horizon`. Returns true iff the destination received the
+  // copy; a false return leaves `result` holding the partial path (cost
+  // counters always accumulate) and the circuit truncated.
   auto attempt = [&](const std::vector<GroupId>& groups, Time from) -> bool {
     holder = spec.src;
     now = from;
     hold_since = from;
-    if (cs.enabled) {
-      wire = ctx_.codec->build(spec.payload, spec.dst, groups, *ctx_.keys,
-                               cs.drbg, dst_group);
-    }
+    circ = cm.open(spec.payload, spec.dst, groups, dst_group);
 
     // Relay phase: hops through R_1..R_K.
     for (std::size_t hop = 0; hop < k; ++hop) {
@@ -260,29 +258,14 @@ DeliveryResult SingleCopyOnionRouting::route(
       ++result.transmissions;
       rm.forwards.inc();
 
-      if (cs.enabled) {
-        util::Bytes received = cross_secure_link(cs, holder, receiver, wire);
-        rm.peels.inc();
-        auto peeled = ctx_.codec->peel(
-            received, ctx_.keys->group_key(groups[hop]), cs.drbg);
-        bool last = (hop + 1 == k);
-        bool expected =
-            peeled.has_value() &&
-            ((!last && peeled->type == onion::Peeled::Type::kRelay &&
-              peeled->next_group == groups[hop + 1]) ||
-             (last && !group_mode &&
-              peeled->type == onion::Peeled::Type::kDeliver &&
-              peeled->dest == spec.dst) ||
-             (last && group_mode &&
-              peeled->type == onion::Peeled::Type::kRelay &&
-              peeled->next_group == dst_group));
-        if (!expected) {
-          cs.ok = false;
-          rm.peel_failures.inc();
-        } else {
-          wire = std::move(peeled->next_wire);
-        }
-      }
+      // Peel at the receiver; the layer must name the hop we expect next.
+      // A mismatch taints the circuit but the walk continues (the policy
+      // cannot detect the failure — there is no in-band error channel).
+      const bool last = (hop + 1 == k);
+      const Expect expect = !last ? Expect::relay_to(groups[hop + 1])
+                            : group_mode ? Expect::relay_to(dst_group)
+                                         : Expect::deliver_to(spec.dst);
+      cm.extend(circ, holder, receiver, key_for(groups[hop]), expect);
 
       result.relay_path.push_back(receiver);
       result.relays_per_hop[hop].push_back(receiver);
@@ -304,17 +287,7 @@ DeliveryResult SingleCopyOnionRouting::route(
       now = contact->time;
       ++result.transmissions;
       rm.forwards.inc();
-      if (cs.enabled) {
-        util::Bytes received = cross_secure_link(cs, holder, spec.dst, wire);
-        rm.peels.inc();
-        auto final_layer =
-            ctx_.codec->peel(received, ctx_.keys->inbox_key(spec.dst), cs.drbg);
-        bool final_ok = final_layer.has_value() &&
-                        final_layer->type == onion::Peeled::Type::kFinal &&
-                        final_layer->payload == spec.payload;
-        if (!final_ok) rm.peel_failures.inc();
-        cs.ok = cs.ok && final_ok;
-      }
+      cm.deliver(circ, holder, spec.dst, spec.payload);
     } else {
       // Destination-group phase: the R_K relay hands the onion to *any*
       // member of the destination's group; the packet then walks the group
@@ -337,34 +310,14 @@ DeliveryResult SingleCopyOnionRouting::route(
         rm.forwards.inc();
         if (group_layer_peeled) ++result.intra_group_hops;
 
-        if (cs.enabled) {
-          util::Bytes received = cross_secure_link(cs, holder, receiver, wire);
-          if (!group_layer_peeled) {
-            rm.peels.inc();
-            auto peeled =
-                ctx_.codec->peel(received, ctx_.keys->group_key(dst_group),
-                                 cs.drbg);
-            if (!peeled.has_value() ||
-                peeled->type != onion::Peeled::Type::kDeliverGroup ||
-                peeled->next_group != dst_group) {
-              cs.ok = false;
-              rm.peel_failures.inc();
-            } else {
-              wire = std::move(peeled->next_wire);
-            }
-          } else {
-            wire = std::move(received);
-          }
-          if (receiver == spec.dst) {
-            rm.peels.inc();
-            auto final_layer = ctx_.codec->peel(
-                wire, ctx_.keys->inbox_key(spec.dst), cs.drbg);
-            bool final_ok = final_layer.has_value() &&
-                            final_layer->type == onion::Peeled::Type::kFinal &&
-                            final_layer->payload == spec.payload;
-            if (!final_ok) rm.peel_failures.inc();
-            cs.ok = cs.ok && final_ok;
-          }
+        if (!group_layer_peeled) {
+          cm.extend(circ, holder, receiver, key_for(dst_group),
+                    Expect::deliver_group(dst_group));
+        } else {
+          cm.send(circ, holder, receiver);
+        }
+        if (receiver == spec.dst) {
+          cm.deliver_local(circ, spec.dst, spec.payload);
         }
         group_layer_peeled = true;
         visited.insert(receiver);
@@ -398,13 +351,14 @@ DeliveryResult SingleCopyOnionRouting::route(
     if (attempt(*groups, attempt_start)) {
       result.delivered = true;
       result.delay = now - spec.start;
-      result.crypto_verified = cs.enabled && cs.ok;
+      result.crypto_verified = cm.verified(circ);
       rm.deliveries.inc();
       if (ctx_.suspicion != nullptr && rc != nullptr) {
         for (GroupId g : *groups) ctx_.suspicion->record(g, true);
       }
       break;
     }
+    cm.truncate(circ);  // the attempt's copy is gone (timeout or fault)
     if (final_attempt || horizon >= deadline) break;  // out of time budget
     // Timed out: the source assumes the copy is lost (there is no ACK
     // channel in the abstract model), suspects this attempt's groups, and
@@ -420,6 +374,8 @@ DeliveryResult SingleCopyOnionRouting::route(
     attempt_start = horizon;
     base_interval *= rc->retx_backoff;
   }
+  result.wire_cells = cm.wire_cells();
+  result.wire_bytes = cm.wire_bytes();
   return result;
 }
 
@@ -456,15 +412,11 @@ DeliveryResult MultiCopyOnionRouting::route(
                             : dir.select_relay_groups(spec.src, spec.dst, k, rng);
   result.relays_per_hop.assign(k, {});
 
-  CryptoState cs;
-  cs.enabled = (ctx_.crypto == CryptoMode::kReal);
-  cs.ctx = &ctx_;
-  util::Bytes original_wire;
-  if (cs.enabled) {
-    cs.drbg = crypto::Drbg(rng.next());
-    original_wire = ctx_.codec->build(spec.payload, spec.dst,
-                                      result.relay_groups, *ctx_.keys, cs.drbg);
-  }
+  // kReal: one rng draw here (the DRBG-seed position); kNone: none.
+  CircuitManager cm(circuit_context(ctx_), rng);
+  auto key_for = [&](GroupId g) -> const util::Bytes& {
+    return cm.crypto_enabled() ? ctx_.keys->group_key(g) : empty_key();
+  };
 
   const Time deadline = spec.start + spec.ttl;
   Time now = spec.start;
@@ -475,13 +427,15 @@ DeliveryResult MultiCopyOnionRouting::route(
   Time source_since = spec.start;  // crash window start for the source
 
   // Retransmission generations: gens[g] are the relay groups generation g
-  // follows, gen_wires[g] its onion packet. Generation 0 is the original
+  // follows, gen_circuits[g] the template circuit holding its built onion
+  // (sprayed copies are clones of it). Generation 0 is the original
   // (analysis-shared, never biased) selection; the source sprays the
   // newest generation, and copies of old generations keep racing.
   const recovery::RecoveryConfig* rc = retx_config(ctx_);
   metrics::CounterHandle m_retx;
   std::vector<std::vector<GroupId>> gens = {result.relay_groups};
-  std::vector<util::Bytes> gen_wires = {std::move(original_wire)};
+  std::vector<CircuitId> gen_circuits = {
+      cm.open(spec.payload, spec.dst, gens[0])};
   std::size_t cur_gen = 0;
   double base_interval = 0.0;
   Time next_retx = kTimeInfinity;
@@ -511,7 +465,7 @@ DeliveryResult MultiCopyOnionRouting::route(
     w.holder = spec.src;
     w.hop = 0;
     w.arrival = spec.start;
-    w.wire = gen_wires[0];
+    w.circ = cm.clone(gen_circuits[0]);
     walkers.push_back(std::move(w));
   }
 
@@ -611,11 +565,7 @@ DeliveryResult MultiCopyOnionRouting::route(
       }
       gens.push_back(retry_groups_for(ctx_, dir, spec.src, spec.dst, k, rng));
       cur_gen = gens.size() - 1;
-      gen_wires.emplace_back();
-      if (cs.enabled) {
-        gen_wires.back() = ctx_.codec->build(spec.payload, spec.dst,
-                                             gens[cur_gen], *ctx_.keys, cs.drbg);
-      }
+      gen_circuits.push_back(cm.open(spec.payload, spec.dst, gens[cur_gen]));
       source_tickets = (mode_ == SprayMode::kSprayAndWait) ? l - 1 : l;
       source_active = source_tickets > 0;
       source_since = now;  // a reboot regenerates the message at the app layer
@@ -625,7 +575,7 @@ DeliveryResult MultiCopyOnionRouting::route(
         w.hop = 0;
         w.gen = cur_gen;
         w.arrival = now;
-        w.wire = gen_wires[cur_gen];
+        w.circ = cm.clone(gen_circuits[cur_gen]);
         walkers.push_back(std::move(w));
       }
       ++result.retransmissions;
@@ -675,35 +625,27 @@ DeliveryResult MultiCopyOnionRouting::route(
       w.holder = best->receiver;
       w.gen = cur_gen;
       w.arrival = now;
-      w.wire = gen_wires[cur_gen];
+      w.circ = cm.clone(gen_circuits[cur_gen]);
       if (mode_ == SprayMode::kDirectToFirstGroup) {
-        // Receiver is a member of R_1 and peels layer 1 immediately.
-        if (cs.enabled) {
-          util::Bytes received = cross_secure_link(cs, spec.src,
-                                                   best->receiver,
-                                                   gen_wires[cur_gen]);
-          rm.peels.inc();
-          auto peeled = ctx_.codec->peel(
-              received, ctx_.keys->group_key(gens[cur_gen][0]), cs.drbg);
-          w.crypto_ok = peeled.has_value();
-          if (!peeled.has_value()) rm.peel_failures.inc();
-          if (peeled.has_value()) w.wire = std::move(peeled->next_wire);
-        }
+        // Receiver is a member of R_1 and peels layer 1 immediately. A
+        // sprayed copy's peer cannot predict the layer type it holds, so
+        // any layer that opens is accepted (Expect::any, as the legacy
+        // protocol checked only that the peel succeeded).
+        cm.extend(w.circ, spec.src, best->receiver,
+                  key_for(gens[cur_gen][0]), Expect::any());
         w.hop = 1;
         w.path.push_back(best->receiver);
         result.relays_per_hop[0].push_back(best->receiver);
       } else {
         // Receiver is a plain carrier; it cannot peel anything.
-        if (cs.enabled) {
-          w.wire = cross_secure_link(cs, spec.src, best->receiver,
-                                     gen_wires[cur_gen]);
-        }
+        cm.send(w.circ, spec.src, best->receiver);
         w.hop = 0;
       }
       if (fp != nullptr && fp->is_blackhole(best->receiver)) {
         // The receiver banks the copy forever: the ticket is spent and the
         // peer counts as holding m, but no live walker results.
         fm.blackhole_absorbed.inc();
+        cm.truncate(w.circ);
         w.lost = true;
       }
       walkers.push_back(std::move(w));
@@ -716,6 +658,7 @@ DeliveryResult MultiCopyOnionRouting::route(
     if (fp != nullptr) {
       if (fp->crashed_in(w.holder, w.arrival, now)) {
         fm.lost_to_crash.inc();
+        cm.truncate(w.circ);
         w.lost = true;  // the holder's buffered copy died in the crash
         continue;
       }
@@ -736,30 +679,9 @@ DeliveryResult MultiCopyOnionRouting::route(
     seen.insert(receiver);
     ++seen_version;
 
-    if (cs.enabled) {
-      util::Bytes received = cross_secure_link(cs, w.holder, receiver, w.wire);
-      rm.peels.inc();
-      if (w.hop < k) {
-        auto peeled = ctx_.codec->peel(
-            received, ctx_.keys->group_key(gens[w.gen][w.hop]), cs.drbg);
-        if (!peeled.has_value()) {
-          w.crypto_ok = false;
-          rm.peel_failures.inc();
-        } else {
-          w.wire = std::move(peeled->next_wire);
-        }
-      } else {
-        auto final_layer =
-            ctx_.codec->peel(received, ctx_.keys->inbox_key(spec.dst), cs.drbg);
-        bool final_ok = final_layer.has_value() &&
-                        final_layer->type == onion::Peeled::Type::kFinal &&
-                        final_layer->payload == spec.payload;
-        if (!final_ok) rm.peel_failures.inc();
-        w.crypto_ok = w.crypto_ok && final_ok;
-      }
-    }
-
     if (w.hop < k) {
+      cm.extend(w.circ, w.holder, receiver, key_for(gens[w.gen][w.hop]),
+                Expect::any());
       w.path.push_back(receiver);
       result.relays_per_hop[w.hop].push_back(receiver);
       w.holder = receiver;
@@ -767,17 +689,19 @@ DeliveryResult MultiCopyOnionRouting::route(
       ++w.hop;
       if (fp != nullptr && fp->is_blackhole(receiver)) {
         fm.blackhole_absorbed.inc();
+        cm.truncate(w.circ);
         w.lost = true;  // relay accepts the copy but never forwards it
       }
     } else {
       // Delivered to dst.
+      cm.deliver(w.circ, w.holder, spec.dst, spec.payload);
       w.delivered = true;
       rm.deliveries.inc();
       if (!result.delivered) {
         result.delivered = true;
         result.delay = now - spec.start;
         result.relay_path = w.path;
-        result.crypto_verified = cs.enabled && cs.ok && w.crypto_ok;
+        result.crypto_verified = cm.verified(w.circ);
         if (ctx_.suspicion != nullptr && rc != nullptr) {
           // The delivering generation's groups are exonerated.
           for (GroupId g : gens[w.gen]) ctx_.suspicion->record(g, true);
@@ -786,6 +710,8 @@ DeliveryResult MultiCopyOnionRouting::route(
     }
   }
 
+  result.wire_cells = cm.wire_cells();
+  result.wire_bytes = cm.wire_bytes();
   return result;
 }
 

@@ -16,6 +16,7 @@
 // ticket).
 #pragma once
 
+#include "circuit/circuit_manager.hpp"
 #include "crypto/drbg.hpp"
 #include "groups/group_directory.hpp"
 #include "groups/key_manager.hpp"
@@ -72,6 +73,14 @@ struct OnionContext {
   /// across a run's messages so later flows avoid groups earlier flows
   /// timed out on. Null = unbiased retries even when recovery is on.
   recovery::SuspicionTracker* suspicion = nullptr;
+  /// Wire-accurate mode (see src/circuit): every contact crossing is
+  /// fragmented into fixed-size AEAD cells, accounted in
+  /// DeliveryResult::wire_cells/wire_bytes and observable through
+  /// `cell_tap`. Requires CryptoMode::kReal; off = the historical
+  /// one-blob secure link, byte-identical to builds without the layer.
+  bool wire_cells = false;
+  std::size_t cell_size = circuit::kDefaultCellSize;
+  circuit::CellTap cell_tap{};
 };
 
 class SingleCopyOnionRouting {

@@ -1,6 +1,7 @@
 // Shared routing types: message specification and delivery outcome.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "util/bytes.hpp"
@@ -67,6 +68,11 @@ struct DeliveryResult {
   /// re-onions the message through freshly sampled relay groups). Zero
   /// when the recovery layer is off.
   std::size_t retransmissions = 0;
+  /// Wire-accurate mode only: sealed fixed-size cells (and their total
+  /// bytes) that crossed contacts for this message, across all copies and
+  /// retransmissions. Zero when wire mode is off.
+  std::uint64_t wire_cells = 0;
+  std::uint64_t wire_bytes = 0;
 };
 
 }  // namespace odtn::routing

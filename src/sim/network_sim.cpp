@@ -92,10 +92,14 @@ struct Engine {
   std::vector<std::set<std::size_t>> holdings;  // node -> copy ids
   std::vector<std::size_t> load;                // node -> buffered items
 
-  // Scheduled drainage (bandwidth / priorities / utility forwarder); when
-  // false the engine runs the exact legacy per-direction loops.
+  // Scheduled drainage (bandwidth / priorities / utility forwarder / wire
+  // cells); when false the engine runs the exact legacy per-direction
+  // loops.
   bool scheduled = false;
   routing::UtilityForwarder* utility = nullptr;
+  // Budget units one executed transfer consumes: 1 on the legacy path,
+  // cells_per_message in wire mode (the budget is then cell-denominated).
+  std::size_t cell_cost = 1;
 
   // Recovery layer (null = off; every recovery branch below is guarded on
   // this pointer so the zero-knob path is byte-identical to pre-recovery
@@ -155,6 +159,9 @@ struct Engine {
   metrics::HistogramHandle m_contact_capacity;
   // Recovery accounting (resolved only when the recovery layer is
   // enabled — same byte-identity contract again).
+  // Wire accounting (resolved only in wire mode — same contract).
+  metrics::CounterHandle m_wire_cells;
+  metrics::CounterHandle m_wire_bytes;
   metrics::CounterHandle m_retransmits;
   metrics::HistogramHandle m_ack_delay;
   metrics::CounterHandle m_shed;
@@ -796,7 +803,9 @@ struct Engine {
   // and eligible candidates past the budget are deferred to a later
   // contact (that wait is "sim.queue_wait"). With a uniform priority
   // class and an unlimited budget this executes the identical transfer
-  // sequence as the two legacy transfer_direction passes.
+  // sequence as the two legacy transfer_direction passes. In wire mode
+  // each executed transfer spends cell_cost budget units (the budget is
+  // cell-denominated) and lands in the sim.wire_* accounting.
   void transfer_scheduled(NodeId a, NodeId b, Time t, std::size_t budget) {
     faults::FaultPlan* fp = config->faults;
     cand_scratch.clear();
@@ -838,7 +847,10 @@ struct Engine {
           : c.kind == 0      ? token_eligible(c.id, c.sender, c.receiver, t)
                              : copy_eligible(c.id, c.sender, c.receiver, t);
       if (!eligible) continue;
-      if (executed >= budget) {
+      // Budget check in cost units (cells in wire mode, transfers
+      // otherwise); at cell_cost == 1 this is the legacy
+      // `executed >= budget`.
+      if (executed + cell_cost > budget) {
         // Out of bandwidth: the item starts (or continues) queueing.
         saturated = true;
         ++report.queue_deferred;
@@ -852,7 +864,15 @@ struct Engine {
           utility != nullptr ? attempt_ucopy(c.id, c.sender, c.receiver, t)
           : c.kind == 0      ? attempt_token(c.id, c.sender, c.receiver, t)
                              : attempt_copy(c.id, c.sender, c.receiver, t);
-      if (done) ++executed;
+      if (done) {
+        executed += cell_cost;
+        if (config->cells_per_message > 0) {
+          report.wire_cells += config->cells_per_message;
+          report.wire_bytes += config->cells_per_message * config->cell_size;
+          m_wire_cells.inc(config->cells_per_message);
+          m_wire_bytes.inc(config->cells_per_message * config->cell_size);
+        }
+      }
     }
     if (executed > report.max_contact_transfers) {
       report.max_contact_transfers = executed;
@@ -869,9 +889,11 @@ struct Engine {
   NetworkSimReport run(util::Rng& rng) {
     utility = config->utility;
     const bool bandwidth_on = config->bandwidth.enabled();
+    const bool wire_on = config->cells_per_message > 0;
+    if (wire_on) cell_cost = config->cells_per_message;
     bool priorities_on = false;
     for (std::uint8_t p : priorities) priorities_on |= (p != 0);
-    scheduled = bandwidth_on || priorities_on || utility != nullptr;
+    scheduled = bandwidth_on || priorities_on || utility != nullptr || wire_on;
     rec = (config->recovery != nullptr && config->recovery->enabled())
               ? config->recovery
               : nullptr;
@@ -903,6 +925,11 @@ struct Engine {
       m_queue_wait = metrics::histogram(reg, "sim.queue_wait");
       if (bandwidth_on) {
         m_contact_capacity = metrics::histogram(reg, "sim.contact_capacity");
+      }
+      if (wire_on) {
+        // And once more: the wire-off export carries no sim.wire_* entries.
+        m_wire_cells = metrics::counter(reg, "sim.wire_cells");
+        m_wire_bytes = metrics::counter(reg, "sim.wire_bytes");
       }
     }
     if (rec != nullptr) {
@@ -1063,6 +1090,10 @@ NetworkSimReport run_network_sim(const trace::ContactTrace& trace,
   if (!priorities.empty() && priorities.size() != messages.size()) {
     throw std::invalid_argument(
         "run_network_sim: priorities must be empty or parallel to messages");
+  }
+  if (config.cells_per_message > 0 && config.cell_size == 0) {
+    throw std::invalid_argument(
+        "run_network_sim: wire mode needs cell_size > 0");
   }
   config.bandwidth.validate();
   if (config.recovery != nullptr) {

@@ -28,6 +28,7 @@
 // and RNG draw order are byte-identical to builds before the load layer.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "groups/group_directory.hpp"
@@ -136,6 +137,18 @@ struct NetworkSimConfig {
   /// inspect it); when null and suspicion_alpha > 0 the engine keeps a
   /// run-local tracker.
   recovery::SuspicionTracker* suspicion = nullptr;
+  /// Wire-accurate accounting (src/circuit): each executed transfer
+  /// crosses its contact as this many fixed-size cells, and the shared
+  /// bandwidth budget is denominated in cells instead of messages. 0 =
+  /// off, the historical one-unit transfer (at cost 1 and any budget the
+  /// executed transfer sequence is unchanged — the engine checks
+  /// `spent + cost > budget` which degenerates to the legacy
+  /// `executed >= budget`). > 0 forces scheduled drainage so the cost can
+  /// charge against the budget; "sim.wire_cells"/"sim.wire_bytes" register
+  /// only then (byte-identity contract).
+  std::size_t cells_per_message = 0;
+  /// Bytes per cell, for the wire-bytes accounting (wire mode only).
+  std::size_t cell_size = 0;
 };
 
 /// Messages share the routing-layer parameter block (src, dst, start, ttl,
@@ -190,8 +203,9 @@ struct NetworkSimReport {
   std::size_t queue_deferred = 0;
   /// Contacts whose budget ran out with eligible transfers still waiting.
   std::size_t contacts_saturated = 0;
-  /// Largest number of transfers any single contact carried (the
-  /// bandwidth-cap conservation invariant: <= the per-contact budget).
+  /// Largest budget spend any single contact carried (the bandwidth-cap
+  /// conservation invariant: <= the per-contact budget). Denominated in
+  /// transfers on the legacy path, in cells in wire mode.
   std::size_t max_contact_transfers = 0;
   // Recovery accounting (all zero when NetworkSimConfig::recovery is null
   // or disabled).
@@ -207,6 +221,11 @@ struct NetworkSimReport {
   std::size_t shed_messages = 0;
   /// Suspicion-tracker threshold crossings during this run.
   std::size_t suspicion_flips = 0;
+  // Wire accounting (all zero when NetworkSimConfig::cells_per_message
+  // is 0).
+  /// Sealed fixed-size cells that crossed contacts, and their total bytes.
+  std::uint64_t wire_cells = 0;
+  std::uint64_t wire_bytes = 0;
 
   double delivery_rate() const;
   double mean_delay() const;  // over delivered messages

@@ -50,6 +50,11 @@ std::string to_string(const Bytes& data) {
 }
 
 bool ct_equal(const Bytes& a, const Bytes& b) {
+  return ct_equal_span(a, b);
+}
+
+bool ct_equal_span(std::span<const std::uint8_t> a,
+                   std::span<const std::uint8_t> b) {
   if (a.size() != b.size()) return false;
   std::uint8_t diff = 0;
   for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];

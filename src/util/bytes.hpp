@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,6 +30,8 @@ std::string to_string(const Bytes& data);
 /// Constant-time equality; returns false on length mismatch without
 /// inspecting contents. Use for MAC/tag comparison.
 bool ct_equal(const Bytes& a, const Bytes& b);
+bool ct_equal_span(std::span<const std::uint8_t> a,
+                   std::span<const std::uint8_t> b);
 
 /// Best-effort secure wipe (volatile writes so the compiler keeps them).
 void secure_zero(Bytes& data);

@@ -1,0 +1,88 @@
+// The per-circuit state machine: the full 6x6 transition matrix is pinned
+// here so any change to circuit.cpp's legal_transition table is a
+// deliberate, reviewed edit.
+#include "circuit/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace odtn::circuit {
+namespace {
+
+constexpr std::array<CircuitStatus, 6> kAll = {
+    CircuitStatus::kCreate,      CircuitStatus::kCreated,
+    CircuitStatus::kExtend,      CircuitStatus::kEstablished,
+    CircuitStatus::kTruncated,   CircuitStatus::kDestroyed,
+};
+
+// Expected matrix, row = from, column = to (enum order). Mirrors the
+// diagram in circuit.hpp: kExtend is the only legal self-transition (each
+// additional hop re-enters it), kTruncated may rebuild (kExtend),
+// kDestroyed is terminal.
+constexpr bool kLegal[6][6] = {
+    // to:  Create Created Extend Estab  Trunc  Destr     from:
+    {false, true, false, false, false, true},   // kCreate
+    {false, false, true, true, true, true},     // kCreated
+    {false, false, true, true, true, true},     // kExtend
+    {false, false, false, false, true, true},   // kEstablished
+    {false, false, true, false, false, true},   // kTruncated
+    {false, false, false, false, false, false}, // kDestroyed
+};
+
+TEST(CircuitState, TransitionMatrixIsExact) {
+  for (auto from : kAll) {
+    for (auto to : kAll) {
+      EXPECT_EQ(legal_transition(from, to),
+                kLegal[static_cast<int>(from)][static_cast<int>(to)])
+          << circuit_status_name(from) << " -> " << circuit_status_name(to);
+    }
+  }
+}
+
+TEST(CircuitState, AdvanceAppliesLegalTransitions) {
+  Circuit c;
+  EXPECT_EQ(c.status, CircuitStatus::kCreate);
+  EXPECT_TRUE(c.advance(CircuitStatus::kCreated));
+  EXPECT_TRUE(c.advance(CircuitStatus::kExtend));
+  EXPECT_TRUE(c.advance(CircuitStatus::kExtend));  // self-loop: more hops
+  EXPECT_TRUE(c.advance(CircuitStatus::kEstablished));
+  EXPECT_TRUE(c.advance(CircuitStatus::kTruncated));
+  EXPECT_TRUE(c.advance(CircuitStatus::kExtend));  // rebuild
+  EXPECT_TRUE(c.advance(CircuitStatus::kDestroyed));
+  EXPECT_EQ(c.status, CircuitStatus::kDestroyed);
+}
+
+TEST(CircuitState, AdvanceRejectsIllegalLeavingStateUnchanged) {
+  for (auto from : kAll) {
+    for (auto to : kAll) {
+      if (kLegal[static_cast<int>(from)][static_cast<int>(to)]) continue;
+      Circuit c;
+      c.status = from;
+      EXPECT_FALSE(c.advance(to))
+          << circuit_status_name(from) << " -> " << circuit_status_name(to);
+      EXPECT_EQ(c.status, from) << "state mutated on rejected transition";
+    }
+  }
+}
+
+TEST(CircuitState, DestroyedIsTerminal) {
+  Circuit c;
+  c.status = CircuitStatus::kDestroyed;
+  for (auto to : kAll) {
+    EXPECT_FALSE(c.advance(to)) << circuit_status_name(to);
+  }
+}
+
+TEST(CircuitState, StatusNamesAreStable) {
+  EXPECT_STREQ(circuit_status_name(CircuitStatus::kCreate), "create");
+  EXPECT_STREQ(circuit_status_name(CircuitStatus::kCreated), "created");
+  EXPECT_STREQ(circuit_status_name(CircuitStatus::kExtend), "extend");
+  EXPECT_STREQ(circuit_status_name(CircuitStatus::kEstablished),
+               "established");
+  EXPECT_STREQ(circuit_status_name(CircuitStatus::kTruncated), "truncated");
+  EXPECT_STREQ(circuit_status_name(CircuitStatus::kDestroyed), "destroyed");
+}
+
+}  // namespace
+}  // namespace odtn::circuit

@@ -1,0 +1,236 @@
+// The wire-accurate layer's observational-equivalence contract: turning
+// cell framing on changes what an on-path observer sees (cells, bytes) but
+// not what the protocols do — same deliveries, same delays, same paths,
+// same transmissions. And wire-mode sweeps keep the engine's determinism
+// guarantees: bit-identical across thread counts and across a checkpoint
+// kill/resume.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "core/experiment.hpp"
+#include "metrics/writer.hpp"
+#include "routing/onion_routing.hpp"
+
+namespace odtn {
+namespace {
+
+// -- Protocol-level parity ------------------------------------------------
+
+struct Fixture {
+  explicit Fixture(bool wire, std::uint64_t seed = 1)
+      : rng(seed),
+        graph(graph::random_contact_graph(30, rng, 10.0, 60.0)),
+        dir(30, 5),
+        keys(dir, seed),
+        contacts(graph, rng) {
+    ctx.directory = &dir;
+    ctx.keys = &keys;
+    ctx.codec = &codec;
+    ctx.crypto = routing::CryptoMode::kReal;
+    ctx.wire_cells = wire;
+  }
+
+  util::Rng rng;
+  graph::ContactGraph graph;
+  groups::GroupDirectory dir;
+  groups::KeyManager keys;
+  onion::OnionCodec codec;
+  sim::PoissonContactModel contacts;
+  routing::OnionContext ctx;
+};
+
+routing::MessageSpec spec_for(NodeId src, NodeId dst, std::size_t copies) {
+  routing::MessageSpec s;
+  s.src = src;
+  s.dst = dst;
+  s.ttl = 1e7;
+  s.num_relays = 3;
+  s.copies = copies;
+  return s;
+}
+
+void expect_same_routing(const routing::DeliveryResult& off,
+                         const routing::DeliveryResult& on) {
+  EXPECT_EQ(off.delivered, on.delivered);
+  EXPECT_EQ(off.delay, on.delay);
+  EXPECT_EQ(off.transmissions, on.transmissions);
+  EXPECT_EQ(off.relay_path, on.relay_path);
+  EXPECT_EQ(off.relay_groups, on.relay_groups);
+  EXPECT_EQ(off.relays_per_hop, on.relays_per_hop);
+  EXPECT_EQ(off.crypto_verified, on.crypto_verified);
+}
+
+TEST(WireParity, SingleCopyIsObservationallyEquivalent) {
+  Fixture off(false), on(true);
+  routing::SingleCopyOnionRouting p_off(off.ctx), p_on(on.ctx);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto r_off = p_off.route(off.contacts, spec_for(0, 29, 1), off.rng);
+    auto r_on = p_on.route(on.contacts, spec_for(0, 29, 1), on.rng);
+    expect_same_routing(r_off, r_on);
+    ASSERT_TRUE(r_on.delivered);
+    EXPECT_TRUE(r_on.crypto_verified);
+    // Only the wire accounting differs: off sees no cells at all, on pays
+    // cells_per_packet cells per contact crossing.
+    EXPECT_EQ(r_off.wire_cells, 0u);
+    EXPECT_EQ(r_off.wire_bytes, 0u);
+    EXPECT_GT(r_on.wire_cells, 0u);
+    EXPECT_EQ(r_on.wire_bytes,
+              r_on.wire_cells * circuit::kDefaultCellSize);
+    EXPECT_EQ(r_on.wire_cells % r_on.transmissions, 0u)
+        << "constant-size packets: cells must be a multiple of crossings";
+  }
+}
+
+TEST(WireParity, MultiCopyIsObservationallyEquivalent) {
+  Fixture off(false), on(true);
+  routing::MultiCopyOnionRouting p_off(off.ctx), p_on(on.ctx);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto r_off = p_off.route(off.contacts, spec_for(0, 29, 4), off.rng);
+    auto r_on = p_on.route(on.contacts, spec_for(0, 29, 4), on.rng);
+    expect_same_routing(r_off, r_on);
+    ASSERT_TRUE(r_on.delivered);
+    EXPECT_GT(r_on.wire_cells, 0u);
+    EXPECT_EQ(r_on.wire_bytes,
+              r_on.wire_cells * circuit::kDefaultCellSize);
+  }
+}
+
+TEST(WireParity, CustomCellSizeScalesAccountingOnly) {
+  Fixture base(true), big(true);
+  big.ctx.cell_size = 4096;
+  routing::SingleCopyOnionRouting p_base(base.ctx), p_big(big.ctx);
+  auto r_base = p_base.route(base.contacts, spec_for(0, 29, 1), base.rng);
+  auto r_big = p_big.route(big.contacts, spec_for(0, 29, 1), big.rng);
+  expect_same_routing(r_base, r_big);
+  // Bigger cells -> fewer cells, but never fewer than one per crossing.
+  EXPECT_LT(r_big.wire_cells, r_base.wire_cells);
+  EXPECT_GE(r_big.wire_cells, r_big.transmissions);
+  EXPECT_EQ(r_big.wire_bytes, r_big.wire_cells * 4096u);
+}
+
+// -- Experiment/engine-level determinism ----------------------------------
+
+namespace core_tests {
+
+using core::Experiment;
+using core::ExperimentConfig;
+using core::ExperimentResult;
+using core::RandomGraphScenario;
+
+ExperimentConfig wire_config() {
+  ExperimentConfig cfg;
+  cfg.nodes = 30;
+  cfg.runs = 24;
+  cfg.seed = 7;
+  cfg.ttl = 400.0;
+  cfg.crypto = routing::CryptoMode::kReal;
+  cfg.wire_cells = true;
+  return cfg;
+}
+
+ExperimentResult run_random(const ExperimentConfig& cfg) {
+  return Experiment(cfg).run(RandomGraphScenario{});
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.delivered_runs, b.delivered_runs);
+  auto eq = [](const util::RunningStats& x, const util::RunningStats& y) {
+    EXPECT_EQ(x.count(), y.count());
+    EXPECT_EQ(x.mean(), y.mean());
+    EXPECT_EQ(x.variance(), y.variance());
+    EXPECT_EQ(x.min(), y.min());
+    EXPECT_EQ(x.max(), y.max());
+  };
+  eq(a.sim_delivered, b.sim_delivered);
+  eq(a.sim_delay, b.sim_delay);
+  eq(a.sim_transmissions, b.sim_transmissions);
+  eq(a.sim_traceable, b.sim_traceable);
+  eq(a.sim_anonymity, b.sim_anonymity);
+  ASSERT_EQ(a.failed_runs.size(), b.failed_runs.size());
+  EXPECT_EQ(metrics::to_jsonl(a.metrics), metrics::to_jsonl(b.metrics));
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TEST(WireExperiment, StatsMatchWireOffExactly) {
+  auto on = wire_config();
+  auto off = on;
+  off.wire_cells = false;
+  auto r_on = run_random(on);
+  auto r_off = run_random(off);
+  // The wire layer may add wire-accounting exports, but every shared
+  // statistic is bitwise equal.
+  EXPECT_EQ(r_on.delivered_runs, r_off.delivered_runs);
+  EXPECT_EQ(r_on.sim_delivered.mean(), r_off.sim_delivered.mean());
+  EXPECT_EQ(r_on.sim_delay.mean(), r_off.sim_delay.mean());
+  EXPECT_EQ(r_on.sim_transmissions.mean(), r_off.sim_transmissions.mean());
+  EXPECT_EQ(r_on.sim_anonymity.mean(), r_off.sim_anonymity.mean());
+}
+
+TEST(WireExperiment, BitIdenticalAcrossThreadCounts) {
+  auto cfg = wire_config();
+  cfg.collect_metrics = true;
+  auto serial = run_random(cfg);
+  auto parallel = cfg;
+  parallel.threads = 4;
+  expect_identical(serial, run_random(parallel));
+}
+
+TEST(WireExperiment, KillAndResumeIsByteIdentical) {
+  // Uninterrupted reference sweep with circuits (and their wire
+  // accounting) in flight.
+  auto cfg = wire_config();
+  cfg.runs = 20;
+  cfg.collect_metrics = true;
+  auto expected = run_random(cfg);
+
+  // "Killed" sweep: only the first 9 runs happen, checkpointed every 4.
+  auto first = cfg;
+  first.runs = 9;
+  first.checkpoint_path = temp_path("odtn_checkpoint_wire");
+  first.checkpoint_interval = 4;
+  run_random(first);
+
+  // Resume to the full 20 — different thread count on purpose.
+  auto second = cfg;
+  second.checkpoint_path = first.checkpoint_path;
+  second.checkpoint_interval = 4;
+  second.resume = true;
+  second.threads = 4;
+  auto resumed = run_random(second);
+  expect_identical(expected, resumed);
+  std::remove(first.checkpoint_path.c_str());
+}
+
+TEST(WireExperiment, WireConfigHashIsDistinct) {
+  // A wire-on checkpoint must not resume a wire-off sweep (and vice
+  // versa): the config hash separates them, while wire-off configs keep
+  // their historical hashes.
+  auto on = wire_config();
+  auto off = on;
+  off.wire_cells = false;
+  EXPECT_NE(core::checkpoint_config_hash(on, "random_graph"),
+            core::checkpoint_config_hash(off, "random_graph"));
+  auto bigger = on;
+  bigger.cell_size = 4096;
+  EXPECT_NE(core::checkpoint_config_hash(on, "random_graph"),
+            core::checkpoint_config_hash(bigger, "random_graph"));
+}
+
+TEST(WireExperiment, WireWithoutRealCryptoIsRejected) {
+  auto cfg = wire_config();
+  cfg.crypto = routing::CryptoMode::kNone;
+  EXPECT_THROW(run_random(cfg), std::invalid_argument);
+  cfg.crypto = routing::CryptoMode::kReal;
+  cfg.cell_size = 16;  // below kMinCellSize
+  EXPECT_THROW(run_random(cfg), std::invalid_argument);
+}
+
+}  // namespace core_tests
+}  // namespace
+}  // namespace odtn

@@ -1,0 +1,30 @@
+// Lint fixture (never compiled): the sanctioned spellings — derive_seed
+// sub-streams, annotated exemptions, and non-construction uses — must pass
+// the circuit-rng rule.
+#include "crypto/drbg.hpp"
+#include "util/seed.hpp"
+
+namespace odtn::circuit {
+
+// A reference parameter is not a construction.
+void use(crypto::Drbg& drbg);
+
+// A function returning a Drbg is a definition, not a construction site.
+crypto::Drbg make_drbg(std::uint64_t base) {
+  return crypto::Drbg(util::derive_seed(base, 0x63697263));
+}
+
+struct Holder {
+  // Bare member declaration: seeded in the mem-init list.
+  crypto::Drbg drbg_;
+};
+
+void sanctioned(std::uint64_t base) {
+  crypto::Drbg forked(util::derive_seed(base, 1));
+  // odtn-lint: allow(circuit-rng) — fixture: documented exemption syntax
+  crypto::Drbg exempt(base);
+  (void)forked;
+  (void)exempt;
+}
+
+}  // namespace odtn::circuit

@@ -1,0 +1,16 @@
+// Lint fixture (never compiled): Drbg constructions in src/circuit/ that
+// bypass util::derive_seed must trip the circuit-rng rule.
+#include "crypto/drbg.hpp"
+
+namespace odtn::circuit {
+
+void violations(std::uint64_t seed) {
+  crypto::Drbg direct(seed);                   // ad-hoc seed
+  crypto::Drbg braced{std::uint64_t{42}};      // hard-coded seed
+  auto temporary = crypto::Drbg(seed ^ 0x9e);  // ad-hoc temporary
+  (void)direct;
+  (void)braced;
+  (void)temporary;
+}
+
+}  // namespace odtn::circuit

@@ -4,9 +4,10 @@
 #   tools/ci.sh [JOBS]
 #
 # 1. Configures and builds the plain tree, runs the full ctest suite
-#    (the tier-1 gate from ROADMAP.md), then the metrics, traffic, and
-#    recovery suites by label, then a checkpoint/resume byte-identity
-#    smoke check on the CLI.
+#    (the tier-1 gate from ROADMAP.md), then the metrics, traffic,
+#    recovery, and circuit suites by label, a wire-mode (--wire-cells)
+#    thread-count byte-identity smoke, and a checkpoint/resume
+#    byte-identity smoke check on the CLI.
 # 2. Runs the contact-query byte-identity suite by label, the scale suite
 #    (cross-backend equivalence; ctest -L scale) plus a fig_scale smoke at
 #    n=1e5 with a bytes/node bound, then the perf smokes: the micro_sim
@@ -21,8 +22,9 @@
 # 4. Configures a -DODTN_SANITIZE=thread tree in build-tsan/, builds only
 #    the tsan-labelled test targets, and runs `ctest -L tsan` under TSan.
 # 5. Configures a -DODTN_SANITIZE=address tree in build-asan/, builds the
-#    fault-injection and recovery test targets, and runs `ctest -L faults`
-#    and `ctest -L recovery` under ASan.
+#    fault-injection, recovery, and circuit test targets, and runs
+#    `ctest -L faults`, `ctest -L recovery`, and `ctest -L circuit`
+#    under ASan.
 # 6. Configures a -DODTN_SANITIZE=undefined tree in build-ubsan/, builds
 #    the analysis + crypto test targets (the numeric and bit-twiddling
 #    code most prone to UB), and runs `ctest -L ubsan` under UBSan.
@@ -48,6 +50,24 @@ ctest --test-dir "$repo/build" -L traffic --output-on-failure -j "$jobs"
 
 echo "== recovery suite (ctest -L recovery) =="
 ctest --test-dir "$repo/build" -L recovery --output-on-failure -j "$jobs"
+
+echo "== circuit suite (ctest -L circuit) =="
+ctest --test-dir "$repo/build" -L circuit --output-on-failure -j "$jobs"
+
+echo "== wire-mode byte-identity smoke check =="
+# --wire-cells fragments every contact crossing into sealed cells; the run
+# must stay bit-identical across thread counts like every other mode.
+wire="$repo/build/ci-wire-smoke"
+rm -rf "$wire" && mkdir -p "$wire"
+"$repo/build/tools/odtn" simulate --runs=12 --n=30 --seed=11 --wire-cells \
+    --metrics-out="$wire/t1.jsonl" > "$wire/t1.txt"
+"$repo/build/tools/odtn" simulate --runs=12 --n=30 --seed=11 --wire-cells \
+    --threads=4 --metrics-out="$wire/t4.jsonl" > "$wire/t4.txt"
+grep -v -e '^# wall_time_s' -e '^# metrics:' "$wire/t1.txt" > "$wire/t1.stable"
+grep -v -e '^# wall_time_s' -e '^# metrics:' "$wire/t4.txt" > "$wire/t4.stable"
+cmp "$wire/t1.stable" "$wire/t4.stable"
+cmp "$wire/t1.jsonl" "$wire/t4.jsonl"
+echo "wire-mode output byte-identical across thread counts"
 
 echo "== checkpoint/resume byte-identity smoke check =="
 smoke="$repo/build/ci-checkpoint-smoke"
@@ -112,7 +132,7 @@ echo "== perf smoke: micro_sim hot paths vs BENCH_micro_sim.json =="
 # under load — rerun pinned (taskset -c 0) before treating a failure as
 # real.
 "$repo/build/bench/micro_sim" \
-    --benchmark_filter='^BM_MultiCopyRoute/3$|^BM_ExperimentRun$|^BM_TrafficGen/10$|^BM_LoadedSimStep$|^BM_RecoveryStep$' \
+    --benchmark_filter='^BM_MultiCopyRoute/3$|^BM_ExperimentRun$|^BM_TrafficGen/10$|^BM_LoadedSimStep$|^BM_RecoveryStep$|^BM_WireSimStep$' \
     --benchmark_repetitions=5 \
     --baseline="$repo/BENCH_micro_sim.json" --max-regression-pct=20 \
     > /dev/null
@@ -123,7 +143,7 @@ echo "== perf smoke: micro_crypto per-forward costs vs BENCH_micro_crypto.json =
 # pays). Crypto microbenches are noisier at the ~10us scale, hence the
 # wider 25% band.
 "$repo/build/bench/micro_crypto" \
-    --benchmark_filter='^BM_HmacSha256$|^BM_X25519$|^BM_OnionBuild/3$|^BM_OnionPeel$' \
+    --benchmark_filter='^BM_HmacSha256$|^BM_X25519$|^BM_OnionBuild/3$|^BM_OnionPeel$|^BM_CellSeal/512$|^BM_CircuitExtend/1$' \
     --benchmark_repetitions=5 \
     --baseline="$repo/BENCH_micro_crypto.json" --max-regression-pct=25 \
     > /dev/null
@@ -158,13 +178,17 @@ echo "== asan: configure + build fault + recovery test targets =="
 cmake -B "$repo/build-asan" -S "$repo" -DODTN_SANITIZE=address
 cmake --build "$repo/build-asan" -j "$jobs" --target \
     faults_test fault_sim_test fault_experiment_test \
-    recovery_unit_test recovery_sim_test recovery_experiment_test
+    recovery_unit_test recovery_sim_test recovery_experiment_test \
+    cell_test circuit_state_test circuit_manager_test wire_parity_test
 
 echo "== asan: ctest -L faults =="
 ctest --test-dir "$repo/build-asan" -L faults --output-on-failure -j "$jobs"
 
 echo "== asan: ctest -L recovery =="
 ctest --test-dir "$repo/build-asan" -L recovery --output-on-failure -j "$jobs"
+
+echo "== asan: ctest -L circuit =="
+ctest --test-dir "$repo/build-asan" -L circuit --output-on-failure -j "$jobs"
 
 echo "== ubsan: configure + build analysis + crypto test targets =="
 cmake -B "$repo/build-ubsan" -S "$repo" -DODTN_SANITIZE=undefined

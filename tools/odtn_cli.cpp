@@ -63,6 +63,7 @@ int usage() {
       "                  --recovery-suspicion-threshold=0.75\n"
       "                  --shed-occupancy=F --shed-saturation=F\n"
       "                  --shed-priority-floor=1]\n"
+      "                 [--wire-cells --cell-size=512]\n"
       "\n"
       "simulate shards runs over --threads workers (0 = all hardware\n"
       "threads); results are bit-identical at every thread count.\n"
@@ -110,6 +111,12 @@ int usage() {
       "recent contact-saturation fraction crosses the threshold (loaded\n"
       "runs only). All knobs zero = the layer is off and output is\n"
       "byte-identical to a build without it.\n"
+      "--wire-cells switches on the wire-accurate circuit layer (implies\n"
+      "real crypto): every contact crossing is fragmented into sealed\n"
+      "fixed-size cells of --cell-size bytes, and loaded runs charge each\n"
+      "transfer its cell cost against the contact bandwidth budget (the\n"
+      "budget is then denominated in cells). Off (the default) keeps the\n"
+      "historical one-blob secure links and byte-identical output.\n"
       "\n"
       "exit codes: 0 ok, 1 runtime error, 2 usage or malformed input file\n"
       "(one-line file:line diagnostic on stderr).\n";
@@ -363,6 +370,13 @@ int cmd_simulate(const util::Args& args) {
   }
   cfg.recovery.shed_priority_floor = static_cast<std::uint8_t>(shed_floor);
   cfg.recovery.validate();
+
+  cfg.wire_cells = args.get_bool("wire-cells", false);
+  cfg.cell_size = static_cast<std::size_t>(
+      args.get_int("cell-size", static_cast<std::int64_t>(cfg.cell_size)));
+  // Wire mode fragments real sealed packets; there is no simulated-crypto
+  // variant of a cell stream.
+  if (cfg.wire_cells) cfg.crypto = routing::CryptoMode::kReal;
 
   std::string forwarder = args.get("load-forwarder", "onion");
   if (forwarder == "utility") {

@@ -23,6 +23,10 @@
 //   include         no <ctime>/<time.h>/<cstdlib>/<stdlib.h> in src/ —
 //                   the portals through which wall-clock time and libc
 //                   rand/getenv reach deterministic code.
+//   circuit-rng     crypto::Drbg constructions under src/circuit/ must seed
+//                   from a util::derive_seed expression: the wire layer's
+//                   nonce stream has to stay on its own sub-stream for
+//                   wire-mode runs to be thread-count and resume invariant.
 //
 // Suppression syntax (same line, or a comment-only line directly above):
 //   // odtn-lint: allow(<rule>) — <non-empty justification>
@@ -73,6 +77,9 @@ constexpr RuleInfo kRules[] = {
      "allow(rng)"},
     {"include",
      "no <ctime>/<time.h>/<cstdlib>/<stdlib.h> includes under src/"},
+    {"circuit-rng",
+     "Drbg constructions under src/circuit/ must seed from "
+     "util::derive_seed (the circuit layer forks its own sub-stream)"},
 };
 
 bool is_known_rule(std::string_view id) {
@@ -658,6 +665,105 @@ void check_rng(const std::string& file, const LexedFile& lf,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: circuit-rng
+// ---------------------------------------------------------------------------
+
+// The circuit layer's wire nonces come from its own crypto::Drbg; if that
+// DRBG were ever seeded ad hoc (instead of forked through util::derive_seed
+// onto the circuit sub-stream), wire-mode runs would stop being bit
+// identical across thread counts and checkpoint resume. Scope: src/circuit/
+// only — the generic `rng` rule covers util::Rng engines tree-wide, this
+// one covers the Drbg constructions the circuit layer adds.
+void check_circuit_rng(const std::string& file, const LexedFile& lf,
+                       const Suppressions& sup, std::vector<Finding>& out) {
+  if (!path_has_component(file, "circuit") ||
+      !path_has_component(file, "src")) {
+    return;
+  }
+  for (std::size_t i = 0; i < lf.code.size(); ++i) {
+    const std::string& line = lf.code[i];
+    if (line.empty()) continue;
+    std::size_t at = 0;
+    while ((at = line.find("Drbg", at)) != std::string::npos) {
+      std::size_t end = at + 4;
+      bool left_ok = at == 0 || !ident_char(line[at - 1]);
+      bool right_ok = end >= line.size() || !ident_char(line[end]);
+      if (!left_ok || !right_ok) {
+        at = end;
+        continue;
+      }
+      std::size_t p = end;
+      while (p < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[p])))
+        ++p;
+      // Reference/pointer/scope/member uses, and bare member declarations
+      // (`crypto::Drbg drbg_;` — seeded in the mem-init list), are not
+      // constructions.
+      if (p >= line.size() || line[p] == '&' || line[p] == '*' ||
+          line[p] == ':' || line[p] == '.' || line[p] == ',' ||
+          line[p] == ')' || line[p] == '>' || line[p] == ';') {
+        at = end;
+        continue;
+      }
+      bool construction = false;
+      std::string args;
+      std::size_t after_args = std::string::npos;
+      auto capture_balanced = [&](std::size_t open_at) {
+        char open = line[open_at];
+        char close = open == '(' ? ')' : '}';
+        int depth = 0;
+        std::size_t q = open_at;
+        while (q < line.size()) {
+          if (line[q] == open) ++depth;
+          if (line[q] == close && --depth == 0) break;
+          ++q;
+        }
+        args = line.substr(open_at, q > open_at ? q - open_at : 0);
+        after_args = q + 1;
+      };
+      if (line[p] == '(' || line[p] == '{') {
+        capture_balanced(p);  // temporary: Drbg(expr)
+        construction = true;
+      } else if (ident_char(line[p])) {
+        std::size_t q = p;
+        while (q < line.size() && ident_char(line[q])) ++q;
+        std::size_t r = q;
+        while (r < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[r])))
+          ++r;
+        if (r < line.size() && (line[r] == '(' || line[r] == '{')) {
+          capture_balanced(r);  // Drbg name(args) / Drbg name{args}
+          construction = true;
+        } else if (r < line.size() && line[r] == '=') {
+          args = line.substr(r);
+          construction = true;
+        }
+      }
+      // A '{' after the balanced argument list is a function body opening
+      // (`crypto::Drbg make_drbg(...) {`), not a construction.
+      if (construction && after_args != std::string::npos) {
+        std::size_t b = after_args;
+        while (b < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[b])))
+          ++b;
+        if (b < line.size() && line[b] == '{') construction = false;
+      }
+      if (construction && args.find("derive_seed") == std::string::npos &&
+          !allowed(sup, i + 1, "circuit-rng")) {
+        out.push_back(
+            {file, i + 1, "circuit-rng",
+             "Drbg constructed in src/circuit/ without util::derive_seed: "
+             "the circuit layer must fork its DRBG onto a derive_seed "
+             "sub-stream or wire-mode runs lose thread-count and "
+             "checkpoint-resume bit-identity; derive the seed or annotate "
+             "allow(circuit-rng) with why this stream is exempt"});
+      }
+      at = end;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: include
 // ---------------------------------------------------------------------------
 
@@ -732,6 +838,7 @@ int lint_file(const std::string& file, std::vector<Finding>& findings) {
   check_banned_api(file, lf, sup, findings);
   check_unordered_iter(file, lf, sup, findings);
   check_rng(file, lf, sup, findings);
+  check_circuit_rng(file, lf, sup, findings);
   check_include(file, lf, sup, findings);
   return 0;
 }
